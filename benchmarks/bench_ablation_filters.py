@@ -1,0 +1,84 @@
+"""Substrate ablation: candidate-filter strength vs cost.
+
+GuP builds its GCS with extended DAG-graph DP (§3.1) but the paper
+stresses that guard pruning composes with *any* filter.  This bench
+quantifies the filter ladder on the hard workload:
+
+* candidate-set size after LDF ⊇ NLF ⊇ DAG-DP (soundness guarantees
+  the containment; the bench shows the magnitudes);
+* GQL's pseudo-matching is the strongest but costs the most to build;
+* GuP's search-space size (recursions) under each filter.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import VIRTUAL_SCALE, dataset, mixed_query_set, publish
+from repro.bench.report import format_table
+from repro.core.config import GuPConfig
+from repro.core.engine import GuPEngine
+from repro.filtering.candidate_space import build_candidate_space
+
+DATASET = "wordnet"
+SETS = ("16S", "16D")
+FILTERS = ("ldf", "nlf", "nlf2", "dagdp", "gql")
+
+
+def run_filter_ablation():
+    data = dataset(DATASET)
+    queries = [
+        q for set_name in SETS for q in mixed_query_set(DATASET, set_name)
+    ]
+
+    sizes = {f: 0 for f in FILTERS}
+    build_time = {f: 0.0 for f in FILTERS}
+    recursions = {f: 0 for f in FILTERS}
+    limits = VIRTUAL_SCALE.limits()
+
+    for query in queries:
+        for filt in FILTERS:
+            started = time.perf_counter()
+            cs = build_candidate_space(query, data, method=filt)
+            build_time[filt] += time.perf_counter() - started
+            sizes[filt] += cs.total_candidates()
+
+            engine = GuPEngine(data, GuPConfig(filter_method=filt))
+            result = engine.match(query, limits=limits)
+            recursions[filt] += result.stats.recursions
+    return sizes, build_time, recursions, len(queries)
+
+
+def test_ablation_filters(benchmark):
+    sizes, build_time, recursions, n = benchmark.pedantic(
+        run_filter_ablation, rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            filt,
+            sizes[filt],
+            f"{build_time[filt] * 1000 / n:.1f}ms",
+            recursions[filt],
+        ]
+        for filt in FILTERS
+    ]
+    publish(
+        "ablation_filters",
+        format_table(
+            ["Filter", "Total candidates", "Avg build", "GuP recursions"],
+            rows,
+            title=(
+                f"Substrate ablation: candidate filters on {DATASET} "
+                f"({'+'.join(SETS)}, {n} queries)"
+            ),
+        ),
+    )
+
+    # Refinement ladder: each stage only removes candidates.
+    assert sizes["nlf"] <= sizes["ldf"]
+    assert sizes["nlf2"] <= sizes["nlf"]
+    assert sizes["dagdp"] <= sizes["nlf"]
+    assert sizes["gql"] <= sizes["nlf"]
+    # Stronger filtering never increases GuP's search space.
+    assert recursions["dagdp"] <= recursions["ldf"]

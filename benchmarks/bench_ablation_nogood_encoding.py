@@ -1,0 +1,92 @@
+"""Design-choice ablation: search-node encoding vs explicit nogoods.
+
+Contribution (4) of the paper is the search-node encoding (§3.5.1): it
+makes every guard-match test O(1) at the cost of generality — an
+encoded guard only fires for descendants of the search node it was
+recorded at, while a literal assignment-set guard fires on *any*
+partial embedding containing the assignments.
+
+This bench quantifies both sides of the trade on the hard workload:
+
+* pruning power — recursions with the explicit store never exceed the
+  encoded store's (more general matching);
+* match-test cost — wall time per recursion is higher for the explicit
+  store (O(|D|) comparisons and guard materialization).
+
+The paper's claim that the encoding "enables pruning without increasing
+the time and space complexities" holds when the recursion gap stays
+small — which is what we observe.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import VIRTUAL_SCALE, dataset, mixed_query_set, publish
+from repro.baselines.registry import GuPMatcher
+from repro.bench.report import format_table
+from repro.bench.runner import run_query_set
+from repro.core.config import GuPConfig
+
+DATASET = "wordnet"
+SETS = ("16S", "24S", "16D")
+
+REPRESENTATIONS = (
+    ("search_node", GuPConfig()),
+    ("explicit", GuPConfig(nogood_representation="explicit")),
+)
+
+
+def run_ablation():
+    # Warm the cached workloads so mining cost stays out of the timings.
+    for set_name in SETS:
+        mixed_query_set(DATASET, set_name)
+    out = {}
+    for name, config in REPRESENTATIONS:
+        matcher = GuPMatcher(config, name=name)
+        recursions = 0
+        wall = 0.0
+        for set_name in SETS:
+            started = time.perf_counter()
+            res = run_query_set(
+                matcher,
+                dataset(DATASET),
+                mixed_query_set(DATASET, set_name),
+                scale=VIRTUAL_SCALE,
+                set_name=set_name,
+                stop_on_dnf=False,
+            )
+            wall += time.perf_counter() - started
+            recursions += res.total_recursions()
+        out[name] = (recursions, wall)
+    return out
+
+
+def test_ablation_nogood_encoding(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    rows = []
+    for name, (recursions, wall) in results.items():
+        per_recursion = wall / recursions * 1e6 if recursions else 0.0
+        rows.append(
+            [name, recursions, f"{wall:.2f}s", f"{per_recursion:.1f}us"]
+        )
+    publish(
+        "ablation_nogood_encoding",
+        format_table(
+            ["Representation", "Recursions", "Wall", "us/recursion"],
+            rows,
+            title=(
+                "Ablation: nogood representation "
+                f"({DATASET} {'+'.join(SETS)})"
+            ),
+        ),
+    )
+
+    encoded_rec, _ = results["search_node"]
+    explicit_rec, _ = results["explicit"]
+    # Explicit matching is at least as general: never more recursions.
+    assert explicit_rec <= encoded_rec
+    # And the encoding loses little pruning power (the paper's design
+    # bet): within 10% on this workload.
+    assert encoded_rec <= explicit_rec * 1.10

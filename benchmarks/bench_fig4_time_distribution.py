@@ -1,0 +1,76 @@
+"""Fig. 4: number of queries in each processing-cost range, aggregated.
+
+Paper shape: over the sets every method finished, GuP has the fewest
+queries above every threshold and *zero* above the kill limit.  Our
+thresholds are the virtual-time analogues (100 / 1k / 10k recursions for
+the paper's 1 s / 1 min / 1 hr).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    SET_SPECS,
+    VIRTUAL_SCALE,
+    dataset,
+    mixed_query_set,
+    publish,
+)
+from repro.baselines.registry import PAPER_METHODS, get_matcher
+from repro.bench.report import format_table
+from repro.bench.runner import run_query_set
+from repro.bench.stats import threshold_counts
+
+# Aggregate over datasets where every method finishes everything (the
+# paper analogously restricts Fig. 4 to sets with no DNFs).
+AGG_DATASETS = ("yeast", "human", "patents")
+AGG_SETS = ("8S", "16S", "8D", "16D")
+
+
+def run_distribution():
+    per_method = {m: [] for m in PAPER_METHODS}
+    for ds in AGG_DATASETS:
+        for set_name in AGG_SETS:
+            queries = mixed_query_set(ds, set_name)
+            for method in PAPER_METHODS:
+                res = run_query_set(
+                    get_matcher(method),
+                    dataset(ds),
+                    queries,
+                    scale=VIRTUAL_SCALE,
+                    set_name=set_name,
+                    stop_on_dnf=False,
+                )
+                per_method[method].extend(res.records)
+    return per_method
+
+
+def test_fig4_time_distribution(benchmark):
+    per_method = benchmark.pedantic(run_distribution, rounds=1, iterations=1)
+
+    thresholds = VIRTUAL_SCALE.cost_thresholds
+    kill = VIRTUAL_SCALE.kill_cost
+    rows = []
+    counts = {}
+    for method in PAPER_METHODS:
+        records = per_method[method]
+        c = threshold_counts(records, thresholds, kill, cost_of=VIRTUAL_SCALE.cost)
+        counts[method] = c
+        rows.append(
+            [method, len(records)] + [c[t] for t in thresholds]
+        )
+    header = ["Method", "All"] + [f">={int(t)}rec" for t in thresholds]
+    publish(
+        "fig4_time_distribution",
+        format_table(
+            header,
+            rows,
+            title=(
+                "Fig. 4 (virtual time): queries per processing-cost range\n"
+                "aggregated over sets finished by every method"
+            ),
+        ),
+    )
+
+    top = thresholds[-1]
+    # Paper shape: GuP has the fewest queries in the highest range.
+    assert counts["GuP"][top] == min(c[top] for c in counts.values())

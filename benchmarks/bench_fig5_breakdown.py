@@ -1,0 +1,81 @@
+"""Fig. 5: per-dataset breakdown of the processing-cost ranges.
+
+Paper shape: per (dataset, query set), GuP almost always has the fewest
+queries above the highest threshold; the baselines accumulate kills on
+the harder sets (WordNet above all).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    VIRTUAL_SCALE,
+    dataset,
+    mixed_query_set,
+    publish,
+)
+from repro.baselines.registry import PAPER_METHODS, get_matcher
+from repro.bench.report import format_table
+from repro.bench.runner import run_query_set
+from repro.bench.stats import threshold_counts
+
+BREAKDOWN = [
+    ("yeast", "16S"),
+    ("yeast", "24D"),
+    ("wordnet", "16S"),
+    ("wordnet", "24S"),
+    ("wordnet", "16D"),
+    ("patents", "16D"),
+]
+
+
+def run_breakdown():
+    table = {}
+    for ds, set_name in BREAKDOWN:
+        queries = mixed_query_set(ds, set_name)
+        for method in PAPER_METHODS:
+            res = run_query_set(
+                get_matcher(method),
+                dataset(ds),
+                queries,
+                scale=VIRTUAL_SCALE,
+                set_name=set_name,
+                stop_on_dnf=False,
+            )
+            table[(ds, set_name, method)] = res.records
+    return table
+
+
+def test_fig5_breakdown(benchmark):
+    table = benchmark.pedantic(run_breakdown, rounds=1, iterations=1)
+    thresholds = VIRTUAL_SCALE.cost_thresholds
+    kill = VIRTUAL_SCALE.kill_cost
+
+    rows = []
+    top_counts = {}
+    for ds, set_name in BREAKDOWN:
+        for method in PAPER_METHODS:
+            c = threshold_counts(
+                table[(ds, set_name, method)],
+                thresholds,
+                kill,
+                cost_of=VIRTUAL_SCALE.cost,
+            )
+            top_counts[(ds, set_name, method)] = c[thresholds[-1]]
+            rows.append(
+                [f"{ds}/{set_name}", method] + [c[t] for t in thresholds]
+            )
+    header = ["Set", "Method"] + [f">={int(t)}rec" for t in thresholds]
+    publish(
+        "fig5_breakdown",
+        format_table(header, rows, title="Fig. 5 (virtual time): per-set breakdown"),
+    )
+
+    # Paper shape: on the hard WordNet sets, GuP is never beaten in the
+    # top range (fewest killed queries).
+    for ds, set_name in BREAKDOWN:
+        if ds != "wordnet":
+            continue
+        gup = top_counts[(ds, set_name, "GuP")]
+        assert gup == min(
+            top_counts[(ds, set_name, m)] for m in PAPER_METHODS
+        ), (ds, set_name)

@@ -1,0 +1,85 @@
+"""Fig. 7: number of recursions — GuP vs GQL-G vs GQL-R.
+
+Paper shape: GuP produces the fewest recursions for most query sets
+(DAF and RM are excluded there because they do not count recursions
+comparably; we keep the same method trio).  §4.2.3's companion statistic
+— the fraction of local candidates adaptively pruned by guards (11.5%
+on average in the paper) — is reported alongside.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    SET_SPECS,
+    VIRTUAL_SCALE,
+    dataset,
+    mixed_query_set,
+    publish,
+)
+from repro.baselines.registry import get_matcher
+from repro.bench.report import format_table
+from repro.bench.runner import run_query_set
+from repro.core.config import GuPConfig
+from repro.core.engine import GuPEngine
+
+METHODS = ("GuP", "GQL-G", "GQL-R")
+DATASET = "wordnet"
+
+
+def run_recursion_counts():
+    totals = {}
+    for set_name in SET_SPECS:
+        queries = mixed_query_set(DATASET, set_name)
+        for method in METHODS:
+            res = run_query_set(
+                get_matcher(method),
+                dataset(DATASET),
+                queries,
+                scale=VIRTUAL_SCALE,
+                set_name=set_name,
+                stop_on_dnf=False,
+            )
+            totals[(method, set_name)] = res.total_recursions()
+    return totals
+
+
+def measure_prune_fraction():
+    """§4.2.3: fraction of local candidates pruned by guards."""
+    engine = GuPEngine(dataset(DATASET), GuPConfig.full())
+    seen = pruned = 0
+    for set_name in ("16S", "24S", "16D"):
+        for query in mixed_query_set(DATASET, set_name):
+            result = engine.match(query, limits=VIRTUAL_SCALE.limits())
+            seen += result.stats.local_candidates_seen
+            pruned += result.stats.pruned_by_guards()
+    return pruned / seen if seen else 0.0
+
+
+def test_fig7_recursions(benchmark):
+    totals = benchmark.pedantic(run_recursion_counts, rounds=1, iterations=1)
+    fraction = measure_prune_fraction()
+
+    rows = [
+        [m] + [totals[(m, s)] for s in SET_SPECS] for m in METHODS
+    ]
+    text = format_table(
+        ["Method"] + list(SET_SPECS),
+        rows,
+        title=f"Fig. 7: total recursions per query set on {DATASET}",
+    )
+    text += (
+        f"\n\nGuard-pruned local candidates (sec. 4.2.3): "
+        f"{100 * fraction:.1f}% (paper: 11.5%)"
+    )
+    publish("fig7_recursions", text)
+
+    # Paper shape: GuP needs the fewest recursions on most sets.
+    wins = sum(
+        1
+        for s in SET_SPECS
+        if totals[("GuP", s)] == min(totals[(m, s)] for m in METHODS)
+    )
+    assert wins >= len(SET_SPECS) // 2, {
+        s: {m: totals[(m, s)] for m in METHODS} for s in SET_SPECS
+    }
+    assert fraction > 0.0

@@ -1,0 +1,63 @@
+"""Fig. 8: parameter search for the reservation size limit ``r``.
+
+Paper shape: with only reservation guards enabled, pruning power grows
+with ``r`` but saturates around ``r = 3`` — the recommended default.
+The bars are total recursions over a fixed workload for
+``r in {0, 1, 3, 5, 7, inf}``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import VIRTUAL_SCALE, dataset, mixed_query_set, publish
+from repro.baselines.registry import GuPMatcher
+from repro.bench.report import format_table
+from repro.bench.runner import run_query_set
+from repro.core.config import GuPConfig
+
+R_VALUES = (0, 1, 3, 5, 7, None)
+DATASET = "wordnet"
+SETS = ("16S", "24S", "16D")
+
+
+def run_sweep():
+    totals = {}
+    for r in R_VALUES:
+        matcher = GuPMatcher(GuPConfig.reservation_only(r), name=f"r={r}")
+        total = 0
+        for set_name in SETS:
+            res = run_query_set(
+                matcher,
+                dataset(DATASET),
+                mixed_query_set(DATASET, set_name),
+                scale=VIRTUAL_SCALE,
+                set_name=set_name,
+                stop_on_dnf=False,
+            )
+            total += res.total_recursions()
+        totals[r] = total
+    return totals
+
+
+def label(r):
+    return "r=inf" if r is None else f"r={r}"
+
+
+def test_fig8_reservation_size(benchmark):
+    totals = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    publish(
+        "fig8_reservation_size",
+        format_table(
+            ["r", "total recursions"],
+            [[label(r), totals[r]] for r in R_VALUES],
+            title=(
+                "Fig. 8: recursions vs reservation size limit "
+                f"(R-only config, {DATASET} {'+'.join(SETS)})"
+            ),
+        ),
+    )
+
+    # Paper shape: larger r never hurts pruning, and r=3 captures almost
+    # all of it (saturation: r=inf is within a few percent of r=3).
+    assert totals[3] <= totals[0]
+    assert totals[None] <= totals[1]
+    assert totals[None] >= totals[3] * 0.90

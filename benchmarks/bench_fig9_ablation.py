@@ -1,0 +1,68 @@
+"""Fig. 9: futile recursions per guard combination (the ablation).
+
+Paper shape: "Baseline" (no guards) has the most futile recursions;
+reservation guards ("R") remove a workload-dependent chunk; nogood
+guards on vertices ("R+NV") contribute the most; edge guards
+("R+NV+NE") the second most; backjumping ("All") adds a little more.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import VIRTUAL_SCALE, dataset, mixed_query_set, publish
+from repro.baselines.registry import GuPMatcher
+from repro.bench.report import format_table
+from repro.bench.runner import run_query_set
+from repro.core.config import GuPConfig
+
+ABLATIONS = (
+    ("Baseline", GuPConfig.baseline()),
+    ("R", GuPConfig.reservation_only()),
+    ("R+NV", GuPConfig.r_nv()),
+    ("R+NV+NE", GuPConfig.r_nv_ne()),
+    ("All", GuPConfig.full()),
+)
+DATASET = "wordnet"
+SETS = ("8S", "16S", "24S", "8D", "16D", "24D")
+
+
+def run_ablation():
+    futile = {name: {} for name, _ in ABLATIONS}
+    for name, config in ABLATIONS:
+        matcher = GuPMatcher(config, name=name)
+        for set_name in SETS:
+            res = run_query_set(
+                matcher,
+                dataset(DATASET),
+                mixed_query_set(DATASET, set_name),
+                scale=VIRTUAL_SCALE,
+                set_name=set_name,
+                stop_on_dnf=False,
+            )
+            futile[name][set_name] = res.total_futile()
+    return futile
+
+
+def test_fig9_ablation(benchmark):
+    futile = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    rows = [
+        [name] + [futile[name][s] for s in SETS] + [sum(futile[name].values())]
+        for name, _ in ABLATIONS
+    ]
+    publish(
+        "fig9_ablation",
+        format_table(
+            ["Config"] + list(SETS) + ["Total"],
+            rows,
+            title=f"Fig. 9: futile recursions per guard combination on {DATASET}",
+        ),
+    )
+
+    total = {name: sum(per.values()) for name, per in futile.items()}
+    # Paper shape: the ladder is monotone and ends strictly below the
+    # baseline.
+    assert total["R"] <= total["Baseline"]
+    assert total["R+NV"] <= total["R"]
+    assert total["R+NV+NE"] <= total["R+NV"]
+    assert total["All"] <= total["R+NV+NE"]
+    assert total["All"] < total["Baseline"]

@@ -1,0 +1,76 @@
+"""Table 2: finished (i.e. non-DNF) query sets per method.
+
+Paper shape: GuP finishes the most query sets (20 of 24 there); DAF
+finishes the fewest (8), with GQL-G/GQL-R/RM in between.  Reproduction:
+the grid below runs every paper method over mixed (easy + mined-hard)
+query sets for all four dataset stand-ins under the recursion-budget
+harness; the assertion checks GuP finishes at least as many sets as
+every baseline.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    SET_SPECS,
+    VIRTUAL_SCALE,
+    dataset,
+    mixed_query_set,
+    publish,
+)
+from repro.baselines.registry import PAPER_METHODS, get_matcher
+from repro.bench.report import format_table
+from repro.bench.runner import run_query_set
+
+GRID_DATASETS = ("yeast", "human", "wordnet", "patents")
+
+
+def run_grid():
+    results = {}
+    for ds in GRID_DATASETS:
+        for set_name in SET_SPECS:
+            queries = mixed_query_set(ds, set_name)
+            for method in PAPER_METHODS:
+                res = run_query_set(
+                    get_matcher(method),
+                    dataset(ds),
+                    queries,
+                    scale=VIRTUAL_SCALE,
+                    set_name=f"{ds}/{set_name}",
+                )
+                results[(method, ds, set_name)] = res.finished
+    return results
+
+
+def render(results) -> str:
+    columns = [f"{ds[:2]}/{s}" for ds in GRID_DATASETS for s in SET_SPECS]
+    rows = []
+    for method in PAPER_METHODS:
+        marks = [
+            "Y" if results[(method, ds, s)] else "-"
+            for ds in GRID_DATASETS
+            for s in SET_SPECS
+        ]
+        rows.append([method] + marks + [marks.count("Y")])
+    return format_table(
+        ["Method"] + columns + ["Count"],
+        rows,
+        title=(
+            "Table 2 (scaled, virtual time): finished query sets per method\n"
+            f"DNF = any {VIRTUAL_SCALE.subgroup_size}-query subgroup exceeding "
+            f"{VIRTUAL_SCALE.subgroup_recursion_budget} recursions "
+            f"(kill: {VIRTUAL_SCALE.query_recursion_limit}/query)"
+        ),
+    )
+
+
+def test_table2_finished_sets(benchmark):
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    publish("table2_finished_sets", render(results))
+
+    counts = {
+        m: sum(
+            1 for ds in GRID_DATASETS for s in SET_SPECS if results[(m, ds, s)]
+        )
+        for m in PAPER_METHODS
+    }
+    assert counts["GuP"] == max(counts.values()), counts

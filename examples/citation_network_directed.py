@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Directed matching on a synthetic citation network (adapter demo).
+
+The paper's matchers operate on undirected graphs, but §2.2 notes the
+method "can easily adapt to other kinds of graphs, such as directed
+graphs".  This example exercises :mod:`repro.adapters`: a citation
+network (papers cite older papers — directed edges) is searched for
+directed patterns such as citation chains, co-citation, and feedback
+loops, via the edge-gadget reduction.
+
+Run:  python examples/citation_network_directed.py
+"""
+
+import random
+
+from repro.adapters import DiGraph, match_directed
+from repro.matching.limits import SearchLimits
+
+FIELDS = ["db", "ml", "systems", "theory"]
+
+
+def build_citation_network(num_papers=400, citations_per_paper=3, seed=7):
+    """Papers cite earlier papers, preferentially in their own field."""
+    rng = random.Random(seed)
+    labels = [rng.choice(FIELDS) for _ in range(num_papers)]
+    edges = []
+    for paper in range(1, num_papers):
+        cited = set()
+        for _ in range(min(citations_per_paper, paper)):
+            # Prefer same-field targets (two draws, keep field match).
+            a = rng.randrange(paper)
+            b = rng.randrange(paper)
+            target = a if labels[a] == labels[paper] else b
+            if target not in cited:
+                cited.add(target)
+                edges.append((paper, target))
+    return DiGraph(labels, edges)
+
+
+def main() -> None:
+    network = build_citation_network()
+    print(f"citation network: {network}")
+
+    limits = SearchLimits(max_embeddings=5_000, collect=False)
+
+    patterns = {
+        # A db paper citing an ml paper citing a theory paper.
+        "cross-field chain": DiGraph(
+            ["db", "ml", "theory"], [(0, 1), (1, 2)]
+        ),
+        # Co-citation: two db papers citing the same systems paper.
+        "co-citation": DiGraph(
+            ["db", "db", "systems"], [(0, 2), (1, 2)]
+        ),
+        # Bibliographic coupling: one paper citing two fields.
+        "coupling": DiGraph(
+            ["ml", "db", "systems"], [(0, 1), (0, 2)]
+        ),
+        # A feedback loop — impossible here (citations point backwards),
+        # so the adapter must report zero.
+        "2-cycle (impossible)": DiGraph(
+            ["db", "db"], [(0, 1), (1, 0)]
+        ),
+    }
+
+    print(f"\n{'pattern':22s} {'matches':>8s} {'recursions':>10s}")
+    for name, pattern in patterns.items():
+        result = match_directed(pattern, network, limits=limits)
+        print(f"{name:22s} {result.num_embeddings:8d} "
+              f"{result.stats.recursions:10d}")
+
+    # Direction matters: reversing a chain changes the answer.
+    forward = DiGraph(["db", "ml"], [(0, 1)])
+    backward = DiGraph(["db", "ml"], [(1, 0)])
+    nf = match_directed(forward, network, limits=limits).num_embeddings
+    nb = match_directed(backward, network, limits=limits).num_embeddings
+    print(f"\ndb->ml citations: {nf};  ml->db citations: {nb} "
+          f"(direction-sensitive, as it must be)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Fraud-ring detection: the cycle queries guards were built for.
+
+The paper motivates guard-based pruning with crime-detection workloads
+(its refs [29, 31]): money-laundering *rings* are cycles of
+transactions between accounts of specific types, and cycles are exactly
+the structures backtracking struggles with — "cycles are usually
+difficult to find because of the sparseness of real-world graphs" (§1):
+long partial paths abound, but closures are rare, so searches drown in
+deadends.
+
+This example builds a synthetic account/transaction graph, plants a few
+rings, and compares GuP against DAF-style failing-set search on ring
+queries of growing length, reporting recursions (search-space size).
+
+Run:  python examples/fraud_ring_detection.py
+"""
+
+import random
+
+from repro import GuPConfig, SearchLimits, match
+from repro.baselines.registry import get_matcher
+from repro.graph.builder import GraphBuilder
+
+ACCOUNT_TYPES = ["retail", "business", "offshore", "mule"]
+
+
+def build_transaction_graph(num_accounts=1200, num_transfers=2100,
+                            planted_rings=(6, 8, 10), seed=13):
+    """Sparse random transfer graph with a few planted typed rings."""
+    rng = random.Random(seed)
+    builder = GraphBuilder()
+    for _ in range(num_accounts):
+        builder.add_vertex(rng.choice(ACCOUNT_TYPES))
+
+    # Background transfers (random sparse structure).
+    added = 0
+    while added < num_transfers:
+        a = rng.randrange(num_accounts)
+        b = rng.randrange(num_accounts)
+        if a != b and builder.add_edge(a, b):
+            added += 1
+
+    # Planted rings: retail -> mule -> ... -> offshore -> retail.
+    rings = []
+    for length in planted_rings:
+        members = rng.sample(range(num_accounts), length)
+        for i in range(length):
+            builder.add_edge(members[i], members[(i + 1) % length])
+        rings.append(members)
+    return builder.build(), rings
+
+
+def ring_query(data, ring_members):
+    """The typed cycle pattern of a planted ring."""
+    builder = GraphBuilder()
+    ids = builder.add_vertices(data.label(v) for v in ring_members)
+    for i in range(len(ids)):
+        builder.add_edge(ids[i], ids[(i + 1) % len(ids)])
+    return builder.build()
+
+
+def main() -> None:
+    data, rings = build_transaction_graph()
+    print(f"transaction graph: {data}")
+    print(f"planted rings of lengths: {[len(r) for r in rings]}\n")
+
+    limits = SearchLimits(max_embeddings=1_000, collect=True)
+
+    print(f"{'ring':8s} {'found':>6s} {'GuP rec':>8s} {'DAF rec':>8s} "
+          f"{'Baseline rec':>12s}")
+    for members in rings:
+        query = ring_query(data, members)
+        gup = match(query, data, limits=limits)
+        daf = get_matcher("DAF").match(query, data, limits)
+        base = match(query, data, config=GuPConfig.baseline(), limits=limits)
+        assert gup.num_embeddings == daf.num_embeddings == base.num_embeddings
+        print(
+            f"len={len(members):<4d} {gup.num_embeddings:6d} "
+            f"{gup.stats.recursions:8d} {daf.stats.recursions:8d} "
+            f"{base.stats.recursions:12d}"
+        )
+
+    # Verify the planted ring itself is among the matches: the identity
+    # assignment (query vertex i -> planted member i) is an embedding by
+    # construction, so the exact tuple must be found.
+    query = ring_query(data, rings[0])
+    result = match(query, data, limits=SearchLimits(max_embeddings=100_000))
+    planted = tuple(rings[0])
+    found = {tuple(e) for e in result.embeddings}
+    print(f"\nplanted ring of length {len(planted)} recovered: "
+          f"{'yes' if planted in found else 'NO (bug!)'} "
+          f"({result.num_embeddings} total matches of its pattern)")
+
+
+if __name__ == "__main__":
+    main()

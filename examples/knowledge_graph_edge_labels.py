@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Edge-labeled matching on a tiny knowledge graph (adapter demo).
+
+Knowledge graphs label *relations*, not just entities.  §2.2 notes the
+method adapts to edge-labeled graphs; :mod:`repro.adapters` realizes
+that with the midpoint reduction, so GuP can answer typed-relation
+pattern queries such as "a person who FOUNDED a company that ACQUIRED
+another company".
+
+Run:  python examples/knowledge_graph_edge_labels.py
+"""
+
+import random
+
+from repro.adapters import EdgeLabeledGraph, match_edge_labeled
+from repro.matching.limits import SearchLimits
+
+ENTITY_TYPES = ["person", "company", "city"]
+RELATIONS = {
+    ("person", "company"): ["founded", "works_at"],
+    ("company", "company"): ["acquired", "partners"],
+    ("person", "city"): ["lives_in"],
+    ("company", "city"): ["based_in"],
+    ("person", "person"): ["knows"],
+}
+
+
+def build_knowledge_graph(num_entities=300, num_facts=800, seed=17):
+    rng = random.Random(seed)
+    labels = [rng.choice(ENTITY_TYPES) for _ in range(num_entities)]
+    facts = {}
+    attempts = 0
+    while len(facts) < num_facts and attempts < num_facts * 20:
+        attempts += 1
+        a = rng.randrange(num_entities)
+        b = rng.randrange(num_entities)
+        if a == b or (min(a, b), max(a, b)) in facts:
+            continue
+        key = (labels[a], labels[b])
+        relations = RELATIONS.get(key) or RELATIONS.get((key[1], key[0]))
+        if relations is None:
+            continue
+        facts[(min(a, b), max(a, b))] = rng.choice(relations)
+    return EdgeLabeledGraph(
+        labels, [(u, v, rel) for (u, v), rel in facts.items()]
+    )
+
+
+def main() -> None:
+    kg = build_knowledge_graph()
+    print(f"knowledge graph: {kg}")
+
+    limits = SearchLimits(max_embeddings=2_000, collect=False)
+
+    patterns = {
+        "founder of acquirer": EdgeLabeledGraph(
+            ["person", "company", "company"],
+            [(0, 1, "founded"), (1, 2, "acquired")],
+        ),
+        "colleagues": EdgeLabeledGraph(
+            ["person", "company", "person"],
+            [(0, 1, "works_at"), (2, 1, "works_at")],
+        ),
+        "local founder": EdgeLabeledGraph(
+            ["person", "company", "city"],
+            [(0, 1, "founded"), (1, 2, "based_in"), (0, 2, "lives_in")],
+        ),
+        "wrong relation": EdgeLabeledGraph(
+            ["person", "company"],
+            [(0, 1, "acquired")],  # person-ACQUIRED-company never exists
+        ),
+    }
+
+    print(f"\n{'pattern':22s} {'matches':>8s} {'recursions':>10s}")
+    for name, pattern in patterns.items():
+        result = match_edge_labeled(pattern, kg, limits=limits)
+        print(f"{name:22s} {result.num_embeddings:8d} "
+              f"{result.stats.recursions:10d}")
+
+    # Relation labels matter: the same topology with a different relation
+    # gives a different answer.
+    founded = EdgeLabeledGraph(
+        ["person", "company"], [(0, 1, "founded")]
+    )
+    works = EdgeLabeledGraph(
+        ["person", "company"], [(0, 1, "works_at")]
+    )
+    nf = match_edge_labeled(founded, kg, limits=limits).num_embeddings
+    nw = match_edge_labeled(works, kg, limits=limits).num_embeddings
+    print(f"\nFOUNDED facts: {nf};  WORKS_AT facts: {nw} "
+          f"(same topology, different relations)")
+
+
+if __name__ == "__main__":
+    main()

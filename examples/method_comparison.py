@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Compare every matcher in the registry on one workload.
+
+Runs GuP, DAF, GQL-G, GQL-R, RM (and the VF2 oracle on the smallest
+queries) over a mined hard query set of the WordNet stand-in — the
+deadend-rich regime where the paper's evaluation separates the methods —
+and prints a ranking by search-space size.
+
+Run:  python examples/method_comparison.py
+"""
+
+from repro.baselines.registry import PAPER_METHODS, get_matcher
+from repro.bench.report import format_table
+from repro.matching.limits import SearchLimits
+from repro.workload import load_dataset, mine_hard_queries
+
+
+def main() -> None:
+    data = load_dataset("wordnet", seed=2023)
+    print(f"data graph: {data}")
+
+    queries = mine_hard_queries(
+        data, count=5, size=16, density="sparse", seed=99,
+        candidate_factor=8, probe_recursions=10_000,
+    )
+    print(f"mined {len(queries)} hard queries "
+          f"(sizes: {[q.num_vertices for q in queries]})\n")
+
+    limits = SearchLimits(
+        max_embeddings=1_000, max_recursions=50_000, collect=False
+    )
+
+    rows = []
+    reference_counts = None
+    for method in PAPER_METHODS:
+        matcher = get_matcher(method)
+        recursions = futile = embeddings = 0
+        seconds = 0.0
+        counts = []
+        for query in queries:
+            result = matcher.match(query, data, limits)
+            recursions += result.stats.recursions
+            futile += result.stats.futile_recursions
+            embeddings += result.num_embeddings
+            seconds += result.total_seconds
+            counts.append(result.num_embeddings)
+        if reference_counts is None:
+            reference_counts = counts
+        assert counts == reference_counts, (
+            f"{method} disagrees: {counts} != {reference_counts}"
+        )
+        rows.append(
+            [method, recursions, futile, embeddings, f"{seconds:.2f}s"]
+        )
+
+    rows.sort(key=lambda r: r[1])
+    print(
+        format_table(
+            ["Method", "Recursions", "Futile", "Embeddings", "Wall"],
+            rows,
+            title="Hard-query comparison (sorted by search-space size)",
+        )
+    )
+    print("\nAll methods returned identical embedding counts "
+          "(cross-validated).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: build graphs, run GuP, inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GraphBuilder, GuPConfig, SearchLimits, match
+
+
+def main() -> None:
+    # -- 1. Build a data graph: a small labeled social/citation graph --
+    data_builder = GraphBuilder()
+    #                            0    1    2    3    4    5    6    7
+    data_builder.add_vertices(["A", "B", "C", "A", "B", "C", "A", "B"])
+    data_builder.add_edges(
+        [
+            (0, 1), (1, 2), (2, 0),      # triangle A-B-C
+            (3, 4), (4, 5), (5, 3),      # second triangle A-B-C
+            (2, 3),                      # bridge
+            (6, 7), (7, 2),              # pendant path A-B-C
+        ]
+    )
+    data = data_builder.build()
+    print(f"data graph: {data}")
+
+    # -- 2. Build a query: an A-B-C triangle ---------------------------
+    query_builder = GraphBuilder()
+    query_builder.add_vertices(["A", "B", "C"])
+    query_builder.add_edges([(0, 1), (1, 2), (2, 0)])
+    query = query_builder.build()
+    print(f"query graph: {query}")
+
+    # -- 3. Match ------------------------------------------------------
+    result = match(query, data)
+    print(f"\nembeddings ({result.num_embeddings}):")
+    for embedding in sorted(result.embeddings):
+        pairs = ", ".join(f"u{i} -> v{v}" for i, v in enumerate(embedding))
+        print(f"  {{{pairs}}}")
+
+    # -- 4. Inspect the search -----------------------------------------
+    stats = result.stats
+    print(f"\nsearch statistics:")
+    print(f"  recursions:        {stats.recursions}")
+    print(f"  futile recursions: {stats.futile_recursions}")
+    print(f"  candidates:        {stats.candidate_vertices} vertices, "
+          f"{stats.candidate_edges} edges")
+    print(f"  status:            {result.status.value}")
+
+    # -- 5. Compare against guard-free backtracking ---------------------
+    baseline = match(query, data, config=GuPConfig.baseline())
+    assert sorted(baseline.embeddings) == sorted(result.embeddings)
+    print(f"\nbaseline (no guards): {baseline.stats.recursions} recursions "
+          f"vs GuP {stats.recursions}")
+
+    # -- 6. Limits: stop after the first embedding ----------------------
+    first = match(query, data, limits=SearchLimits(max_embeddings=1))
+    print(f"first embedding only: {first.embeddings[0]} "
+          f"(status: {first.status.value})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Render the paper's Fig. 3 search trees as text.
+
+Shows the conventional backtracking tree (every node of Fig. 3) next to
+the guarded tree (with the shaded nodes pruned), on the paper's own
+Fig. 1 example, then on a mined hard query where the pruning is larger.
+
+Run:  python examples/search_tree_visualization.py
+"""
+
+from repro.analysis import render_search_tree, trace_search
+from repro.core.config import GuPConfig
+from repro.matching.limits import SearchLimits
+from repro.workload import (
+    load_dataset,
+    mine_hard_queries,
+    paper_example_data,
+    paper_example_query,
+)
+
+
+def main() -> None:
+    query = paper_example_query()
+    data = paper_example_data()
+
+    print("=" * 68)
+    print("Paper example (Fig. 1) — conventional backtracking (Fig. 3)")
+    print("=" * 68)
+    print(render_search_tree(query, data, GuPConfig.baseline(), reorder=False))
+
+    print()
+    print("=" * 68)
+    print("Paper example — full GuP (the shaded nodes are gone)")
+    print("=" * 68)
+    print(render_search_tree(query, data, GuPConfig.full(), reorder=False))
+
+    # A bigger instance: just the headline numbers, not the full tree.
+    print()
+    print("=" * 68)
+    print("Mined hard query on the WordNet stand-in (summary only)")
+    print("=" * 68)
+    wordnet = load_dataset("wordnet", scale=0.5, seed=2023)
+    hard = mine_hard_queries(
+        wordnet, count=1, size=12, seed=5, candidate_factor=6,
+        probe_recursions=4_000,
+    )[0]
+    limits = SearchLimits(max_embeddings=50, collect=False)
+    for name, config in (
+        ("conventional", GuPConfig.baseline()),
+        ("GuP", GuPConfig.full()),
+    ):
+        tree = trace_search(hard, wordnet, config, limits=limits)
+        print(
+            f"{name:14s} {tree.num_recursions():6d} recursions, "
+            f"{tree.num_conflicts():5d} conflicts, "
+            f"{len(tree.embeddings):3d} embeddings found"
+        )
+
+
+if __name__ == "__main__":
+    main()

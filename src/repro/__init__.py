@@ -1,0 +1,55 @@
+"""GuP: Fast Subgraph Matching by Guard-based Pruning — reproduction.
+
+A from-scratch Python implementation of GuP (Arai, Fujiwara, Onizuka,
+SIGMOD 2023) together with all the substrates its evaluation depends on:
+candidate filtering, matching orders, baseline matchers, workload
+generators, and a benchmark harness reproducing every table and figure
+of the paper's §4.
+
+Quickstart
+----------
+>>> from repro import GraphBuilder, match
+>>> b = GraphBuilder()
+>>> ids = b.add_vertices(["A", "B", "A"])
+>>> _ = b.add_edges([(0, 1), (1, 2)])
+>>> data = b.build()
+>>> qb = GraphBuilder()
+>>> _ = qb.add_vertices(["A", "B"])
+>>> _ = qb.add_edge(0, 1)
+>>> query = qb.build()
+>>> sorted(match(query, data).embeddings)
+[(0, 1), (2, 1)]
+"""
+
+from repro.core.config import GuPConfig
+from repro.core.engine import GuPEngine, count_embeddings, match
+from repro.core.gcs import GuardedCandidateSpace, build_gcs
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.io import load_graph, loads_graph, save_graph, saves_graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import MatchResult, SearchStats, TerminationStatus
+from repro.matching.verify import is_embedding
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "GuPConfig",
+    "GuPEngine",
+    "GuardedCandidateSpace",
+    "MatchResult",
+    "SearchLimits",
+    "SearchStats",
+    "TerminationStatus",
+    "build_gcs",
+    "count_embeddings",
+    "is_embedding",
+    "load_graph",
+    "loads_graph",
+    "match",
+    "save_graph",
+    "saves_graph",
+    "__version__",
+]

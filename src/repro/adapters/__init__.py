@@ -1,0 +1,40 @@
+"""Adapters: other graph kinds reduced to vertex-labeled matching.
+
+The paper (§2.2) focuses on vertex-labeled simple undirected graphs and
+notes that "our method can easily adapt to other kinds of graphs, such
+as directed graphs and edge-labeled graphs".  This package realizes
+that claim through *sound reductions*: directed or edge-labeled
+instances are translated into vertex-labeled undirected ones (edge
+gadgets carrying direction/label information as fresh vertex labels),
+matched with any engine in the repository, and the embeddings are
+projected back.  Each reduction comes with a brute-force oracle and
+property tests establishing the exact embedding correspondence.
+
+* :class:`~repro.adapters.digraph.DiGraph` +
+  :func:`~repro.adapters.directed.match_directed`
+* :class:`~repro.adapters.edge_labels.EdgeLabeledGraph` +
+  :func:`~repro.adapters.edge_labels.match_edge_labeled`
+"""
+
+from repro.adapters.digraph import DiGraph, enumerate_directed_embeddings
+from repro.adapters.directed import (
+    directed_to_undirected,
+    match_directed,
+)
+from repro.adapters.edge_labels import (
+    EdgeLabeledGraph,
+    edge_labeled_to_vertex_labeled,
+    enumerate_edge_labeled_embeddings,
+    match_edge_labeled,
+)
+
+__all__ = [
+    "DiGraph",
+    "EdgeLabeledGraph",
+    "directed_to_undirected",
+    "edge_labeled_to_vertex_labeled",
+    "enumerate_directed_embeddings",
+    "enumerate_edge_labeled_embeddings",
+    "match_directed",
+    "match_edge_labeled",
+]

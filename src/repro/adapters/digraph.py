@@ -1,0 +1,138 @@
+"""Minimal vertex-labeled simple directed graph + brute-force matcher.
+
+Kept deliberately small: the directed matching path goes through the
+reduction in :mod:`repro.adapters.directed`; this class only stores the
+instance and powers the test oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+class DiGraph:
+    """A vertex-labeled simple directed graph (no loops, no parallels)."""
+
+    __slots__ = ("_labels", "_successors", "_predecessors")
+
+    def __init__(
+        self,
+        labels: Sequence[object],
+        edges: Iterable[Tuple[int, int]],
+    ) -> None:
+        n = len(labels)
+        self._labels: Tuple[object, ...] = tuple(labels)
+        succ: List[set] = [set() for _ in range(n)]
+        pred: List[set] = [set() for _ in range(n)]
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) references unknown vertex")
+            if u == v:
+                raise ValueError(f"self-loop at vertex {u}")
+            succ[u].add(v)
+            pred[v].add(u)
+        self._successors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(s)) for s in succ
+        )
+        self._predecessors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(p)) for p in pred
+        )
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._successors)
+
+    def label(self, v: int) -> object:
+        return self._labels[v]
+
+    @property
+    def labels(self) -> Tuple[object, ...]:
+        return self._labels
+
+    def successors(self, v: int) -> Tuple[int, ...]:
+        return self._successors[v]
+
+    def predecessors(self, v: int) -> Tuple[int, ...]:
+        return self._predecessors[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the *directed* edge ``u -> v`` exists."""
+        return v in self._successors[u]
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        for u in range(len(self._labels)):
+            for v in self._successors[u]:
+                yield (u, v)
+
+    def vertices(self) -> range:
+        return range(len(self._labels))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self._labels == other._labels
+            and self._successors == other._successors
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._labels, self._successors))
+
+    def __repr__(self) -> str:
+        return (
+            f"DiGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+
+def enumerate_directed_embeddings(
+    query: DiGraph,
+    data: DiGraph,
+    max_embeddings: Optional[int] = None,
+) -> List[Tuple[int, ...]]:
+    """Brute-force directed subgraph isomorphism (the adapter oracle).
+
+    An embedding maps query vertices to distinct, label-equal data
+    vertices such that every directed query edge maps to a directed data
+    edge with the same orientation.
+    """
+    n = query.num_vertices
+    results: List[Tuple[int, ...]] = []
+    if n == 0:
+        return [()]
+    assignment = [-1] * n
+    used = set()
+
+    def backtrack(i: int) -> bool:
+        if i == n:
+            results.append(tuple(assignment))
+            return max_embeddings is None or len(results) < max_embeddings
+        for v in data.vertices():
+            if v in used or data.label(v) != query.label(i):
+                continue
+            ok = True
+            for j in query.successors(i):
+                if j < i and not data.has_edge(v, assignment[j]):
+                    ok = False
+                    break
+            if ok:
+                for j in query.predecessors(i):
+                    if j < i and not data.has_edge(assignment[j], v):
+                        ok = False
+                        break
+            if ok:
+                assignment[i] = v
+                used.add(v)
+                keep = backtrack(i + 1)
+                used.discard(v)
+                assignment[i] = -1
+                if not keep:
+                    return False
+        return True
+
+    backtrack(0)
+    return results

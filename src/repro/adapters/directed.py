@@ -1,0 +1,102 @@
+"""Directed matching through a vertex-labeled undirected reduction.
+
+Reduction (standard edge-gadget construction): every directed edge
+``u -> v`` becomes a two-vertex gadget chain
+
+::
+
+    u --- s --- t --- v        l(s) = ("dir", "src"), l(t) = ("dir", "dst")
+
+while original vertices keep their labels under a ``("v", label)``
+namespace.  Original vertices are numbered first, so embeddings project
+back by truncation.
+
+Why the reduction is exact (both directions):
+
+* *Directed => reduced.*  A directed embedding extends uniquely to the
+  reduced graphs: each query edge's gadget maps to the gadget of its
+  (unique) image edge.
+* *Reduced => directed.*  Labels separate original vertices from gadget
+  vertices.  A query ``s``-vertex is adjacent to one original vertex
+  ``u`` and one ``t``-vertex; its image must be a data ``s``-vertex,
+  whose neighbors are exactly the source of one data edge and that
+  edge's ``t``-vertex.  The query edges ``(u, s)``, ``(s, t)``,
+  ``(t, v)`` therefore force ``image(u)`` to be the data edge's source
+  and ``image(v)`` its target — orientation is preserved.  Injectivity
+  of gadget vertices is implied by injectivity of the original vertices
+  (each data gadget belongs to one vertex pair).
+
+The reduction multiplies the instance by O(|E|) vertices, which is the
+price of reusing the vertex-labeled machinery unchanged — matching the
+paper's remark that the adaptation is easy, not free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.adapters.digraph import DiGraph
+from repro.core.config import GuPConfig
+from repro.core.engine import match as vertex_labeled_match
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import MatchResult, TerminationStatus
+
+SRC_LABEL = ("dir", "src")
+DST_LABEL = ("dir", "dst")
+
+
+def directed_to_undirected(graph: DiGraph) -> Graph:
+    """The edge-gadget reduction; original vertices keep ids 0..n-1."""
+    builder = GraphBuilder()
+    for v in graph.vertices():
+        builder.add_vertex(("v", graph.label(v)))
+    for u, v in graph.edges():
+        s = builder.add_vertex(SRC_LABEL)
+        t = builder.add_vertex(DST_LABEL)
+        builder.add_edge(u, s)
+        builder.add_edge(s, t)
+        builder.add_edge(t, v)
+    return builder.build()
+
+
+def project_embedding(
+    embedding: Tuple[int, ...],
+    num_query_vertices: int,
+) -> Tuple[int, ...]:
+    """Restrict a reduced embedding to the original query vertices."""
+    return embedding[:num_query_vertices]
+
+
+def match_directed(
+    query: DiGraph,
+    data: DiGraph,
+    config: Optional[GuPConfig] = None,
+    limits: Optional[SearchLimits] = None,
+) -> MatchResult:
+    """Directed subgraph matching via the reduction + any GuP config.
+
+    Returns a :class:`MatchResult` whose embeddings are tuples over the
+    *original* directed query vertices.  The embedding count is exact:
+    directed embeddings and reduced embeddings are in bijection.
+    """
+    if query.num_vertices == 0:
+        return MatchResult(
+            embeddings=[()],
+            num_embeddings=1,
+            status=TerminationStatus.COMPLETE,
+            elapsed_seconds=0.0,
+            method="GuP-directed",
+        )
+    reduced_query = directed_to_undirected(query)
+    reduced_data = directed_to_undirected(data)
+    result = vertex_labeled_match(
+        reduced_query, reduced_data, config=config, limits=limits
+    )
+    projected: List[Tuple[int, ...]] = [
+        project_embedding(e, query.num_vertices) for e in result.embeddings
+    ]
+    result.embeddings = projected
+    result.method = "GuP-directed"
+    return result

@@ -1,0 +1,173 @@
+"""Edge-labeled matching through a vertex-labeled reduction.
+
+Reduction: every undirected edge ``{u, v}`` with label ``l`` becomes a
+midpoint vertex ``m`` labeled ``("e", l)`` with edges ``u - m - v``;
+original vertices keep their labels under a ``("v", label)`` namespace
+and their ids.
+
+Exactness: a query midpoint is adjacent to exactly the two endpoints of
+its edge; its image must be a data midpoint adjacent to both endpoint
+images — in a simple graph that midpoint is unique (the midpoint of the
+data edge ``{image(u), image(v)}``), and label equality forces equal
+edge labels.  Hence edge-labeled embeddings and reduced embeddings are
+in bijection (midpoint assignments are determined by the endpoints).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import GuPConfig
+from repro.core.engine import match as vertex_labeled_match
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import MatchResult, TerminationStatus
+
+LabeledEdge = Tuple[int, int, object]
+
+
+class EdgeLabeledGraph:
+    """A vertex- and edge-labeled simple undirected graph."""
+
+    __slots__ = ("_labels", "_adjacency", "_edge_labels")
+
+    def __init__(
+        self,
+        labels: Sequence[object],
+        edges: Iterable[LabeledEdge],
+    ) -> None:
+        n = len(labels)
+        self._labels: Tuple[object, ...] = tuple(labels)
+        adjacency: List[set] = [set() for _ in range(n)]
+        edge_labels: Dict[Tuple[int, int], object] = {}
+        for u, v, label in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) references unknown vertex")
+            if u == v:
+                raise ValueError(f"self-loop at vertex {u}")
+            key = (min(u, v), max(u, v))
+            if key in edge_labels and edge_labels[key] != label:
+                raise ValueError(f"conflicting labels for edge {key}")
+            edge_labels[key] = label
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(a)) for a in adjacency
+        )
+        self._edge_labels = edge_labels
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_labels)
+
+    def label(self, v: int) -> object:
+        return self._labels[v]
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        return self._adjacency[v]
+
+    def edge_label(self, u: int, v: int) -> object:
+        return self._edge_labels[(min(u, v), max(u, v))]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (min(u, v), max(u, v)) in self._edge_labels
+
+    def edges(self) -> Iterable[LabeledEdge]:
+        for (u, v), label in sorted(self._edge_labels.items()):
+            yield (u, v, label)
+
+    def vertices(self) -> range:
+        return range(len(self._labels))
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeLabeledGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+
+def edge_labeled_to_vertex_labeled(graph: EdgeLabeledGraph) -> Graph:
+    """The midpoint reduction; original vertices keep ids 0..n-1."""
+    builder = GraphBuilder()
+    for v in graph.vertices():
+        builder.add_vertex(("v", graph.label(v)))
+    for u, v, label in graph.edges():
+        midpoint = builder.add_vertex(("e", label))
+        builder.add_edge(u, midpoint)
+        builder.add_edge(midpoint, v)
+    return builder.build()
+
+
+def match_edge_labeled(
+    query: EdgeLabeledGraph,
+    data: EdgeLabeledGraph,
+    config: Optional[GuPConfig] = None,
+    limits: Optional[SearchLimits] = None,
+) -> MatchResult:
+    """Edge-labeled subgraph matching via the midpoint reduction."""
+    if query.num_vertices == 0:
+        return MatchResult(
+            embeddings=[()],
+            num_embeddings=1,
+            status=TerminationStatus.COMPLETE,
+            elapsed_seconds=0.0,
+            method="GuP-edge-labeled",
+        )
+    reduced_query = edge_labeled_to_vertex_labeled(query)
+    reduced_data = edge_labeled_to_vertex_labeled(data)
+    result = vertex_labeled_match(
+        reduced_query, reduced_data, config=config, limits=limits
+    )
+    result.embeddings = [
+        e[: query.num_vertices] for e in result.embeddings
+    ]
+    result.method = "GuP-edge-labeled"
+    return result
+
+
+def enumerate_edge_labeled_embeddings(
+    query: EdgeLabeledGraph,
+    data: EdgeLabeledGraph,
+    max_embeddings: Optional[int] = None,
+) -> List[Tuple[int, ...]]:
+    """Brute-force edge-labeled subgraph isomorphism (the oracle)."""
+    n = query.num_vertices
+    if n == 0:
+        return [()]
+    results: List[Tuple[int, ...]] = []
+    assignment = [-1] * n
+    used = set()
+
+    def backtrack(i: int) -> bool:
+        if i == n:
+            results.append(tuple(assignment))
+            return max_embeddings is None or len(results) < max_embeddings
+        for v in data.vertices():
+            if v in used or data.label(v) != query.label(i):
+                continue
+            ok = True
+            for j in query.neighbors(i):
+                if j < i:
+                    if not data.has_edge(assignment[j], v):
+                        ok = False
+                        break
+                    if data.edge_label(assignment[j], v) != query.edge_label(j, i):
+                        ok = False
+                        break
+            if ok:
+                assignment[i] = v
+                used.add(v)
+                keep = backtrack(i + 1)
+                used.discard(v)
+                assignment[i] = -1
+                if not keep:
+                    return False
+        return True
+
+    backtrack(0)
+    return results

@@ -1,0 +1,25 @@
+"""Search analysis and visualization tools.
+
+* :class:`~repro.analysis.trace.SearchObserver` / ``TraceRecorder`` —
+  event protocol + recorder for instrumented GuP runs.
+* :func:`~repro.analysis.tree.render_search_tree` — Fig. 3-style text
+  rendering of the search tree, with conflict annotations.
+* :func:`~repro.analysis.tree.trace_search` — run GuP under a recorder
+  and return the trace.
+"""
+
+from repro.analysis.guards import GuardInventory, guard_inventory, run_and_inventory
+from repro.analysis.trace import SearchEvent, SearchObserver, TraceRecorder
+from repro.analysis.tree import SearchTree, render_search_tree, trace_search
+
+__all__ = [
+    "GuardInventory",
+    "SearchEvent",
+    "SearchObserver",
+    "SearchTree",
+    "TraceRecorder",
+    "guard_inventory",
+    "render_search_tree",
+    "run_and_inventory",
+    "trace_search",
+]

@@ -1,0 +1,96 @@
+"""Search-event protocol and recorder.
+
+:class:`repro.core.backtrack.GuPSearch` accepts an ``observer`` whose
+methods are called at the decision points of Algorithm 2.  The hooks are
+pure notifications — tracing never changes the search.
+
+Event stream grammar (DFS order)::
+
+    on_conflict(depth, v, kind, mask)      candidate filtered before descent
+    on_descend(depth, v, node_id)          recursion into M ⊕ v
+    ... nested events ...
+    on_return(depth, v, found, mask)       recursion finished
+    on_embedding(embedding)                full embedding emitted (at leaves)
+    on_backjump(depth, mask)               remaining siblings skipped
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SearchEvent:
+    """One recorded search event."""
+
+    kind: str
+    depth: int
+    vertex: Optional[int] = None
+    mask: int = 0
+    node_id: Optional[int] = None
+    found: Optional[bool] = None
+    embedding: Optional[Tuple[int, ...]] = None
+    conflict: str = ""
+
+
+class SearchObserver:
+    """No-op observer; subclass and override what you need."""
+
+    def on_conflict(self, depth: int, v: int, kind: str, mask: int) -> None:
+        """Candidate ``v`` for ``u_depth`` was filtered (Definition 3.22)."""
+
+    def on_descend(self, depth: int, v: int, node_id: int) -> None:
+        """The search recursed into ``M ⊕ v`` (search node ``node_id``)."""
+
+    def on_return(self, depth: int, v: int, found: bool, mask: int) -> None:
+        """The recursion for ``M ⊕ v`` finished; ``mask`` is its deadend
+        mask when ``found`` is false."""
+
+    def on_embedding(self, embedding: Tuple[int, ...]) -> None:
+        """A full embedding was emitted."""
+
+    def on_backjump(self, depth: int, mask: int) -> None:
+        """The node abandoned its remaining candidates (line 14)."""
+
+
+class TraceRecorder(SearchObserver):
+    """Observer that stores every event (for tests and visualization)."""
+
+    def __init__(self) -> None:
+        self.events: List[SearchEvent] = []
+
+    def on_conflict(self, depth: int, v: int, kind: str, mask: int) -> None:
+        self.events.append(
+            SearchEvent("conflict", depth, vertex=v, mask=mask, conflict=kind)
+        )
+
+    def on_descend(self, depth: int, v: int, node_id: int) -> None:
+        self.events.append(
+            SearchEvent("descend", depth, vertex=v, node_id=node_id)
+        )
+
+    def on_return(self, depth: int, v: int, found: bool, mask: int) -> None:
+        self.events.append(
+            SearchEvent("return", depth, vertex=v, found=found, mask=mask)
+        )
+
+    def on_embedding(self, embedding: Tuple[int, ...]) -> None:
+        self.events.append(
+            SearchEvent("embedding", len(embedding), embedding=embedding)
+        )
+
+    def on_backjump(self, depth: int, mask: int) -> None:
+        self.events.append(SearchEvent("backjump", depth, mask=mask))
+
+    # -- conveniences ----------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def conflicts_by_kind(self) -> dict:
+        out: dict = {}
+        for e in self.events:
+            if e.kind == "conflict":
+                out[e.conflict] = out.get(e.conflict, 0) + 1
+        return out

@@ -1,0 +1,28 @@
+"""Baseline subgraph matchers (§4.1) and the method registry.
+
+The paper compares GuP against DAF [14], GQL-G / GQL-R [35], and
+RapidMatch [37]; our differential tests additionally use a VF2-style
+brute-force oracle.  All engines speak the shared
+:class:`~repro.matching.result.MatchResult` vocabulary, and
+:data:`~repro.baselines.registry.MATCHERS` maps the paper's method names
+to runnable engines for the benchmark harness.
+"""
+
+from repro.baselines.backtracking import BacktrackingMatcher
+from repro.baselines.daf import DafMatcher
+from repro.baselines.gql import GqlGMatcher, GqlRMatcher
+from repro.baselines.joins import RapidMatchStyleMatcher
+from repro.baselines.registry import MATCHERS, get_matcher
+from repro.baselines.vf2 import Vf2Matcher, enumerate_embeddings_bruteforce
+
+__all__ = [
+    "BacktrackingMatcher",
+    "DafMatcher",
+    "GqlGMatcher",
+    "GqlRMatcher",
+    "MATCHERS",
+    "RapidMatchStyleMatcher",
+    "Vf2Matcher",
+    "enumerate_embeddings_bruteforce",
+    "get_matcher",
+]

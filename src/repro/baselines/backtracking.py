@@ -1,0 +1,325 @@
+"""Generic candidate-space backtracking with optional failing-set pruning.
+
+This engine is the common chassis of the paper's baselines: a filtering
+pipeline builds a candidate space, an order optimizer renumbers the
+query, and a backtracking search enumerates embeddings, computing local
+candidates lazily by intersecting candidate-edge lists of backward
+neighbors.  With ``use_failing_set=True`` it additionally performs DAF's
+failing-set pruning [14] (§2.1 "Use of nogoods"): every deadend returns
+a *failing set* of query vertices, and a node whose child's failing set
+does not contain the node's own vertex backjumps immediately.
+
+Failing-set rules (after Han et al. [14], in connected-order form):
+
+* ancestor closure ``anc(u)`` = ``{u}`` plus the closure over backward
+  neighbors (computed once per query);
+* injectivity conflict between ``u_k`` and ``u_i`` →
+  ``anc(u_k) ∪ anc(u_i)``;
+* empty local candidate set of ``u_k`` → ``anc(u_k)``;
+* interior node: if some child found an embedding, no failing set; if
+  some child's failing set omits ``u_k``, that set (and the remaining
+  siblings are pruned); otherwise the union of the children's sets.
+
+The contrast the paper draws (§3.4): the failing set is built from
+ancestor closures, so it is typically *larger* than GuP's deadend mask,
+and DAF discards it after one backjump instead of recording it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.filtering.candidate_space import CandidateSpace, build_candidate_space
+from repro.filtering.nlf import nlf_candidates
+from repro.graph.graph import Graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import MatchResult, SearchStats, TerminationStatus
+from repro.ordering.base import make_order
+from repro.utils.counting import count_injective_assignments
+
+
+def ancestor_closures(query: Graph) -> List[int]:
+    """DAF ancestor closures as bitmasks over a connected-order query.
+
+    ``anc[i]`` = bit ``i`` plus the union of ``anc[j]`` over backward
+    neighbors ``j < i``.
+    """
+    anc: List[int] = []
+    for i in query.vertices():
+        mask = 1 << i
+        for j in query.neighbors(i):
+            if j < i:
+                mask |= anc[j]
+        anc.append(mask)
+    return anc
+
+
+class BacktrackingMatcher:
+    """CS-based backtracking baseline.
+
+    Parameters
+    ----------
+    name:
+        Method name reported in results.
+    filter_method:
+        Candidate filter (see :func:`build_candidate_space`).
+    ordering:
+        Matching-order optimizer name (see :mod:`repro.ordering`).
+    use_failing_set:
+        Enable DAF-style failing-set pruning and backjumping.
+    """
+
+    def __init__(
+        self,
+        name: str = "Baseline",
+        filter_method: str = "dagdp",
+        ordering: str = "gql",
+        use_failing_set: bool = False,
+        leaf_decomposition: bool = False,
+    ) -> None:
+        self.name = name
+        self.filter_method = filter_method
+        self.ordering = ordering
+        self.use_failing_set = use_failing_set
+        self.leaf_decomposition = leaf_decomposition
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, query: Graph, data: Graph) -> Tuple[Graph, List[int], CandidateSpace]:
+        """Filter + order + renumber; shared with the benchmark harness."""
+        initial = nlf_candidates(query, data)
+        if self.leaf_decomposition:
+            from repro.baselines.leaf_decomposition import leaf_last_order
+
+            order = leaf_last_order(query, initial)
+        else:
+            order = make_order(self.ordering, query, initial)
+        reordered = query.relabeled(order)
+        cs = build_candidate_space(reordered, data, method=self.filter_method)
+        return reordered, order, cs
+
+    def match(
+        self,
+        query: Graph,
+        data: Graph,
+        limits: Optional[SearchLimits] = None,
+    ) -> MatchResult:
+        limits = limits or SearchLimits()
+        stats = SearchStats()
+        prep_start = time.perf_counter()
+        n = query.num_vertices
+        if n == 0:
+            return MatchResult(
+                embeddings=[()],
+                num_embeddings=1,
+                status=TerminationStatus.COMPLETE,
+                elapsed_seconds=0.0,
+                stats=stats,
+                method=self.name,
+            )
+        reordered, order, cs = self.prepare(query, data)
+        preprocessing = time.perf_counter() - prep_start
+        stats.candidate_vertices = cs.total_candidates()
+        stats.candidate_edges = cs.num_candidate_edges
+
+        started = time.perf_counter()
+        status = TerminationStatus.COMPLETE
+        results: List[Tuple[int, ...]] = []
+
+        leaf_start = None
+        if self.leaf_decomposition:
+            from repro.baselines.leaf_decomposition import query_leaves
+
+            num_leaves = len(query_leaves(query))
+            if num_leaves:
+                leaf_start = n - num_leaves
+
+        if not cs.is_empty():
+            searcher = _Search(
+                cs,
+                limits,
+                stats,
+                use_failing_set=self.use_failing_set,
+                anc=ancestor_closures(reordered) if self.use_failing_set else None,
+                leaf_start=leaf_start,
+            )
+            raw, status = searcher.run()
+            for e in raw:
+                out = [0] * n
+                for position, v in enumerate(e):
+                    out[order[position]] = v
+                results.append(tuple(out))
+
+        return MatchResult(
+            embeddings=results,
+            num_embeddings=stats.embeddings_found,
+            status=status,
+            elapsed_seconds=time.perf_counter() - started,
+            stats=stats,
+            preprocessing_seconds=preprocessing,
+            method=self.name,
+        )
+
+
+class _Search:
+    """The recursive search over a prepared candidate space."""
+
+    def __init__(
+        self,
+        cs: CandidateSpace,
+        limits: SearchLimits,
+        stats: SearchStats,
+        use_failing_set: bool,
+        anc: Optional[List[int]],
+        leaf_start: Optional[int] = None,
+    ) -> None:
+        self.cs = cs
+        self.limits = limits
+        self.stats = stats
+        self.use_failing_set = use_failing_set
+        self.anc = anc or []
+        # Leaf decomposition: from this depth on, every remaining query
+        # vertex is a degree-<=1 leaf; in counting mode the completions
+        # are counted combinatorially instead of enumerated.
+        self.leaf_start = leaf_start
+        query = cs.query
+        self._n = query.num_vertices
+        self._backward: List[Tuple[int, ...]] = [
+            tuple(j for j in query.neighbors(i) if j < i) for i in query.vertices()
+        ]
+        self._data = cs.data
+        self._deadline = limits.make_deadline()
+        self._embedding: List[int] = []
+        self._image: Set[int] = set()
+        self._assigner = {}  # data vertex -> query index (failing sets)
+        self._results: List[Tuple[int, ...]] = []
+        self._aborted = False
+        self._status = TerminationStatus.COMPLETE
+
+    def run(self) -> Tuple[List[Tuple[int, ...]], TerminationStatus]:
+        self._recurse(0)
+        return self._results, self._status
+
+    def _local_candidates(self, k: int) -> Sequence[int]:
+        """Lazy local candidates: intersect backward candidate edges."""
+        backward = self._backward[k]
+        if not backward:
+            return self.cs.candidates[k]
+        embedding = self._embedding
+        # Seed from the backward neighbor with the shortest edge list.
+        best_j = min(
+            backward,
+            key=lambda j: len(self.cs.adjacent_candidates(j, embedding[j], k)),
+        )
+        pool = self.cs.adjacent_candidates(best_j, embedding[best_j], k)
+        if len(backward) == 1:
+            return pool
+        data = self._data
+        others = [embedding[j] for j in backward if j != best_j]
+        return [
+            v
+            for v in pool
+            if all(data.has_edge(w, v) for w in others)
+        ]
+
+    def _recurse(self, k: int) -> Tuple[bool, int]:
+        """Returns (found_any, failing_set_mask)."""
+        stats = self.stats
+        stats.recursions += 1
+        if self._deadline.poll() or self.limits.recursions_exhausted(
+            stats.recursions
+        ):
+            self._aborted = True
+            self._status = TerminationStatus.TIMEOUT
+        if self._aborted:
+            return (False, 0)
+        if k == self._n:
+            stats.embeddings_found += 1
+            if self.limits.collect:
+                self._results.append(tuple(self._embedding))
+            if self.limits.embeddings_reached(stats.embeddings_found):
+                self._aborted = True
+                self._status = TerminationStatus.EMBEDDING_LIMIT
+            return (True, 0)
+        if (
+            self.leaf_start is not None
+            and k == self.leaf_start
+            and not self.limits.collect
+        ):
+            return self._count_leaf_completions(k)
+
+        use_fs = self.use_failing_set
+        k_bit = 1 << k
+        candidates = self._local_candidates(k)
+        found_any = False
+        union_fs = 0
+        empty = True
+
+        for v in candidates:
+            stats.local_candidates_seen += 1
+            empty = False
+            if v in self._image:
+                stats.pruned_injectivity += 1
+                if use_fs:
+                    union_fs |= self.anc[k] | self.anc[self._assigner[v]]
+                continue
+            self._embedding.append(v)
+            self._image.add(v)
+            if use_fs:
+                self._assigner[v] = k
+            child_found, child_fs = self._recurse(k + 1)
+            self._embedding.pop()
+            self._image.discard(v)
+            if use_fs:
+                self._assigner.pop(v, None)
+            if self._aborted:
+                return (found_any or child_found, 0)
+            if child_found:
+                found_any = True
+            else:
+                stats.futile_recursions += 1
+                if use_fs:
+                    if not child_fs & k_bit:
+                        # Failing set without u_k: this whole node is
+                        # doomed for the same reason — backjump.
+                        stats.backjumps += 1
+                        return (found_any, child_fs)
+                    union_fs |= child_fs
+
+        if not use_fs:
+            return (found_any, 0)
+        if found_any:
+            return (True, 0)
+        # §3.4 accounting: size of the failing set this deadend yields
+        # (DAF's analogue of GuP's discovered nogood).
+        fs = self.anc[k] if empty else union_fs
+        self.stats.nogood_size_sum += bin(fs).count("1")
+        self.stats.nogood_size_count += 1
+        return (False, fs)
+
+    def _count_leaf_completions(self, k: int) -> Tuple[bool, int]:
+        """DAF's leaf-counting shortcut (no recursions consumed).
+
+        The remaining query vertices are all leaves: completions are the
+        injective choices of one unused candidate per leaf.  The count
+        is clamped to the embedding cap exactly like enumeration.
+        """
+        image = self._image
+        sets = []
+        for leaf in range(k, self._n):
+            cands = self._local_candidates(leaf)
+            sets.append({v for v in cands if v not in image})
+        count = count_injective_assignments(sets)
+        if count == 0:
+            # Sound (never backjumps): include every query vertex.
+            return (False, (1 << self._n) - 1 if self.use_failing_set else 0)
+        limits = self.limits
+        if limits.max_embeddings is not None:
+            remaining = limits.max_embeddings - self.stats.embeddings_found
+            if count >= remaining:
+                count = remaining
+                self._aborted = True
+                self._status = TerminationStatus.EMBEDDING_LIMIT
+        self.stats.embeddings_found += count
+        return (True, 0)

@@ -1,0 +1,34 @@
+"""DAF baseline [14]: DAG-graph DP filtering + failing-set pruning.
+
+DAF (Han et al., SIGMOD 2019) introduced the combination the paper
+builds on: a query DAG drives dynamic-programming candidate filtering,
+an adaptive candidate-size order drives the search, and failing sets
+drive backjumping.  Our reproduction uses the same filtering
+(:func:`repro.filtering.dagdp.dag_graph_dp`), a candidate-size greedy
+order (the GQL order is the closest stand-in for DAF's adaptive order in
+a static-order framework), and the failing-set machinery of
+:class:`~repro.baselines.backtracking.BacktrackingMatcher`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.backtracking import BacktrackingMatcher
+
+
+class DafMatcher(BacktrackingMatcher):
+    """DAF: DAG-graph DP filter, candidate-size order, failing sets.
+
+    ``leaf_decomposition=True`` additionally enables DAF's leaf-last
+    ordering and combinatorial leaf counting (§4.2.3 mentions DAF uses
+    it; off by default here so the recursion-budget harness compares
+    like with like — leaf counting consumes no recursions).
+    """
+
+    def __init__(self, leaf_decomposition: bool = False) -> None:
+        super().__init__(
+            name="DAF",
+            filter_method="dagdp",
+            ordering="gql",
+            use_failing_set=True,
+            leaf_decomposition=leaf_decomposition,
+        )

@@ -1,0 +1,36 @@
+"""GQL-G and GQL-R baselines (Sun & Luo [35], §4.1).
+
+Sun & Luo's in-depth study found the strongest classical combinations to
+be GraphQL's pseudo-matching filter with (G) GraphQL's candidate-count
+order or (R) RI's structural order; their harness also equips both with
+failing-set pruning, which the paper inherits ("all of them ... employ
+failing set-based pruning").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.backtracking import BacktrackingMatcher
+
+
+class GqlGMatcher(BacktrackingMatcher):
+    """GQL-G: GraphQL filter + GraphQL order + failing sets."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="GQL-G",
+            filter_method="gql",
+            ordering="gql",
+            use_failing_set=True,
+        )
+
+
+class GqlRMatcher(BacktrackingMatcher):
+    """GQL-R: GraphQL filter + RI order + failing sets."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="GQL-R",
+            filter_method="gql",
+            ordering="ri",
+            use_failing_set=True,
+        )

@@ -1,0 +1,99 @@
+"""Leaf decomposition (DAF [14]; mentioned in §4.2.3).
+
+DAF matches the query's degree-1 *leaves* after everything else: the
+non-leaf core is searched by backtracking, and each core embedding's
+leaf completions are counted combinatorially instead of enumerated.
+(The paper excludes DAF from its recursion-count figure precisely
+because of this: leaf work does not show up as recursions.)
+
+This module provides
+
+* :func:`query_leaves` — the degree-1 vertices whose neighbor is not
+  itself a leaf (for a single-edge query one endpoint stays core);
+* :func:`leaf_last_order` — a connected matching order that places the
+  core first (candidate-count greedy) and all leaves last;
+* the counting hook used by
+  :class:`~repro.baselines.backtracking._Search` when
+  ``BacktrackingMatcher(leaf_decomposition=True)``: on reaching the
+  first leaf level in counting mode, the number of completions is the
+  number of injective leaf assignments
+  (:func:`repro.utils.counting.count_injective_assignments`), computed
+  without any further recursion.
+
+Enumeration (``collect=True``) still walks the leaf levels — the
+shortcut only accelerates counting, exactly like DAF's implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.graph.graph import Graph
+from repro.ordering.gql import gql_order
+
+
+def query_leaves(query: Graph) -> List[int]:
+    """Degree-<=1 vertices matched last under leaf decomposition.
+
+    A degree-1 vertex whose only neighbor is also degree-1 (an isolated
+    edge) keeps its lower-id endpoint in the core so the core stays
+    nonempty per component; degree-0 vertices are always leaves.
+    """
+    leaves: List[int] = []
+    for u in query.vertices():
+        degree = query.degree(u)
+        if degree == 0:
+            leaves.append(u)
+        elif degree == 1:
+            (neighbor,) = query.neighbors(u)
+            if query.degree(neighbor) > 1 or neighbor < u:
+                leaves.append(u)
+    if len(leaves) == query.num_vertices and leaves:
+        # Fully degenerate query (single vertex): keep one in the core.
+        leaves = leaves[1:]
+    return leaves
+
+
+def leaf_last_order(query: Graph, candidates: Sequence[Sequence[int]]) -> List[int]:
+    """Connected order: candidate-count greedy core, then the leaves.
+
+    Leaves are appended grouped after their parents (ascending parent
+    position), so the order remains a connected order.
+    """
+    leaves = set(query_leaves(query))
+    if not leaves:
+        return gql_order(query, candidates)
+
+    core = [u for u in query.vertices() if u not in leaves]
+    n = query.num_vertices
+    sizes = [len(c) for c in candidates]
+
+    order: List[int] = []
+    placed: Set[int] = set()
+    if core:
+        start = min(core, key=lambda u: (sizes[u], -query.degree(u), u))
+        order.append(start)
+        placed.add(start)
+        while len(order) < len(core):
+            frontier = {
+                w
+                for u in placed
+                for w in query.neighbors(u)
+                if w not in placed and w not in leaves
+            }
+            if not frontier:
+                frontier = {u for u in core if u not in placed}
+            nxt = min(frontier, key=lambda u: (sizes[u], -query.degree(u), u))
+            order.append(nxt)
+            placed.add(nxt)
+
+    position = {u: i for i, u in enumerate(order)}
+
+    def leaf_key(u: int) -> tuple:
+        nbrs = query.neighbors(u)
+        parent_pos = position.get(nbrs[0], n) if nbrs else n
+        return (parent_pos, sizes[u], u)
+
+    for u in sorted(leaves, key=leaf_key):
+        order.append(u)
+    return order

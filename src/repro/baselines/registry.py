@@ -1,0 +1,86 @@
+"""Method registry: the paper's method names -> runnable engines.
+
+Every entry exposes ``match(query, data, limits) -> MatchResult``.  The
+benchmark harness and the differential tests iterate this registry, so
+adding a matcher here automatically includes it everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol
+
+from repro.baselines.backtracking import BacktrackingMatcher
+from repro.baselines.daf import DafMatcher
+from repro.baselines.gql import GqlGMatcher, GqlRMatcher
+from repro.baselines.joins import RapidMatchStyleMatcher
+from repro.baselines.vf2 import Vf2Matcher
+from repro.core.config import GuPConfig
+from repro.core.engine import GuPEngine
+from repro.graph.graph import Graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import MatchResult
+
+
+class Matcher(Protocol):
+    """Anything that can match a query against a data graph."""
+
+    name: str
+
+    def match(
+        self,
+        query: Graph,
+        data: Graph,
+        limits: Optional[SearchLimits] = None,
+    ) -> MatchResult:
+        ...
+
+
+class GuPMatcher:
+    """Adapter giving :class:`GuPEngine` the registry's interface."""
+
+    def __init__(self, config: Optional[GuPConfig] = None, name: str = "GuP") -> None:
+        self.config = config or GuPConfig()
+        self.name = name
+
+    def match(
+        self,
+        query: Graph,
+        data: Graph,
+        limits: Optional[SearchLimits] = None,
+    ) -> MatchResult:
+        result = GuPEngine(data, self.config).match(query, limits=limits)
+        result.method = self.name
+        return result
+
+
+def _baseline() -> BacktrackingMatcher:
+    return BacktrackingMatcher(
+        name="Baseline", filter_method="dagdp", ordering="vc", use_failing_set=False
+    )
+
+
+MATCHER_FACTORIES: Dict[str, Callable[[], Matcher]] = {
+    "GuP": GuPMatcher,
+    "DAF": DafMatcher,
+    "GQL-G": GqlGMatcher,
+    "GQL-R": GqlRMatcher,
+    "RM": RapidMatchStyleMatcher,
+    "Baseline": _baseline,
+    "VF2": Vf2Matcher,
+}
+
+MATCHERS = sorted(MATCHER_FACTORIES)
+
+PAPER_METHODS = ("GuP", "DAF", "GQL-G", "GQL-R", "RM")
+"""The five methods of the paper's evaluation tables."""
+
+
+def get_matcher(name: str) -> Matcher:
+    """Instantiate a matcher by its paper name."""
+    try:
+        factory = MATCHER_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown matcher {name!r}; expected one of {MATCHERS}"
+        ) from None
+    return factory()

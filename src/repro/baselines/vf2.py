@@ -1,0 +1,119 @@
+"""VF2-style brute-force matcher — the correctness oracle.
+
+Deliberately simple: no candidate space, no ordering optimization, no
+pruning beyond the three isomorphism constraints checked incrementally.
+Every other engine in the repository is differentially tested against
+this one, so clarity beats speed here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import MatchResult, SearchStats, TerminationStatus
+from repro.ordering.base import repair_connected_order
+
+
+def enumerate_embeddings_bruteforce(
+    query: Graph,
+    data: Graph,
+    max_embeddings: Optional[int] = None,
+) -> List[Tuple[int, ...]]:
+    """All embeddings of ``query`` in ``data`` by label-aware backtracking.
+
+    Returns embeddings in original query numbering; used directly by the
+    property-based tests.
+    """
+    return Vf2Matcher().match(
+        query, data, SearchLimits(max_embeddings=max_embeddings)
+    ).embeddings
+
+
+class Vf2Matcher:
+    """Classic recursive matcher in the style of VF2 / Ullmann."""
+
+    name = "VF2"
+
+    def match(
+        self,
+        query: Graph,
+        data: Graph,
+        limits: Optional[SearchLimits] = None,
+    ) -> MatchResult:
+        limits = limits or SearchLimits()
+        stats = SearchStats()
+        started = time.perf_counter()
+        n = query.num_vertices
+
+        if n == 0:
+            return MatchResult(
+                embeddings=[()],
+                num_embeddings=1,
+                status=TerminationStatus.COMPLETE,
+                elapsed_seconds=time.perf_counter() - started,
+                stats=stats,
+                method=self.name,
+            )
+
+        # A connected order keeps extension checks local; fall back to a
+        # repaired identity order for disconnected queries.
+        order = repair_connected_order(query, list(range(n)))
+        backward: List[List[int]] = []
+        position = {u: p for p, u in enumerate(order)}
+        for p, u in enumerate(order):
+            backward.append([w for w in query.neighbors(u) if position[w] < p])
+
+        deadline = limits.make_deadline()
+        results: List[Tuple[int, ...]] = []
+        assignment = [-1] * n  # indexed by original query vertex id
+        used = set()
+        status = [TerminationStatus.COMPLETE]
+
+        def recurse(p: int) -> bool:
+            """Returns False when the search must stop entirely."""
+            stats.recursions += 1
+            if deadline.poll() or limits.recursions_exhausted(stats.recursions):
+                status[0] = TerminationStatus.TIMEOUT
+                return False
+            if p == n:
+                stats.embeddings_found += 1
+                if limits.collect:
+                    results.append(tuple(assignment))
+                if limits.embeddings_reached(stats.embeddings_found):
+                    status[0] = TerminationStatus.EMBEDDING_LIMIT
+                    return False
+                return True
+            u = order[p]
+            label = query.label(u)
+            if backward[p]:
+                pool = data.neighbors(assignment[backward[p][0]])
+            else:
+                pool = data.vertices_with_label(label)
+            for v in pool:
+                if v in used or data.label(v) != label:
+                    continue
+                if any(
+                    not data.has_edge(assignment[w], v) for w in backward[p]
+                ):
+                    continue
+                assignment[u] = v
+                used.add(v)
+                keep_going = recurse(p + 1)
+                used.discard(v)
+                assignment[u] = -1
+                if not keep_going:
+                    return False
+            return True
+
+        recurse(0)
+        return MatchResult(
+            embeddings=results,
+            num_embeddings=stats.embeddings_found,
+            status=status[0],
+            elapsed_seconds=time.perf_counter() - started,
+            stats=stats,
+            method=self.name,
+        )

@@ -1,0 +1,36 @@
+"""Benchmark harness: the paper's evaluation protocol (§4.1), scaled.
+
+* :mod:`~repro.bench.runner` — per-query limits, per-subgroup budgets,
+  the DNF rule, and query-set execution for any registry matcher.
+* :mod:`~repro.bench.stats` — processing-time threshold counts (Figs.
+  4/5), averages with timeout clamping (Fig. 6), recursion totals.
+* :mod:`~repro.bench.report` — plain-text tables and bars printed by the
+  benchmark scripts (one per paper table/figure).
+* :mod:`~repro.bench.memory` — peak-memory measurement and the guard
+  breakdown of Table 3.
+"""
+
+from repro.bench.report import format_bar_chart, format_table
+from repro.bench.runner import (
+    BenchmarkScale,
+    QueryRunRecord,
+    QuerySetResult,
+    run_query_set,
+)
+from repro.bench.stats import (
+    average_time_with_timeouts,
+    threshold_counts,
+    total_recursions,
+)
+
+__all__ = [
+    "BenchmarkScale",
+    "QueryRunRecord",
+    "QuerySetResult",
+    "average_time_with_timeouts",
+    "format_bar_chart",
+    "format_table",
+    "run_query_set",
+    "threshold_counts",
+    "total_recursions",
+]

@@ -1,0 +1,88 @@
+"""Plain-text rendering for benchmark outputs.
+
+Every ``benchmarks/bench_*.py`` script prints the rows/series its paper
+table or figure reports, using these helpers, so running the benchmark
+suite regenerates a textual version of §4's artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)
+        ).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Dict[str, float],
+    title: str = "",
+    width: int = 48,
+    unit: str = "",
+    log: bool = False,
+) -> str:
+    """Horizontal ASCII bars (one per labelled value).
+
+    ``log=True`` scales bars by log10, which is how the paper plots its
+    recursion-count figures.
+    """
+    import math
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(k) for k in values)
+
+    def scaled(x: float) -> float:
+        if x <= 0:
+            return 0.0
+        return math.log10(1 + x) if log else x
+
+    peak = max(scaled(v) for v in values.values()) or 1.0
+    for key, val in values.items():
+        bar = "#" * max(0, round(width * scaled(val) / peak))
+        suffix = f" {val:g}{unit}"
+        lines.append(f"{key.ljust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    groups: Dict[str, Dict[str, float]],
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """One table-of-bars per group key (used by Figs. 5 and 9)."""
+    sections = []
+    for group, values in groups.items():
+        sections.append(format_bar_chart(values, title=group, unit=unit, log=True))
+    header = [title, "=" * max(len(title), 8)] if title else []
+    return "\n\n".join(["\n".join(header)] + sections) if header else "\n\n".join(sections)

@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``match``      run a matcher on query/data ``.graph`` files
+``dataset``    synthesize a benchmark stand-in graph to a ``.graph`` file
+``querygen``   extract queries from a data graph (random walk / cycles / mined)
+``inspect``    print candidate-space and guard statistics for a query
+``methods``    list registered matchers
+
+Examples
+--------
+::
+
+    python -m repro dataset yeast --out yeast.graph
+    python -m repro querygen yeast.graph --size 8 --density sparse \
+        --count 3 --out-prefix q
+    python -m repro match q0.graph yeast.graph --method GuP --limit 10
+    python -m repro inspect q0.graph yeast.graph
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines.registry import MATCHERS, PAPER_METHODS, get_matcher
+from repro.core.config import GuPConfig
+from repro.core.gcs import build_gcs
+from repro.graph.io import load_graph, save_graph
+from repro.matching.limits import SearchLimits
+from repro.workload.datasets import DATASETS, load_dataset
+from repro.workload.hardness import generate_cycle_query, mine_hard_queries
+from repro.workload.querygen import generate_query
+
+
+def _add_match_parser(subparsers) -> None:
+    p = subparsers.add_parser("match", help="run a matcher on .graph files")
+    p.add_argument("query", help="query .graph file")
+    p.add_argument("data", help="data .graph file")
+    p.add_argument("--method", default="GuP", choices=MATCHERS)
+    p.add_argument("--limit", type=int, default=None,
+                   help="stop after this many embeddings")
+    p.add_argument("--time-limit", type=float, default=None,
+                   help="kill the search after SECONDS")
+    p.add_argument("--recursion-limit", type=int, default=None,
+                   help="kill the search after this many recursions")
+    p.add_argument("--count-only", action="store_true",
+                   help="print only the embedding count")
+    p.add_argument("--max-print", type=int, default=20,
+                   help="print at most this many embeddings")
+
+
+def _add_dataset_parser(subparsers) -> None:
+    p = subparsers.add_parser("dataset", help="synthesize a stand-in graph")
+    p.add_argument("name", choices=sorted(DATASETS))
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=2023)
+    p.add_argument("--out", required=True, help="output .graph path")
+
+
+def _add_querygen_parser(subparsers) -> None:
+    p = subparsers.add_parser("querygen", help="extract queries from a graph")
+    p.add_argument("data", help="data .graph file")
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--density", choices=["sparse", "dense"], default="sparse")
+    p.add_argument("--kind", choices=["walk", "cycle", "hard"], default="walk")
+    p.add_argument("--count", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out-prefix", default="query",
+                   help="queries are written to <prefix><i>.graph")
+
+
+def _add_inspect_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "inspect", help="candidate space + guard statistics for a query"
+    )
+    p.add_argument("query", help="query .graph file")
+    p.add_argument("data", help="data .graph file")
+    p.add_argument("--reservation-limit", type=int, default=3)
+
+
+def _add_bench_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "bench", help="quick method comparison on a synthetic workload"
+    )
+    p.add_argument("--dataset", default="wordnet", choices=sorted(DATASETS))
+    p.add_argument("--size", type=int, default=16)
+    p.add_argument("--density", choices=["sparse", "dense"], default="sparse")
+    p.add_argument("--count", type=int, default=4)
+    p.add_argument("--hard", action="store_true",
+                   help="mine the hard tail instead of random-walk queries")
+    p.add_argument("--methods", nargs="+", default=list(PAPER_METHODS))
+    p.add_argument("--recursion-limit", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=2023)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GuP subgraph matching (SIGMOD 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_match_parser(subparsers)
+    _add_dataset_parser(subparsers)
+    _add_querygen_parser(subparsers)
+    _add_inspect_parser(subparsers)
+    _add_bench_parser(subparsers)
+    subparsers.add_parser("methods", help="list registered matchers")
+    return parser
+
+
+def _cmd_match(args) -> int:
+    query = load_graph(args.query)
+    data = load_graph(args.data)
+    limits = SearchLimits(
+        max_embeddings=args.limit,
+        time_limit=args.time_limit,
+        max_recursions=args.recursion_limit,
+        collect=not args.count_only,
+    )
+    result = get_matcher(args.method).match(query, data, limits)
+    print(f"method:      {result.method}")
+    print(f"embeddings:  {result.num_embeddings}")
+    print(f"status:      {result.status.value}")
+    print(f"time:        {result.total_seconds:.4f}s "
+          f"(preprocessing {result.preprocessing_seconds:.4f}s)")
+    print(f"recursions:  {result.stats.recursions} "
+          f"({result.stats.futile_recursions} futile)")
+    if not args.count_only:
+        shown = result.embeddings[: args.max_print]
+        for e in shown:
+            print("  " + " ".join(f"u{i}->v{v}" for i, v in enumerate(e)))
+        hidden = result.num_embeddings - len(shown)
+        if hidden > 0:
+            print(f"  ... and {hidden} more")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    save_graph(graph, args.out)
+    print(f"wrote {args.out}: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges, {len(graph.label_set)} labels")
+    return 0
+
+
+def _cmd_querygen(args) -> int:
+    data = load_graph(args.data)
+    queries = []
+    if args.kind == "walk":
+        for i in range(args.count):
+            queries.append(
+                generate_query(data, args.size, args.density, seed=args.seed + i)
+            )
+    elif args.kind == "cycle":
+        for i in range(args.count):
+            q = generate_cycle_query(
+                data, max(3, args.size - 2), args.size + 2, seed=args.seed + i
+            )
+            if q is None:
+                print("error: data graph has no cycle of the requested length",
+                      file=sys.stderr)
+                return 1
+            queries.append(q)
+    else:  # hard
+        queries = mine_hard_queries(
+            data, count=args.count, size=args.size, density=args.density,
+            seed=args.seed,
+        )
+    for i, q in enumerate(queries):
+        path = f"{args.out_prefix}{i}.graph"
+        save_graph(q, path)
+        print(f"wrote {path}: {q.num_vertices} vertices, {q.num_edges} edges "
+              f"(avg degree {q.average_degree():.2f})")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    query = load_graph(args.query)
+    data = load_graph(args.data)
+    config = GuPConfig(reservation_limit=args.reservation_limit)
+    gcs = build_gcs(query, data, config)
+
+    print(f"query: {query}")
+    print(f"data:  {data}")
+    print(f"matching order (original ids): {gcs.order}")
+    print(f"candidate space: {gcs.cs.total_candidates()} vertices, "
+          f"{gcs.cs.num_candidate_edges} edges")
+    for i in gcs.query.vertices():
+        size = len(gcs.cs.candidates[i])
+        print(f"  u{gcs.order[i]} (step {i}): {size} candidates")
+
+    nontrivial = sum(
+        1
+        for (i, v), guard in gcs.reservations.items()
+        if guard != frozenset((v,))
+    )
+    print(f"reservation guards: {len(gcs.reservations)} total, "
+          f"{nontrivial} non-trivial")
+    print(f"2-core query edges (NE-guard eligible): {len(gcs.two_core)}")
+    print(f"GCS build time: {gcs.build_seconds:.4f}s")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.report import format_table
+
+    data = load_dataset(args.dataset, seed=args.seed)
+    if args.hard:
+        queries = mine_hard_queries(
+            data, count=args.count, size=args.size, density=args.density,
+            seed=args.seed,
+        )
+    else:
+        queries = [
+            generate_query(data, args.size, args.density, seed=args.seed + i)
+            for i in range(args.count)
+        ]
+    limits = SearchLimits(
+        max_embeddings=1_000,
+        max_recursions=args.recursion_limit,
+        collect=False,
+    )
+
+    rows = []
+    for method in args.methods:
+        matcher = get_matcher(method)
+        recursions = embeddings = timeouts = 0
+        wall = 0.0
+        for query in queries:
+            result = matcher.match(query, data, limits)
+            recursions += result.stats.recursions
+            embeddings += result.num_embeddings
+            timeouts += int(result.timed_out)
+            wall += result.total_seconds
+        rows.append(
+            [method, recursions, embeddings, timeouts, f"{wall:.2f}s"]
+        )
+    rows.sort(key=lambda r: r[1])
+    print(
+        format_table(
+            ["Method", "Recursions", "Embeddings", "Kills", "Wall"],
+            rows,
+            title=(
+                f"{args.dataset} {args.size}{args.density[0].upper()} "
+                f"({'hard' if args.hard else 'random'} x{len(queries)}, "
+                f"kill={args.recursion_limit} recursions)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_methods(_args) -> int:
+    for name in MATCHERS:
+        print(name)
+    return 0
+
+
+COMMANDS = {
+    "match": _cmd_match,
+    "dataset": _cmd_dataset,
+    "querygen": _cmd_querygen,
+    "inspect": _cmd_inspect,
+    "bench": _cmd_bench,
+    "methods": _cmd_methods,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (also wired as ``python -m repro``)."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""GuP: guard-based pruning for subgraph matching (the paper's §3).
+
+Public entry points:
+
+* :class:`~repro.core.engine.GuPEngine` / :func:`~repro.core.engine.match`
+  — run GuP end to end: GCS construction, reservation-guard generation,
+  guarded backtracking.
+* :class:`~repro.core.config.GuPConfig` — every knob of the paper,
+  including the ablation switches of Fig. 9 and the reservation size
+  limit ``r`` of Fig. 8.
+* :class:`~repro.core.gcs.GuardedCandidateSpace` — the auxiliary data
+  structure (candidate space + guards).
+* :mod:`~repro.core.parallel` — the work-stealing parallel search model
+  of §3.5.2 / Fig. 10.
+"""
+
+from repro.core.config import GuPConfig
+from repro.core.engine import GuPEngine, count_embeddings, match
+from repro.core.gcs import GuardedCandidateSpace, build_gcs
+from repro.core.nogood import NogoodStore, encode_nogood
+from repro.core.reservation import generate_reservation_guards
+
+__all__ = [
+    "GuPConfig",
+    "GuPEngine",
+    "GuardedCandidateSpace",
+    "NogoodStore",
+    "build_gcs",
+    "count_embeddings",
+    "encode_nogood",
+    "generate_reservation_guards",
+    "match",
+]

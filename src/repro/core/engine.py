@@ -1,0 +1,148 @@
+"""Public facade for the GuP matcher.
+
+Typical use::
+
+    from repro import Graph, GuPConfig, match
+
+    result = match(query, data)               # full GuP, all guards
+    result = match(query, data, config=GuPConfig.baseline())
+
+or, when matching many queries against one data graph::
+
+    engine = GuPEngine(data)
+    for query in queries:
+        result = engine.match(query, limits=SearchLimits(max_embeddings=10**5))
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.core.backtrack import GuPSearch
+from repro.core.config import GuPConfig
+from repro.core.gcs import GuardedCandidateSpace, build_gcs
+from repro.graph.graph import Graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import MatchResult, TerminationStatus
+
+
+class GuPEngine:
+    """GuP subgraph matcher bound to one data graph.
+
+    The engine itself is stateless across queries (each query gets a
+    fresh GCS and nogood store), so one engine can be shared freely.
+    """
+
+    def __init__(self, data: Graph, config: Optional[GuPConfig] = None) -> None:
+        self.data = data
+        self.config = config or GuPConfig()
+
+    def build(self, query: Graph) -> GuardedCandidateSpace:
+        """Run GCS construction + reservation generation for ``query``."""
+        return build_gcs(query, self.data, self.config)
+
+    def match(
+        self,
+        query: Graph,
+        limits: Optional[SearchLimits] = None,
+        gcs: Optional[GuardedCandidateSpace] = None,
+    ) -> MatchResult:
+        """Enumerate embeddings of ``query`` in the data graph.
+
+        Embeddings are reported in *original* query-vertex numbering
+        (position ``i`` = destination of the caller's ``u_i``), even
+        though the search internally renumbers by the matching order.
+
+        With ``config.break_symmetry`` the search enumerates one
+        representative per query-automorphism class and expands
+        afterwards; ``max_embeddings`` then caps the *representatives*
+        during search and the expanded list on output.
+        """
+        limits = limits or SearchLimits()
+        started = time.perf_counter()
+        if gcs is None:
+            gcs = self.build(query)
+        preprocessing = time.perf_counter() - started
+
+        sym_classes = None
+        symmetry_prev = None
+        if self.config.break_symmetry and query.num_vertices > 0:
+            from repro.core.symmetry import (
+                equivalence_classes,
+                symmetry_predecessors,
+            )
+
+            classes = equivalence_classes(gcs.query)
+            if classes:
+                sym_classes = classes
+                symmetry_prev = symmetry_predecessors(
+                    classes, gcs.query.num_vertices
+                )
+
+        search = GuPSearch(
+            gcs, config=self.config, limits=limits, symmetry_prev=symmetry_prev
+        )
+        search_started = time.perf_counter()
+        raw, status = search.run()
+        elapsed = time.perf_counter() - search_started
+
+        if sym_classes:
+            from repro.core.symmetry import expand_embedding, expansion_factor
+
+            num_embeddings = (
+                search.stats.embeddings_found * expansion_factor(sym_classes)
+            )
+            expanded = []
+            for representative in raw:
+                expanded.extend(expand_embedding(representative, sym_classes))
+                if (
+                    limits.max_embeddings is not None
+                    and len(expanded) >= limits.max_embeddings
+                ):
+                    expanded = expanded[: limits.max_embeddings]
+                    break
+            embeddings = [gcs.to_original_embedding(e) for e in expanded]
+        else:
+            embeddings = [gcs.to_original_embedding(e) for e in raw]
+            num_embeddings = (
+                search.stats.embeddings_found
+                if query.num_vertices > 0
+                else len(embeddings)
+            )
+
+        return MatchResult(
+            embeddings=embeddings,
+            num_embeddings=num_embeddings,
+            status=status,
+            elapsed_seconds=elapsed,
+            stats=search.stats,
+            preprocessing_seconds=preprocessing,
+            method="GuP",
+        )
+
+
+def match(
+    query: Graph,
+    data: Graph,
+    config: Optional[GuPConfig] = None,
+    limits: Optional[SearchLimits] = None,
+) -> MatchResult:
+    """One-shot GuP matching (see :class:`GuPEngine`)."""
+    return GuPEngine(data, config).match(query, limits=limits)
+
+
+def count_embeddings(
+    query: Graph,
+    data: Graph,
+    config: Optional[GuPConfig] = None,
+    limits: Optional[SearchLimits] = None,
+) -> int:
+    """Number of embeddings of ``query`` in ``data`` (not materialized)."""
+    limits = limits or SearchLimits()
+    counting = SearchLimits(
+        max_embeddings=limits.max_embeddings,
+        time_limit=limits.time_limit,
+        collect=False,
+    )
+    return match(query, data, config=config, limits=counting).num_embeddings

@@ -1,0 +1,280 @@
+"""Nogood guards and the search-node encoding (§3.3, §3.5.1).
+
+A nogood guard is conceptually a set of assignments ``D`` such that
+``D ∪ {(u_i, v)}`` (vertex guard) or ``D ∪ {(u_i, v), (u_j, v')}`` (edge
+guard) is a nogood.  Storing ``D`` literally would make every match test
+O(|D|); GuP instead *rounds ``D`` up* to the minimum partial embedding
+containing it on the current search path (Definition 3.36) and stores the
+triplet
+
+``(node_id, length, dom_mask)``
+
+where ``node_id`` identifies the search-tree node of that minimum
+superset embedding, ``length`` its depth, and ``dom_mask`` the bitmask of
+``dom(D)`` (needed for bounding sets and conflict masks).  A partial
+embedding ``M'`` with ancestor array ``anc`` matches the guard iff
+``anc[length] == node_id`` — O(1), Example 3.35.
+
+The rounding-up makes the guard *more specific* (it can only match
+descendants of the recorded node), never unsound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+EncodedNogood = Tuple[int, int, int]
+"""``(node_id, length, dom_mask)`` triplet."""
+
+ROOT_NODE_ID = 0
+"""The imaginary root search node, corresponding to the empty embedding."""
+
+
+def encode_nogood(dom_mask: int, anc: Sequence[int]) -> EncodedNogood:
+    """Encode nogood ``M[dom_mask]`` against the current ancestor array.
+
+    ``anc[d]`` must hold the node id of the depth-``d`` ancestor of the
+    current search node (``anc[0]`` is the imaginary root).  The minimum
+    superset embedding of ``M[dom_mask]`` in ``M`` is ``M[: i + 1]``
+    where ``i`` is the highest set bit, so the encoded node is
+    ``anc[i + 1]``.  An empty mask encodes against the root and matches
+    every embedding — the "never use this candidate again" guard of
+    Example 3.29.
+    """
+    length = dom_mask.bit_length()  # highest set bit + 1; 0 for empty mask
+    return (anc[length], length, dom_mask)
+
+
+def nogood_matches(guard: EncodedNogood, anc: Sequence[int]) -> bool:
+    """O(1) match test: is the recorded node an ancestor at its depth?"""
+    node_id, length, _dom = guard
+    return anc[length] == node_id
+
+
+class NogoodStore:
+    """Mutable store of vertex and edge nogood guards for one search.
+
+    Vertex guards are keyed by candidate vertex ``(i, v)``; edge guards
+    by candidate edge ``(i, v, j, v')`` with ``i < j`` (the direction the
+    definition requires: the guard domain lies below ``i``).  Recording
+    overwrites (§3.3.2: "NV(u_i, v) is overwritten if it has an old
+    value").
+
+    This is the paper's *search-node-encoded* store (§3.5.1): O(1) match
+    tests that only fire for descendants of the recorded node.
+    :class:`ExplicitNogoodStore` is the un-encoded alternative used by
+    the representation ablation bench.
+
+    Parallel search gives each worker its own store (§3.5.2).
+    """
+
+    __slots__ = ("_vertex", "_edge", "recorded_vertex", "recorded_edge")
+
+    representation = "search_node"
+
+    def __init__(self) -> None:
+        self._vertex: Dict[Tuple[int, int], EncodedNogood] = {}
+        self._edge: Dict[Tuple[int, int, int, int], EncodedNogood] = {}
+        self.recorded_vertex = 0
+        self.recorded_edge = 0
+
+    # -- representation-agnostic interface (used by the search) ---------
+
+    def record_vertex_nogood(
+        self, i: int, v: int, dom_mask: int, anc, embedding
+    ) -> None:
+        """Record ``NV(u_i, v)`` = the current embedding restricted to
+        ``dom_mask`` (``embedding`` is unused by this representation)."""
+        self.record_vertex(i, v, encode_nogood(dom_mask, anc))
+
+    def record_edge_nogood(
+        self, i: int, v: int, j: int, v2: int, dom_mask: int, anc, embedding
+    ) -> None:
+        self.record_edge(i, v, j, v2, encode_nogood(dom_mask, anc))
+
+    def match_vertex(self, i: int, v: int, anc, embedding) -> Optional[int]:
+        """Domain mask of the matched ``NV(u_i, v)`` guard, or ``None``."""
+        guard = self._vertex.get((i, v))
+        if guard is not None and anc[guard[1]] == guard[0]:
+            return guard[2]
+        return None
+
+    def match_edge(
+        self, i: int, v: int, j: int, v2: int, anc, embedding
+    ) -> Optional[int]:
+        guard = self._edge.get((i, v, j, v2))
+        if guard is not None and anc[guard[1]] == guard[0]:
+            return guard[2]
+        return None
+
+    # -- vertex guards --------------------------------------------------
+
+    def record_vertex(self, i: int, v: int, guard: EncodedNogood) -> None:
+        """Store ``NV(u_i, v)``, overwriting any previous guard."""
+        self._vertex[(i, v)] = guard
+        self.recorded_vertex += 1
+
+    def vertex_guard(self, i: int, v: int) -> Optional[EncodedNogood]:
+        return self._vertex.get((i, v))
+
+    def vertex_matches(self, i: int, v: int, anc: Sequence[int]) -> Optional[EncodedNogood]:
+        """The guard on ``(u_i, v)`` if the current path matches it."""
+        guard = self._vertex.get((i, v))
+        if guard is not None and anc[guard[1]] == guard[0]:
+            return guard
+        return None
+
+    # -- edge guards ----------------------------------------------------
+
+    def record_edge(
+        self, i: int, v: int, j: int, v2: int, guard: EncodedNogood
+    ) -> None:
+        """Store ``NE((u_i, v), (u_j, v2))``; requires ``i < j``."""
+        self._edge[(i, v, j, v2)] = guard
+        self.recorded_edge += 1
+
+    def edge_guard(
+        self, i: int, v: int, j: int, v2: int
+    ) -> Optional[EncodedNogood]:
+        return self._edge.get((i, v, j, v2))
+
+    def edge_matches(
+        self, i: int, v: int, j: int, v2: int, anc: Sequence[int]
+    ) -> Optional[EncodedNogood]:
+        """The guard on the candidate edge if the current path matches."""
+        guard = self._edge.get((i, v, j, v2))
+        if guard is not None and anc[guard[1]] == guard[0]:
+            return guard
+        return None
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def clear(self) -> None:
+        self._vertex.clear()
+        self._edge.clear()
+
+    @property
+    def num_vertex_guards(self) -> int:
+        return len(self._vertex)
+
+    @property
+    def num_edge_guards(self) -> int:
+        return len(self._edge)
+
+    def memory_estimate_bytes(self) -> Tuple[int, int]:
+        """(vertex, edge) guard memory in the paper's cost model.
+
+        Table 3 treats an encoded nogood as a triplet of machine words
+        plus a query-vertex bit vector — 4 x 8 bytes per guard, plus one
+        word for the key reference.
+        """
+        per_guard = 5 * 8
+        return (
+            len(self._vertex) * per_guard,
+            len(self._edge) * per_guard,
+        )
+
+
+class ExplicitNogoodStore:
+    """Un-encoded nogood store: guards are literal assignment sets.
+
+    The ablation counterpart of the search-node encoding (§3.5.1).  A
+    guard is the tuple of ``(u_j, v')`` assignments of the recorded
+    nogood; the match test compares each against the current partial
+    embedding — O(|D|) instead of O(1), but *more general*: it fires on
+    any partial embedding containing the assignments, not only on
+    descendants of the recorded search node.  The representation
+    ablation bench quantifies this trade
+    (``benchmarks/bench_ablation_nogood_encoding.py``).
+    """
+
+    __slots__ = ("_vertex", "_edge", "recorded_vertex", "recorded_edge")
+
+    representation = "explicit"
+
+    def __init__(self) -> None:
+        self._vertex: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
+        self._edge: Dict[
+            Tuple[int, int, int, int], Tuple[Tuple[int, int], ...]
+        ] = {}
+        self.recorded_vertex = 0
+        self.recorded_edge = 0
+
+    @staticmethod
+    def _materialize(dom_mask: int, embedding) -> Tuple[Tuple[int, int], ...]:
+        return tuple(
+            (b, embedding[b])
+            for b in range(dom_mask.bit_length())
+            if dom_mask >> b & 1
+        )
+
+    @staticmethod
+    def _matches(guard: Tuple[Tuple[int, int], ...], embedding) -> bool:
+        for q, w in guard:
+            if q >= len(embedding) or embedding[q] != w:
+                return False
+        return True
+
+    @staticmethod
+    def _dom(guard: Tuple[Tuple[int, int], ...]) -> int:
+        mask = 0
+        for q, _w in guard:
+            mask |= 1 << q
+        return mask
+
+    def record_vertex_nogood(
+        self, i: int, v: int, dom_mask: int, anc, embedding
+    ) -> None:
+        self._vertex[(i, v)] = self._materialize(dom_mask, embedding)
+        self.recorded_vertex += 1
+
+    def record_edge_nogood(
+        self, i: int, v: int, j: int, v2: int, dom_mask: int, anc, embedding
+    ) -> None:
+        self._edge[(i, v, j, v2)] = self._materialize(dom_mask, embedding)
+        self.recorded_edge += 1
+
+    def match_vertex(self, i: int, v: int, anc, embedding) -> Optional[int]:
+        guard = self._vertex.get((i, v))
+        if guard is not None and self._matches(guard, embedding):
+            return self._dom(guard)
+        return None
+
+    def match_edge(
+        self, i: int, v: int, j: int, v2: int, anc, embedding
+    ) -> Optional[int]:
+        guard = self._edge.get((i, v, j, v2))
+        if guard is not None and self._matches(guard, embedding):
+            return self._dom(guard)
+        return None
+
+    def clear(self) -> None:
+        self._vertex.clear()
+        self._edge.clear()
+
+    @property
+    def num_vertex_guards(self) -> int:
+        return len(self._vertex)
+
+    @property
+    def num_edge_guards(self) -> int:
+        return len(self._edge)
+
+    def memory_estimate_bytes(self) -> Tuple[int, int]:
+        """Two words per stored assignment plus the key reference."""
+        def cost(guards) -> int:
+            return sum((2 * len(g) + 1) * 8 for g in guards.values())
+
+        return cost(self._vertex), cost(self._edge)
+
+
+def make_nogood_store(representation: str = "search_node"):
+    """Store factory keyed by :attr:`GuPConfig.nogood_representation`."""
+    if representation == "search_node":
+        return NogoodStore()
+    if representation == "explicit":
+        return ExplicitNogoodStore()
+    raise ValueError(
+        f"unknown nogood representation {representation!r}; "
+        "expected 'search_node' or 'explicit'"
+    )

@@ -1,0 +1,207 @@
+"""Parallel search model (§3.5.2, evaluated in §4.3.4 / Fig. 10).
+
+The paper parallelizes backtracking by searching disjoint subtrees in
+different threads: GuP splits the search tree *dynamically* (work
+stealing), while DAF splits only at the candidates of ``u_0`` and
+assigns those static tasks to threads.  Threads share the GCS and the
+reservation guards but keep *thread-local nogood stores*.
+
+CPython threads cannot run backtracking concurrently (GIL), so — as
+documented in DESIGN.md — we reproduce Fig. 10 with a *scheduling
+simulation over real work measurements*:
+
+* the search space is partitioned at the root (one task per candidate
+  of ``u_0``), and each task is *actually executed* as an independent
+  search with its own nogood store — exactly the thread-local-guards
+  setting of §4.3.4, so the "total recursions in parallel execution"
+  measurement is real, not modeled;
+* GuP's work-stealing makespan is the classic greedy bound for
+  dynamically splittable tasks: ``max(total_work / P, unit)``;
+* DAF's root-split makespan is the LPT schedule of its (unsplittable)
+  root tasks onto ``P`` threads — which plateaus as soon as one root
+  subtree dominates, reproducing the paper's observation.
+
+Speedup is reported in work units (recursions), the same quantity the
+paper uses to argue scalability.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baselines.backtracking import BacktrackingMatcher
+from repro.core.backtrack import GuPSearch
+from repro.core.config import GuPConfig
+from repro.core.gcs import GuardedCandidateSpace, build_gcs
+from repro.core.nogood import NogoodStore
+from repro.filtering.candidate_space import CandidateSpace
+from repro.graph.graph import Graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import SearchStats
+
+
+@dataclass
+class ParallelRunReport:
+    """Outcome of one simulated parallel run."""
+
+    num_threads: int
+    total_work: int
+    """Recursions summed over all tasks (thread-local nogood stores)."""
+    makespan: int
+    """Work units on the busiest thread under the scheduling model."""
+    task_costs: List[int] = field(default_factory=list)
+    embeddings: int = 0
+
+    @property
+    def speedup_vs(self) -> float:
+        """Speedup relative to running all the work on one thread."""
+        if self.makespan == 0:
+            return float(self.num_threads)
+        return self.total_work / self.makespan
+
+
+def _lpt_makespan(costs: Sequence[int], num_threads: int) -> int:
+    """Longest-processing-time-first schedule (greedy, what static
+    root-splitting achieves at best)."""
+    if not costs:
+        return 0
+    loads = [0] * max(1, num_threads)
+    heapq.heapify(loads)
+    for cost in sorted(costs, reverse=True):
+        lightest = heapq.heappop(loads)
+        heapq.heappush(loads, lightest + cost)
+    return max(loads)
+
+
+def _work_stealing_makespan(total: int, costs: Sequence[int], num_threads: int) -> int:
+    """Dynamically splittable tasks: perfect balance up to one unit."""
+    if num_threads <= 1:
+        return total
+    ideal = -(-total // num_threads)  # ceil division
+    return max(ideal, 1)
+
+
+def _root_task_costs_gup(
+    gcs: GuardedCandidateSpace,
+    config: GuPConfig,
+    limits: SearchLimits,
+) -> Tuple[List[int], int, SearchStats]:
+    """Execute one search per root candidate with a fresh nogood store.
+
+    This *is* the thread-local-guard execution of §4.3.4: pruning
+    information discovered in one subtree is invisible to the others.
+    """
+    costs: List[int] = []
+    embeddings = 0
+    merged = SearchStats()
+    root_candidates = gcs.cs.candidates[0]
+    for v in root_candidates:
+        restricted = CandidateSpace(
+            gcs.cs.query,
+            gcs.cs.data,
+            [(v,)] + [list(c) for c in gcs.cs.candidates[1:]],
+        )
+        sub = GuardedCandidateSpace(
+            original_query=gcs.original_query,
+            query=gcs.query,
+            data=gcs.data,
+            order=gcs.order,
+            cs=restricted,
+            reservations=gcs.reservations,
+            two_core=gcs.two_core,
+        )
+        search = GuPSearch(sub, config=config, limits=limits, nogoods=NogoodStore())
+        search.run()
+        costs.append(search.stats.recursions)
+        embeddings += search.stats.embeddings_found
+        merged.merge(search.stats)
+    return costs, embeddings, merged
+
+
+def simulate_gup_parallel(
+    query: Graph,
+    data: Graph,
+    thread_counts: Sequence[int],
+    config: Optional[GuPConfig] = None,
+    limits: Optional[SearchLimits] = None,
+) -> List[ParallelRunReport]:
+    """Fig. 10, GuP side: work-stealing over root-partitioned tasks."""
+    config = config or GuPConfig()
+    limits = limits or SearchLimits(collect=False)
+    gcs = build_gcs(query, data, config)
+    costs, embeddings, _ = _root_task_costs_gup(gcs, config, limits)
+    total = sum(costs)
+    return [
+        ParallelRunReport(
+            num_threads=p,
+            total_work=total,
+            makespan=_work_stealing_makespan(total, costs, p),
+            task_costs=list(costs),
+            embeddings=embeddings,
+        )
+        for p in thread_counts
+    ]
+
+
+def sequential_gup_work(
+    query: Graph,
+    data: Graph,
+    config: Optional[GuPConfig] = None,
+    limits: Optional[SearchLimits] = None,
+) -> int:
+    """Recursions of the ordinary single-store sequential run (the
+    §4.3.4 '1-thread' reference)."""
+    config = config or GuPConfig()
+    limits = limits or SearchLimits(collect=False)
+    gcs = build_gcs(query, data, config)
+    search = GuPSearch(gcs, config=config, limits=limits)
+    search.run()
+    return search.stats.recursions
+
+
+def simulate_daf_parallel(
+    query: Graph,
+    data: Graph,
+    thread_counts: Sequence[int],
+    limits: Optional[SearchLimits] = None,
+) -> List[ParallelRunReport]:
+    """Fig. 10, DAF side: static split at the candidates of ``u_0``."""
+    limits = limits or SearchLimits(collect=False)
+    matcher = BacktrackingMatcher(
+        name="DAF", filter_method="dagdp", ordering="gql", use_failing_set=True
+    )
+    reordered, _order, cs = matcher.prepare(query, data)
+
+    costs: List[int] = []
+    embeddings = 0
+    for v in cs.candidates[0]:
+        restricted = CandidateSpace(
+            cs.query, cs.data, [(v,)] + [list(c) for c in cs.candidates[1:]]
+        )
+        from repro.baselines.backtracking import _Search, ancestor_closures
+
+        stats = SearchStats()
+        searcher = _Search(
+            restricted,
+            limits,
+            stats,
+            use_failing_set=True,
+            anc=ancestor_closures(reordered),
+        )
+        searcher.run()
+        costs.append(stats.recursions)
+        embeddings += stats.embeddings_found
+
+    total = sum(costs)
+    return [
+        ParallelRunReport(
+            num_threads=p,
+            total_work=total,
+            makespan=_lpt_makespan(costs, p),
+            task_costs=list(costs),
+            embeddings=embeddings,
+        )
+        for p in thread_counts
+    ]

@@ -1,0 +1,110 @@
+r"""Reservation guards (§3.2) — propagated injectivity constraints.
+
+A *reservation* of candidate vertex ``(u_i, v)`` is a set ``S`` of data
+vertices such that every subembedding rooted at ``(u_i, v)`` uses at
+least one vertex of ``S`` (Definition 3.3).  If a partial embedding has
+already consumed all of ``S`` (``S ⊆ Im(M[:i])``), assigning ``v`` to
+``u_i`` can never be completed injectively — the candidate is pruned
+(Lemma 3.6).
+
+Generation (Algorithm 1) walks query vertices in reverse matching order.
+For each candidate ``(u_i, v)`` and forward neighbor ``u_j``, it builds
+the reservation graph ``G_R`` (Eq. 1): an edge ``(v', w)`` for every
+forward-adjacent candidate ``v' ∈ N(v) ∩ C(u_j)`` and every
+``w ∈ R(u_j, v') \ {v}``.  Any vertex cover of ``G_R`` that is
+*matchable* (Lemma 3.7) is a reservation guard candidate (Lemma 3.11);
+the smallest one over all forward neighbors becomes ``R(u_i, v)``, with
+the trivial reservation ``{v}`` as fallback (Definition 3.12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.filtering.candidate_space import CandidateSpace
+from repro.utils.bipartite import has_saturating_matching
+from repro.utils.vertexcover import constrained_vertex_cover
+
+ReservationGuards = Dict[Tuple[int, int], FrozenSet[int]]
+"""Mapping candidate vertex ``(i, v)`` -> reservation guard set."""
+
+
+def is_matchable(cs: CandidateSpace, position: int, guard: FrozenSet[int]) -> bool:
+    """Lemma 3.7 matchability of ``guard`` as a reservation of position ``i``.
+
+    The guard survives iff neither failure condition holds:
+
+    (i)  some ``w ∈ S`` has ``C^{-1}(w)[:i] = ∅`` — no earlier query
+         vertex can ever produce ``w`` in the image;
+    (ii) some ``S' ⊆ S`` has ``|S'| > |C^{-1}(S')[:i]|`` — by Hall's
+         theorem, equivalent to: ``S`` admits no matching into distinct
+         earlier query vertices.
+    """
+    for w in guard:
+        if not cs.inverse_candidates_below(w, position):
+            return False
+    return has_saturating_matching(
+        sorted(guard),
+        lambda w: cs.inverse_candidates_below(w, position),
+    )
+
+
+def _reservation_graph_edges(
+    cs: CandidateSpace,
+    guards: ReservationGuards,
+    i: int,
+    v: int,
+    j: int,
+) -> List[Tuple[int, int]]:
+    """Edge set ``E_R`` of Eq. (1) for candidate ``(u_i, v)`` and ``u_j``."""
+    edges: List[Tuple[int, int]] = []
+    for v2 in cs.adjacent_candidates(i, v, j):
+        for w in guards[(j, v2)]:
+            if w != v:
+                edges.append((v2, w))
+    return edges
+
+
+def generate_reservation_guards(
+    cs: CandidateSpace,
+    size_limit: Optional[int] = 3,
+) -> ReservationGuards:
+    """Algorithm 1: reservation guards for every candidate vertex.
+
+    ``size_limit`` is the paper's ``r`` (``None`` = unbounded).  The
+    returned guards satisfy Definition 3.3 — property tests verify this
+    by enumerating rooted subembeddings on small instances.
+    """
+    query = cs.query
+    n = query.num_vertices
+    guards: ReservationGuards = {}
+
+    for i in range(n - 1, -1, -1):
+        forward = [j for j in query.neighbors(i) if j > i]
+        for v in cs.candidates[i]:
+            best: FrozenSet[int] = frozenset((v,))  # trivial reservation
+            trivial = True
+            for j in forward:
+                edges = _reservation_graph_edges(cs, guards, i, v, j)
+                cover = constrained_vertex_cover(
+                    edges,
+                    size_limit,
+                    lambda s: is_matchable(cs, i, s),
+                )
+                if cover is None:
+                    continue
+                candidate = frozenset(cover)
+                # An empty E_R yields the empty cover: a valid (and
+                # maximally strong) reservation — every rooted
+                # subembedding via u_j is impossible (see Lemma 3.10
+                # with all R(u_j, v') \ {v} empty).
+                if trivial or len(candidate) < len(best):
+                    best = candidate
+                    trivial = False
+            guards[(i, v)] = best
+    return guards
+
+
+def reservation_memory_bytes(guards: ReservationGuards) -> int:
+    """Table 3 cost model: one word per reserved vertex + key reference."""
+    return sum((len(g) + 2) * 8 for g in guards.values())

@@ -1,0 +1,137 @@
+"""Static query symmetry: equivalence classes and symmetry breaking.
+
+An *extension* beyond the paper (flagged off by default): VEQ [20] and
+BoostISO exploit *syntactically equivalent* query vertices — vertices
+that an automorphism of the query can swap — to avoid enumerating
+permuted copies of the same embedding class.  Two classic cases:
+
+* **independent twins** — same label, identical open neighborhoods,
+  mutually non-adjacent (``N(u) == N(v)``);
+* **clique twins** — same label, identical closed neighborhoods,
+  mutually adjacent (``N(u) \\ {v} == N(v) \\ {u}``).
+
+Within a class, the search may demand strictly increasing data-vertex
+images (a per-class ordering constraint): every unconstrained embedding
+is a per-class permutation of exactly one *representative* embedding,
+so representatives are enumerated and then expanded.
+
+Soundness with guards: the ordering constraint defines a constrained
+matching problem; a "symmetry conflict" (image not larger than the
+class predecessor's) is a genuine nogood *of the constrained problem*
+(mask = the two class positions), so deadend masks, nogood guards, and
+backjumping remain sound — they now prove constrained deadends, which
+is exactly what representative enumeration needs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import Graph
+
+
+def equivalence_classes(query: Graph) -> List[List[int]]:
+    """Nontrivial interchangeable-vertex classes (each vertex in <= 1).
+
+    Returns sorted classes of size >= 2; vertices in no nontrivial class
+    are omitted.  Classes are found by signature grouping: independent
+    twins share ``(label, N(u))``, clique twins share
+    ``(label, N(u) ∪ {u})``.  When a vertex qualifies for both, the
+    larger class wins (ties: independent twins).
+    """
+    open_groups: Dict[Tuple[object, frozenset], List[int]] = {}
+    closed_groups: Dict[Tuple[object, frozenset], List[int]] = {}
+    for u in query.vertices():
+        nbrs = query.neighbor_set(u)
+        open_groups.setdefault((query.label(u), nbrs), []).append(u)
+        closed_groups.setdefault(
+            (query.label(u), nbrs | {u}), []
+        ).append(u)
+
+    candidates: List[List[int]] = []
+    for group in open_groups.values():
+        if len(group) >= 2:
+            candidates.append(sorted(group))
+    for group in closed_groups.values():
+        if len(group) >= 2:
+            candidates.append(sorted(group))
+
+    # Assign each vertex to at most one class, biggest classes first.
+    candidates.sort(key=lambda c: (-len(c), c))
+    taken: set = set()
+    classes: List[List[int]] = []
+    for group in candidates:
+        free = [u for u in group if u not in taken]
+        if len(free) >= 2:
+            classes.append(free)
+            taken.update(free)
+    classes.sort()
+    return classes
+
+
+def symmetry_predecessors(
+    classes: Sequence[Sequence[int]],
+    num_vertices: int,
+) -> List[int]:
+    """``prev[k]`` = the class member just before ``k``, or -1.
+
+    The search uses this to enforce increasing images inside each class
+    (positions are compared in matching order, so the input classes must
+    already be in the search's numbering).
+    """
+    prev = [-1] * num_vertices
+    for cls in classes:
+        ordered = sorted(cls)
+        for earlier, later in zip(ordered, ordered[1:]):
+            prev[later] = earlier
+    return prev
+
+
+def map_classes(
+    classes: Sequence[Sequence[int]],
+    old_to_new: Sequence[int],
+) -> List[List[int]]:
+    """Translate classes through a vertex renumbering."""
+    return sorted(
+        sorted(old_to_new[u] for u in cls) for cls in classes
+    )
+
+
+def expand_embedding(
+    embedding: Tuple[int, ...],
+    classes: Sequence[Sequence[int]],
+    limit: Optional[int] = None,
+) -> List[Tuple[int, ...]]:
+    """All per-class image permutations of a representative embedding.
+
+    The representative has increasing images within each class; the
+    expansion reassigns each class's image set in every order.  With
+    ``limit``, at most that many embeddings are returned.
+    """
+    positions_list = [sorted(cls) for cls in classes]
+    images_list = [[embedding[p] for p in ps] for ps in positions_list]
+
+    def generate():
+        permutation_spaces = [
+            itertools.permutations(images) for images in images_list
+        ]
+        for combo in itertools.product(*permutation_spaces):
+            out = list(embedding)
+            for positions, perm in zip(positions_list, combo):
+                for p, w in zip(positions, perm):
+                    out[p] = w
+            yield tuple(out)
+
+    if limit is not None:
+        return list(itertools.islice(generate(), limit))
+    return list(generate())
+
+
+def expansion_factor(classes: Sequence[Sequence[int]]) -> int:
+    """``prod |class|!``: embeddings per representative."""
+    factor = 1
+    for cls in classes:
+        for i in range(2, len(cls) + 1):
+            factor *= i
+    return factor

@@ -1,0 +1,189 @@
+"""The candidate space (CS): candidate vertices plus candidate edges [14].
+
+A ``CandidateSpace`` is the frozen output of the filtering stage and the
+substrate every matcher in this repository searches.  It stores
+
+* ``C(u_i)`` — the sorted candidate list of each query vertex;
+* candidate edges — for each query edge ``(u_i, u_j)`` and each candidate
+  ``v`` of ``u_i``, the sorted list of candidates of ``u_j`` adjacent to
+  ``v`` in the data graph (both directions are materialized);
+* the inverse index ``C^{-1}(v)`` — the query vertices for which data
+  vertex ``v`` is a candidate — needed by the matchability conditions of
+  Lemma 3.7.
+
+GuP's guarded candidate space (:mod:`repro.core.gcs`) wraps one of these
+and attaches guards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.filtering.dagdp import dag_graph_dp
+from repro.filtering.gql_filter import gql_candidates
+from repro.filtering.ldf import ldf_candidates
+from repro.filtering.nlf import nlf_candidates
+from repro.filtering.nlf2 import nlf2_candidates
+from repro.graph.graph import Graph
+
+_EMPTY: Tuple[int, ...] = ()
+
+
+class CandidateSpace:
+    """Frozen candidate sets and candidate edges for one (query, data) pair."""
+
+    __slots__ = (
+        "query",
+        "data",
+        "candidates",
+        "candidate_sets",
+        "_edge_lists",
+        "_inverse",
+        "num_candidate_edges",
+    )
+
+    def __init__(
+        self,
+        query: Graph,
+        data: Graph,
+        candidates: Sequence[Sequence[int]],
+    ) -> None:
+        if len(candidates) != query.num_vertices:
+            raise ValueError("one candidate list per query vertex required")
+        self.query = query
+        self.data = data
+        self.candidates: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(c)) for c in candidates
+        )
+        self.candidate_sets: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(c) for c in self.candidates
+        )
+
+        # Candidate edges, both directions: (i, j) -> v -> adjacent C(u_j).
+        edge_lists: Dict[Tuple[int, int], Dict[int, Tuple[int, ...]]] = {}
+        edge_count = 0
+        for i, j in query.edges():
+            forward: Dict[int, Tuple[int, ...]] = {}
+            backward: Dict[int, List[int]] = {}
+            c_j = self.candidate_sets[j]
+            for v in self.candidates[i]:
+                adjacent = tuple(
+                    w for w in data.neighbors(v) if w in c_j
+                )
+                if adjacent:
+                    forward[v] = adjacent
+                    for w in adjacent:
+                        backward.setdefault(w, []).append(v)
+            edge_lists[(i, j)] = forward
+            edge_lists[(j, i)] = {
+                w: tuple(sorted(vs)) for w, vs in backward.items()
+            }
+            edge_count += sum(len(adj) for adj in forward.values())
+        self._edge_lists = edge_lists
+        self.num_candidate_edges = edge_count
+
+        inverse: Dict[int, List[int]] = {}
+        for i, c in enumerate(self.candidates):
+            for v in c:
+                inverse.setdefault(v, []).append(i)
+        self._inverse: Dict[int, Tuple[int, ...]] = {
+            v: tuple(us) for v, us in inverse.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def adjacent_candidates(self, i: int, v: int, j: int) -> Tuple[int, ...]:
+        """Candidates of ``u_j`` adjacent (in the data graph) to ``(u_i, v)``.
+
+        ``u_i`` and ``u_j`` must be adjacent in the query graph.
+        """
+        return self._edge_lists[(i, j)].get(v, _EMPTY)
+
+    def inverse_candidates(self, v: int) -> Tuple[int, ...]:
+        """``C^{-1}(v)``: query vertices having ``v`` as candidate (sorted)."""
+        return self._inverse.get(v, _EMPTY)
+
+    def inverse_candidates_below(self, v: int, i: int) -> Tuple[int, ...]:
+        """``C^{-1}(v)[:i]`` of Lemma 3.7 (query ids < ``i``)."""
+        return tuple(u for u in self._inverse.get(v, _EMPTY) if u < i)
+
+    def total_candidates(self) -> int:
+        """Sum of candidate-set sizes."""
+        return sum(len(c) for c in self.candidates)
+
+    def is_empty(self) -> bool:
+        """Whether some query vertex has no candidates (zero embeddings)."""
+        return any(not c for c in self.candidates)
+
+    def __repr__(self) -> str:
+        sizes = [len(c) for c in self.candidates]
+        return (
+            f"CandidateSpace(|V_Q|={self.query.num_vertices}, sizes={sizes}, "
+            f"edges={self.num_candidate_edges})"
+        )
+
+
+def _consistency_prune(
+    query: Graph,
+    data: Graph,
+    candidates: List[List[int]],
+) -> List[List[int]]:
+    """Drop candidates with no adjacent candidate for some query neighbor.
+
+    Sound for the same reason as DAG-graph DP; run to a fixpoint so the
+    candidate-edge lists contain no dangling vertices.
+    """
+    cand_sets = [set(c) for c in candidates]
+    changed = True
+    while changed:
+        changed = False
+        for u in query.vertices():
+            if not cand_sets[u]:
+                continue
+            dead = []
+            for v in cand_sets[u]:
+                for u2 in query.neighbors(u):
+                    c2 = cand_sets[u2]
+                    if not any(w in c2 for w in data.neighbors(v)):
+                        dead.append(v)
+                        break
+            if dead:
+                cand_sets[u].difference_update(dead)
+                changed = True
+    return [sorted(c) for c in cand_sets]
+
+
+FILTERS = ("ldf", "nlf", "nlf2", "dagdp", "gql")
+
+
+def build_candidate_space(
+    query: Graph,
+    data: Graph,
+    method: str = "dagdp",
+    base: Optional[List[List[int]]] = None,
+) -> CandidateSpace:
+    """Run a filtering pipeline and freeze the result into a CS.
+
+    ``method`` is one of ``"ldf"``, ``"nlf"``, ``"dagdp"`` (default —
+    what GuP uses, §3.1), or ``"gql"`` (what the GQL baselines use).
+    ``base`` optionally supplies precomputed LDF+NLF candidate lists
+    (callers that already filtered for order selection avoid refiltering).
+    All pipelines end with a consistency prune so candidate edges are
+    closed under adjacency.
+    """
+    if method == "ldf":
+        candidates = ldf_candidates(query, data)
+    elif method == "nlf":
+        candidates = base if base is not None else nlf_candidates(query, data)
+    elif method == "nlf2":
+        candidates = nlf2_candidates(query, data, base=base)
+    elif method == "dagdp":
+        candidates = dag_graph_dp(query, data, base=base)
+    elif method == "gql":
+        candidates = gql_candidates(query, data, base=base)
+    else:
+        raise ValueError(f"unknown filter {method!r}; expected one of {FILTERS}")
+    candidates = _consistency_prune(query, data, [list(c) for c in candidates])
+    return CandidateSpace(query, data, candidates)

@@ -1,0 +1,103 @@
+"""Query DAG construction for DAG-based filtering (DAF [14], VEQ [20]).
+
+The query graph is turned into a rooted DAG by a BFS from a root chosen
+for selectivity (smallest initial-candidate count relative to degree);
+every query edge is directed from the BFS-earlier endpoint to the later
+one (ties broken by vertex id).  DAG-graph DP then refines candidates
+along this DAG in both directions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class QueryDag:
+    """A rooted DAG over the query vertices.
+
+    ``parents[u]`` / ``children[u]`` partition ``N(u)`` according to the
+    edge orientation; ``topological`` lists vertices root-first.
+    """
+
+    root: int
+    parents: Tuple[Tuple[int, ...], ...]
+    children: Tuple[Tuple[int, ...], ...]
+    topological: Tuple[int, ...]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.parents)
+
+    def reverse_topological(self) -> Tuple[int, ...]:
+        return tuple(reversed(self.topological))
+
+
+def choose_dag_root(query: Graph, candidate_sizes: Sequence[int]) -> int:
+    """DAF's root rule: minimize ``|C_ini(u)| / deg(u)``.
+
+    Vertices of degree 0 cannot occur in connected queries; guard anyway.
+    """
+    def rank(u: int) -> Tuple[float, int]:
+        degree = max(1, query.degree(u))
+        return (candidate_sizes[u] / degree, u)
+
+    return min(query.vertices(), key=rank)
+
+
+def build_query_dag(query: Graph, candidate_sizes: Sequence[int]) -> QueryDag:
+    """BFS DAG (forest for disconnected queries) rooted per
+    :func:`choose_dag_root`.
+
+    Query generators emit connected queries, but the adapters can reduce
+    disconnected inputs; each further component is rooted at its own
+    most-selective vertex and appended to the topological order.
+    """
+    n = query.num_vertices
+    if n == 0:
+        return QueryDag(root=0, parents=(), children=(), topological=())
+    root = choose_dag_root(query, candidate_sizes)
+
+    level = [-1] * n
+    order: List[int] = []
+    next_root: int = root
+    while len(order) < n:
+        level[next_root] = 0
+        order.append(next_root)
+        queue = deque([next_root])
+        while queue:
+            u = queue.popleft()
+            for w in query.neighbors(u):
+                if level[w] < 0:
+                    level[w] = level[u] + 1
+                    order.append(w)
+                    queue.append(w)
+        if len(order) < n:
+            remaining = [u for u in range(n) if level[u] < 0]
+            next_root = min(
+                remaining,
+                key=lambda u: (candidate_sizes[u] / max(1, query.degree(u)), u),
+            )
+
+    bfs_rank = [0] * n
+    for rank, u in enumerate(order):
+        bfs_rank[u] = rank
+
+    parents: List[List[int]] = [[] for _ in range(n)]
+    children: List[List[int]] = [[] for _ in range(n)]
+    for u, w in query.edges():
+        # Direct from BFS-earlier to BFS-later endpoint.
+        first, second = (u, w) if bfs_rank[u] < bfs_rank[w] else (w, u)
+        children[first].append(second)
+        parents[second].append(first)
+
+    return QueryDag(
+        root=root,
+        parents=tuple(tuple(sorted(p)) for p in parents),
+        children=tuple(tuple(sorted(c)) for c in children),
+        topological=tuple(order),
+    )

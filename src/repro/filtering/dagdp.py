@@ -1,0 +1,93 @@
+"""Extended DAG-graph dynamic programming (VEQ [20], after DAF [14]).
+
+GuP's GCS construction step uses this filter (§3.1).  Starting from
+LDF+NLF candidates, the DP repeatedly sweeps the query DAG:
+
+* bottom-up sweep — ``v`` survives in ``C(u)`` only if, for every DAG
+  child ``u_c`` of ``u``, some neighbor of ``v`` survives in ``C(u_c)``;
+* top-down sweep — symmetric condition over DAG parents.
+
+Sweeps alternate until a fixpoint (or ``max_rounds``).  The result is
+sound: no full embedding is lost, because an embedding maps every query
+edge onto a data edge, hence every DAG-adjacent pair onto adjacent
+candidates — exactly the survival condition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.filtering.dag import QueryDag, build_query_dag
+from repro.filtering.nlf import nlf_candidates
+from repro.graph.graph import Graph
+
+
+def _sweep(
+    query: Graph,
+    data: Graph,
+    candidates: List[Set[int]],
+    order: Sequence[int],
+    constraining: Sequence[Sequence[int]],
+) -> bool:
+    """One refinement sweep; returns whether anything was removed.
+
+    ``constraining[u]`` lists the DAG neighbors of ``u`` whose candidate
+    sets must be reachable (children for a bottom-up sweep over reverse
+    topological order, parents for top-down).
+    """
+    changed = False
+    for u in order:
+        if not constraining[u]:
+            continue
+        survivors: Set[int] = set()
+        for v in candidates[u]:
+            ok = True
+            for u_c in constraining[u]:
+                c_uc = candidates[u_c]
+                if not any(w in c_uc for w in data.neighbors(v)):
+                    ok = False
+                    break
+            if ok:
+                survivors.add(v)
+        if len(survivors) != len(candidates[u]):
+            candidates[u] = survivors
+            changed = True
+    return changed
+
+
+def dag_graph_dp(
+    query: Graph,
+    data: Graph,
+    base: Optional[List[List[int]]] = None,
+    max_rounds: int = 3,
+    dag: Optional[QueryDag] = None,
+) -> List[List[int]]:
+    """Candidate lists refined by extended DAG-graph DP.
+
+    Parameters
+    ----------
+    base:
+        Initial candidate lists (defaults to LDF+NLF).
+    max_rounds:
+        Maximum number of (bottom-up, top-down) round pairs; DAF uses a
+        small constant, and a fixpoint usually arrives in 2-3 rounds.
+    dag:
+        Reuse a prebuilt query DAG (otherwise built from ``base`` sizes).
+    """
+    if base is None:
+        base = nlf_candidates(query, data)
+    if query.num_vertices == 0:
+        return []
+    if dag is None:
+        dag = build_query_dag(query, [len(c) for c in base])
+
+    candidates: List[Set[int]] = [set(c) for c in base]
+    bottom_up_order = dag.reverse_topological()
+    top_down_order = dag.topological
+
+    for _ in range(max_rounds):
+        removed_up = _sweep(query, data, candidates, bottom_up_order, dag.children)
+        removed_down = _sweep(query, data, candidates, top_down_order, dag.parents)
+        if not removed_up and not removed_down:
+            break
+    return [sorted(c) for c in candidates]

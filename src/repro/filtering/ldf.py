@@ -1,0 +1,32 @@
+"""Label-and-degree filtering (LDF), the primitive filter of Ullmann [38].
+
+A data vertex ``v`` is a candidate for query vertex ``u`` when it carries
+the same label and its degree is at least ``deg(u)`` — a subgraph
+embedding can only map ``u`` onto vertices with enough incident edges.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph.graph import Graph
+
+
+def ldf_candidates(query: Graph, data: Graph) -> List[List[int]]:
+    """Per-query-vertex candidate lists under LDF.
+
+    Returns ``C`` with ``C[i]`` the sorted list of data vertices ``v``
+    such that ``l(v) == l(u_i)`` and ``deg(v) >= deg(u_i)``.
+    """
+    candidates: List[List[int]] = []
+    for u in query.vertices():
+        label = query.label(u)
+        min_degree = query.degree(u)
+        candidates.append(
+            [
+                v
+                for v in data.vertices_with_label(label)
+                if data.degree(v) >= min_degree
+            ]
+        )
+    return candidates

@@ -1,0 +1,65 @@
+"""Distance-2 neighborhood label filtering ("pseudo-matching nearby").
+
+§2.1 notes that several methods "perform pseudo-matching on nearby
+vertices of a candidate vertex and a query vertex" [16, 36, 40].  This
+filter is the canonical cheap instance of that idea, one hop beyond
+NLF: candidate ``v`` for ``u`` must offer, for every label ``l``, at
+least as many *distance-<=2* label-``l`` vertices as ``u`` requires.
+
+Soundness: an embedding maps the distance-<=2 ball of ``u`` injectively
+into the distance-<=2 ball of ``v`` (paths of length <= 2 map to paths
+of length <= 2), so per-label ball counts can only grow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.filtering.nlf import nlf_candidates
+from repro.graph.graph import Graph
+
+
+def _two_hop_label_counts(graph: Graph) -> List[Dict[object, int]]:
+    """Per-vertex label counts of the distance-<=2 ball (vertex excluded)."""
+    tables: List[Dict[object, int]] = []
+    for u in graph.vertices():
+        ball = set(graph.neighbors(u))
+        for w in graph.neighbors(u):
+            ball.update(graph.neighbors(w))
+        ball.discard(u)
+        counts: Dict[object, int] = {}
+        for w in ball:
+            label = graph.label(w)
+            counts[label] = counts.get(label, 0) + 1
+        tables.append(counts)
+    return tables
+
+
+def nlf2_candidates(
+    query: Graph,
+    data: Graph,
+    base: Optional[List[List[int]]] = None,
+) -> List[List[int]]:
+    """Candidates surviving LDF + NLF + distance-2 label counting.
+
+    ``base`` optionally supplies already-filtered lists (defaults to
+    LDF+NLF output).
+    """
+    if base is None:
+        base = nlf_candidates(query, data)
+    query_tables = _two_hop_label_counts(query)
+    data_tables = _two_hop_label_counts(data)
+
+    refined: List[List[int]] = []
+    for u in query.vertices():
+        needed = query_tables[u]
+        survivors = []
+        for v in base[u]:
+            available = data_tables[v]
+            if all(
+                available.get(label, 0) >= count
+                for label, count in needed.items()
+            ):
+                survivors.append(v)
+        refined.append(survivors)
+    return refined

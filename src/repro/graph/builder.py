@@ -1,0 +1,151 @@
+"""Mutable accumulator for constructing :class:`~repro.graph.graph.Graph`.
+
+``GraphBuilder`` is the only supported way to construct graphs from code:
+it validates vertex ids, rejects self-loops, silently deduplicates repeated
+edges (the ``.graph`` datasets in the literature occasionally contain both
+directions of an edge), and freezes into an immutable ``Graph``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.graph import Graph
+
+
+class GraphBuilder:
+    """Incrementally build a vertex-labeled simple undirected graph.
+
+    Example
+    -------
+    >>> b = GraphBuilder()
+    >>> a = b.add_vertex("A")
+    >>> c = b.add_vertex("B")
+    >>> b.add_edge(a, c)
+    True
+    >>> g = b.build()
+    >>> g.num_vertices, g.num_edges
+    (2, 1)
+    """
+
+    def __init__(self) -> None:
+        self._labels: List[object] = []
+        self._adjacency: List[Set[int]] = []
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, label: object) -> int:
+        """Add a vertex with ``label``; returns its id."""
+        hash(label)  # labels must be hashable; fail fast
+        self._labels.append(label)
+        self._adjacency.append(set())
+        return len(self._labels) - 1
+
+    def add_vertices(self, labels: Iterable[object]) -> List[int]:
+        """Add several vertices; returns their ids in order."""
+        return [self.add_vertex(label) for label in labels]
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add undirected edge ``(u, v)``.
+
+        Returns ``True`` if the edge was new, ``False`` if it already
+        existed.  Raises on self-loops or unknown vertex ids.
+        """
+        n = len(self._labels)
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) references unknown vertex (n={n})")
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u} is not allowed")
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        return True
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> int:
+        """Add several edges; returns how many were new."""
+        return sum(1 for u, v in edges if self.add_edge(u, v))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adjacency) // 2
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return 0 <= u < len(self._adjacency) and v in self._adjacency[u]
+
+    def degree(self, v: int) -> int:
+        return len(self._adjacency[v])
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Snapshot of the current neighbors of ``v`` (sorted)."""
+        return tuple(sorted(self._adjacency[v]))
+
+    # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+
+    def build(self) -> Graph:
+        """Freeze into an immutable :class:`Graph`."""
+        return Graph(self._labels, [sorted(nbrs) for nbrs in self._adjacency])
+
+
+def graph_from_adjacency(
+    labels: Iterable[object],
+    edges: Iterable[Tuple[int, int]],
+) -> Graph:
+    """Convenience one-shot construction from labels and an edge list."""
+    builder = GraphBuilder()
+    builder.add_vertices(labels)
+    builder.add_edges(edges)
+    return builder.build()
+
+
+def complete_graph(labels: Iterable[object]) -> Graph:
+    """Complete graph over the given labels (used in tests)."""
+    builder = GraphBuilder()
+    ids = builder.add_vertices(labels)
+    for i, u in enumerate(ids):
+        for v in ids[i + 1 :]:
+            builder.add_edge(u, v)
+    return builder.build()
+
+
+def path_graph(labels: Iterable[object]) -> Graph:
+    """Path graph visiting the labels in order (used in tests)."""
+    builder = GraphBuilder()
+    ids = builder.add_vertices(labels)
+    for u, v in zip(ids, ids[1:]):
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+def cycle_graph(labels: Iterable[object]) -> Graph:
+    """Cycle graph over the given labels (>= 3 vertices)."""
+    builder = GraphBuilder()
+    ids = builder.add_vertices(labels)
+    if len(ids) < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    for u, v in zip(ids, ids[1:]):
+        builder.add_edge(u, v)
+    builder.add_edge(ids[-1], ids[0])
+    return builder.build()
+
+
+def star_graph(center_label: object, leaf_labels: Iterable[object]) -> Graph:
+    """Star graph: one center connected to every leaf (used in tests)."""
+    builder = GraphBuilder()
+    center = builder.add_vertex(center_label)
+    for label in leaf_labels:
+        leaf = builder.add_vertex(label)
+        builder.add_edge(center, leaf)
+    return builder.build()

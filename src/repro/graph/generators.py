@@ -1,0 +1,184 @@
+"""Seeded random graph generators.
+
+These produce the synthetic data graphs the workloads are built on (the
+paper's real datasets are not redistributable / not available offline; see
+DESIGN.md §2).  All generators take an explicit ``random.Random`` seed or
+instance so every experiment in this repository is deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_labels(
+    num_vertices: int,
+    num_labels: int,
+    seed: RandomLike = None,
+    skew: float = 0.0,
+) -> List[int]:
+    """Random label assignment over ``range(num_labels)``.
+
+    ``skew = 0`` draws labels uniformly (as Sun et al. did for Patents);
+    ``skew > 0`` draws from a Zipf-like distribution with that exponent,
+    mimicking the label skew of protein graphs such as Yeast.
+    """
+    if num_labels <= 0:
+        raise ValueError("num_labels must be positive")
+    rng = _rng(seed)
+    if skew <= 0.0:
+        return [rng.randrange(num_labels) for _ in range(num_vertices)]
+    weights = [1.0 / (rank + 1) ** skew for rank in range(num_labels)]
+    return rng.choices(range(num_labels), weights=weights, k=num_vertices)
+
+
+def erdos_renyi_graph(
+    num_vertices: int,
+    num_edges: int,
+    num_labels: int = 1,
+    seed: RandomLike = None,
+    labels: Optional[Sequence[object]] = None,
+    label_skew: float = 0.0,
+) -> Graph:
+    """G(n, m) random graph with random labels.
+
+    Exactly ``num_edges`` distinct edges are sampled uniformly (capped by
+    the complete-graph maximum).
+    """
+    rng = _rng(seed)
+    if labels is None:
+        labels = random_labels(num_vertices, num_labels, rng, skew=label_skew)
+    builder = GraphBuilder()
+    builder.add_vertices(labels)
+
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    target = min(num_edges, max_edges)
+    added = 0
+    # Rejection sampling is fine while the graph is sparse (our use case).
+    while added < target:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v and builder.add_edge(u, v):
+            added += 1
+    return builder.build()
+
+
+def random_tree(
+    num_vertices: int,
+    num_labels: int = 1,
+    seed: RandomLike = None,
+    labels: Optional[Sequence[object]] = None,
+) -> Graph:
+    """Uniform random recursive tree with random labels."""
+    rng = _rng(seed)
+    if labels is None:
+        labels = random_labels(num_vertices, num_labels, rng)
+    builder = GraphBuilder()
+    builder.add_vertices(labels)
+    for v in range(1, num_vertices):
+        builder.add_edge(v, rng.randrange(v))
+    return builder.build()
+
+
+def random_connected_graph(
+    num_vertices: int,
+    num_edges: int,
+    num_labels: int = 1,
+    seed: RandomLike = None,
+    labels: Optional[Sequence[object]] = None,
+    label_skew: float = 0.0,
+) -> Graph:
+    """Connected random graph: random tree plus extra random edges."""
+    if num_vertices > 0 and num_edges < num_vertices - 1:
+        raise ValueError("a connected graph needs at least n - 1 edges")
+    rng = _rng(seed)
+    if labels is None:
+        labels = random_labels(num_vertices, num_labels, rng, skew=label_skew)
+    builder = GraphBuilder()
+    builder.add_vertices(labels)
+    for v in range(1, num_vertices):
+        builder.add_edge(v, rng.randrange(v))
+    added = num_vertices - 1 if num_vertices > 1 else 0
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    target = min(num_edges, max_edges)
+    while added < target:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v and builder.add_edge(u, v):
+            added += 1
+    return builder.build()
+
+
+def powerlaw_cluster_graph(
+    num_vertices: int,
+    edges_per_vertex: int,
+    triangle_probability: float = 0.3,
+    num_labels: int = 1,
+    seed: RandomLike = None,
+    labels: Optional[Sequence[object]] = None,
+    label_skew: float = 0.0,
+) -> Graph:
+    """Holme–Kim powerlaw graph with tunable clustering.
+
+    Grows the graph by preferential attachment (``edges_per_vertex`` links
+    per new vertex); each link closes a triangle with probability
+    ``triangle_probability``.  This reproduces the heavy-tailed degrees and
+    local clustering of real networks (WordNet/Patents stand-ins).
+    """
+    m = max(1, edges_per_vertex)
+    if num_vertices < m + 1:
+        raise ValueError("num_vertices must exceed edges_per_vertex")
+    rng = _rng(seed)
+    if labels is None:
+        labels = random_labels(num_vertices, num_labels, rng, skew=label_skew)
+    builder = GraphBuilder()
+    builder.add_vertices(labels)
+
+    # Repeated endpoints in this list implement preferential attachment.
+    attachment: List[int] = []
+    for v in range(m):
+        if v > 0:
+            builder.add_edge(v, v - 1)
+            attachment.extend((v, v - 1))
+    if m == 1:
+        attachment.append(0)
+
+    for v in range(m, num_vertices):
+        targets: List[int] = []
+        last_target: Optional[int] = None
+        while len(targets) < m:
+            if (
+                last_target is not None
+                and rng.random() < triangle_probability
+            ):
+                # Triangle step: attach to a neighbor of the last target.
+                nbrs = [
+                    w
+                    for w in builder.neighbors(last_target)
+                    if w != v and w not in targets
+                ]
+                if nbrs:
+                    candidate = rng.choice(nbrs)
+                    targets.append(candidate)
+                    last_target = candidate
+                    continue
+            candidate = attachment[rng.randrange(len(attachment))]
+            if candidate != v and candidate not in targets:
+                targets.append(candidate)
+                last_target = candidate
+        for t in targets:
+            builder.add_edge(v, t)
+            attachment.extend((v, t))
+    return builder.build()

@@ -1,0 +1,168 @@
+"""Readers and writers for graph text formats.
+
+The subgraph-matching literature (DAF, GQL, RapidMatch, GuP) shares a
+single plain-text format, usually with a ``.graph`` extension::
+
+    t <num_vertices> <num_edges>
+    v <vertex_id> <label> <degree>
+    ...
+    e <src> <dst>
+    ...
+
+Vertex lines must cover ids ``0 .. n-1``; the degree column is redundant
+and is validated but not required to be correct by all tools — we check it
+only in ``strict`` mode.  Labels are parsed as ints when possible and kept
+as strings otherwise.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+class GraphFormatError(ValueError):
+    """Raised when a graph file violates the ``.graph`` format."""
+
+
+def _parse_label(token: str) -> object:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def loads_graph(text: str, strict: bool = False) -> Graph:
+    """Parse a graph from ``.graph``-format text.
+
+    Parameters
+    ----------
+    text:
+        The file contents.
+    strict:
+        When true, validate the declared vertex/edge counts and per-vertex
+        degrees against the actual data.
+    """
+    declared_n: int = -1
+    declared_m: int = -1
+    labels: Dict[int, object] = {}
+    declared_degrees: Dict[int, int] = {}
+    edges: List[Tuple[int, int]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "t":
+            if len(parts) < 3:
+                raise GraphFormatError(f"line {lineno}: malformed header {line!r}")
+            declared_n = int(parts[1])
+            declared_m = int(parts[2])
+        elif kind == "v":
+            if len(parts) < 3:
+                raise GraphFormatError(f"line {lineno}: malformed vertex {line!r}")
+            vid = int(parts[1])
+            if vid in labels:
+                raise GraphFormatError(f"line {lineno}: duplicate vertex id {vid}")
+            labels[vid] = _parse_label(parts[2])
+            if len(parts) >= 4:
+                declared_degrees[vid] = int(parts[3])
+        elif kind == "e":
+            if len(parts) < 3:
+                raise GraphFormatError(f"line {lineno}: malformed edge {line!r}")
+            edges.append((int(parts[1]), int(parts[2])))
+        else:
+            raise GraphFormatError(f"line {lineno}: unknown record kind {kind!r}")
+
+    n = len(labels)
+    if sorted(labels) != list(range(n)):
+        raise GraphFormatError("vertex ids must be exactly 0 .. n-1")
+
+    builder = GraphBuilder()
+    builder.add_vertices(labels[v] for v in range(n))
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphFormatError(f"edge ({u}, {v}) references unknown vertex")
+        builder.add_edge(u, v)
+    graph = builder.build()
+
+    if strict:
+        if declared_n >= 0 and declared_n != graph.num_vertices:
+            raise GraphFormatError(
+                f"header declares {declared_n} vertices, file has {graph.num_vertices}"
+            )
+        if declared_m >= 0 and declared_m != graph.num_edges:
+            raise GraphFormatError(
+                f"header declares {declared_m} edges, file has {graph.num_edges}"
+            )
+        for vid, deg in declared_degrees.items():
+            if graph.degree(vid) != deg:
+                raise GraphFormatError(
+                    f"vertex {vid} declares degree {deg}, actual {graph.degree(vid)}"
+                )
+    return graph
+
+
+def load_graph(path: PathLike, strict: bool = False) -> Graph:
+    """Load a graph from a ``.graph`` file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_graph(handle.read(), strict=strict)
+
+
+def saves_graph(graph: Graph) -> str:
+    """Serialize a graph to ``.graph``-format text."""
+    out = _io.StringIO()
+    out.write(f"t {graph.num_vertices} {graph.num_edges}\n")
+    for v in graph.vertices():
+        out.write(f"v {v} {graph.label(v)} {graph.degree(v)}\n")
+    for u, v in graph.edges():
+        out.write(f"e {u} {v}\n")
+    return out.getvalue()
+
+
+def save_graph(graph: Graph, path: PathLike) -> None:
+    """Write a graph to disk in ``.graph`` format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(saves_graph(graph))
+
+
+def graph_from_edge_list(
+    edges: Iterable[Tuple[int, int]],
+    labels: Union[Dict[int, object], List[object], None] = None,
+    default_label: object = 0,
+) -> Graph:
+    """Build a graph from an edge list, inferring the vertex count.
+
+    Isolated vertices can only appear through an explicit ``labels``
+    mapping/list whose length exceeds the max endpoint.
+    """
+    edge_list = [(int(u), int(v)) for u, v in edges]
+    max_vertex = -1
+    for u, v in edge_list:
+        max_vertex = max(max_vertex, u, v)
+    if isinstance(labels, dict):
+        if labels:
+            max_vertex = max(max_vertex, max(labels))
+        n = max_vertex + 1
+        label_seq = [labels.get(v, default_label) for v in range(n)]
+    elif labels is not None:
+        label_seq = list(labels)
+        if len(label_seq) <= max_vertex:
+            raise ValueError(
+                f"labels cover {len(label_seq)} vertices but edges reference {max_vertex}"
+            )
+    else:
+        label_seq = [default_label] * (max_vertex + 1)
+
+    builder = GraphBuilder()
+    builder.add_vertices(label_seq)
+    builder.add_edges(edge_list)
+    return builder.build()

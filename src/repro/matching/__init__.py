@@ -1,0 +1,39 @@
+"""Shared matching machinery: embeddings, verification, limits, results.
+
+Every engine in :mod:`repro.core` and :mod:`repro.baselines` speaks the
+same vocabulary defined here, so results are directly comparable:
+
+* an *embedding* is a tuple ``(v_0, v_1, ..., v_{k-1})`` where position
+  ``i`` holds the data vertex assigned to query vertex ``u_i`` (§2.2 —
+  matching order == ascending query id after reordering);
+* :func:`~repro.matching.verify.is_embedding` checks the three
+  isomorphism constraints of Definition 2.1;
+* :class:`~repro.matching.limits.SearchLimits` carries the embedding cap
+  and time limit of the paper's harness (§4.1);
+* :class:`~repro.matching.result.MatchResult` bundles embeddings,
+  counters, and the termination status.
+"""
+
+from repro.matching.embedding import (
+    Embedding,
+    embedding_image,
+    embedding_to_dict,
+    restrict_embedding,
+)
+from repro.matching.limits import SearchLimits
+from repro.matching.result import MatchResult, SearchStats, TerminationStatus
+from repro.matching.verify import constraint_violations, is_embedding, is_partial_embedding
+
+__all__ = [
+    "Embedding",
+    "MatchResult",
+    "SearchLimits",
+    "SearchStats",
+    "TerminationStatus",
+    "constraint_violations",
+    "embedding_image",
+    "embedding_to_dict",
+    "is_embedding",
+    "is_partial_embedding",
+    "restrict_embedding",
+]

@@ -1,0 +1,47 @@
+"""Embedding representation and helpers.
+
+An embedding is a tuple of data-vertex ids indexed by query-vertex id:
+``embedding[i]`` is the destination of query vertex ``u_i``.  Partial
+embeddings are prefixes (length ``k`` covers ``u_0 .. u_{k-1}``), matching
+the paper's connected-order assumption (§2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
+
+Embedding = Tuple[int, ...]
+
+
+def embedding_to_dict(embedding: Sequence[int]) -> Dict[int, int]:
+    """View an embedding as the paper's assignment-set notation."""
+    return {i: v for i, v in enumerate(embedding)}
+
+
+def embedding_image(embedding: Sequence[int]) -> FrozenSet[int]:
+    """``Im(M)``: the set of data vertices used by the embedding."""
+    return frozenset(embedding)
+
+
+def restrict_embedding(embedding: Sequence[int], mask: int) -> Tuple[Tuple[int, int], ...]:
+    """``M[K]`` for a query-vertex bitmask ``K``.
+
+    Returns the restricted assignment set as sorted ``(query, data)``
+    pairs; positions beyond the embedding length are ignored (a mask may
+    mention vertices the partial embedding has not reached).
+    """
+    pairs = []
+    for i, v in enumerate(embedding):
+        if mask >> i & 1:
+            pairs.append((i, v))
+    return tuple(pairs)
+
+
+def extend(embedding: Sequence[int], v: int) -> Embedding:
+    """``M ⊕ v``: extend with an assignment to the next query vertex."""
+    return tuple(embedding) + (v,)
+
+
+def images_of_mask(embedding: Sequence[int], mask: int) -> FrozenSet[int]:
+    """``Im(M[K])`` for a bitmask ``K``."""
+    return frozenset(v for i, v in enumerate(embedding) if mask >> i & 1)

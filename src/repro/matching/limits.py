@@ -1,0 +1,57 @@
+"""Search limits: the paper's harness parameters (§4.1).
+
+The evaluation terminates a query when 10^5 embeddings have been found and
+kills it after one hour.  Both knobs live here so every engine enforces
+them identically; the scaled-down defaults used by our benchmark harness
+are defined in :mod:`repro.bench.runner`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.timer import Deadline
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Limits enforced cooperatively by all matchers.
+
+    Attributes
+    ----------
+    max_embeddings:
+        Stop after this many embeddings (``None`` = enumerate all).  The
+        paper uses 10^5 for sequential runs and 10^8 for the parallel
+        study.
+    time_limit:
+        Wall-clock seconds before the search aborts (``None`` = no limit).
+    collect:
+        When false, embeddings are counted but not materialized (saves
+        memory for counting workloads).
+    """
+
+    max_embeddings: Optional[int] = None
+    time_limit: Optional[float] = None
+    collect: bool = True
+    max_recursions: Optional[int] = None
+    """Virtual-time kill switch: abort (as a timeout) once the search has
+    performed this many recursions.  Recursions are the paper's own
+    machine-independent cost unit (Figs. 7/9); the benchmark harness uses
+    this mode to compare search-space sizes without Python's uneven
+    constant factors (DESIGN.md §2)."""
+
+    def make_deadline(self) -> Deadline:
+        """Fresh :class:`Deadline` for one search run."""
+        return Deadline(self.time_limit)
+
+    def embeddings_reached(self, count: int) -> bool:
+        """Whether ``count`` embeddings satisfies the cap."""
+        return self.max_embeddings is not None and count >= self.max_embeddings
+
+    def recursions_exhausted(self, count: int) -> bool:
+        """Whether the virtual-time budget is used up."""
+        return self.max_recursions is not None and count >= self.max_recursions
+
+
+UNLIMITED = SearchLimits()

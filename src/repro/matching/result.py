@@ -1,0 +1,148 @@
+"""Search results and instrumentation counters.
+
+The paper's evaluation reports, besides wall time: the number of
+recursions (Fig. 7), futile recursions (Fig. 9), the fraction of local
+candidates pruned by guards (§4.2.3), and guard memory (Table 3).  Every
+engine fills a :class:`SearchStats` so the benchmark harness can read all
+of these uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.matching.embedding import Embedding
+
+
+class TerminationStatus(enum.Enum):
+    """How a search run ended."""
+
+    COMPLETE = "complete"
+    """The search space was exhausted; the result is exact."""
+
+    EMBEDDING_LIMIT = "embedding_limit"
+    """Stopped after reaching ``max_embeddings`` (paper: 10^5)."""
+
+    TIMEOUT = "timeout"
+    """Killed by the per-query time limit (paper: one hour)."""
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated during one backtracking run.
+
+    ``recursions`` counts calls of the backtrack function (Fig. 7);
+    ``futile_recursions`` counts recursive calls that led to a deadend —
+    i.e. calls whose subtree produced no full embedding (Fig. 9).
+    """
+
+    recursions: int = 0
+    futile_recursions: int = 0
+    embeddings_found: int = 0
+
+    # Candidate-level pruning (GuP §4.2.3: ~11.5% of local candidates).
+    local_candidates_seen: int = 0
+    pruned_injectivity: int = 0
+    pruned_reservation: int = 0
+    pruned_nogood_vertex: int = 0
+    pruned_nogood_edge: int = 0
+    pruned_symmetry: int = 0
+
+    # Guard bookkeeping.
+    nogoods_recorded_vertex: int = 0
+    nogoods_recorded_edge: int = 0
+    backjumps: int = 0
+
+    # Nogood-size accounting (§3.4's comparison: GuP's deadend masks vs
+    # DAF's ancestor-closure failing sets).  ``nogood_size_sum`` counts
+    # the assignments in each discovered nogood / failing set.
+    nogood_size_sum: int = 0
+    nogood_size_count: int = 0
+
+    # Filtering-phase statistics.
+    candidate_vertices: int = 0
+    candidate_edges: int = 0
+
+    def average_nogood_size(self) -> float:
+        """Mean assignments per discovered nogood (0 when none found)."""
+        if self.nogood_size_count == 0:
+            return 0.0
+        return self.nogood_size_sum / self.nogood_size_count
+
+    def pruned_by_guards(self) -> int:
+        """Local candidates removed by any guard (not plain injectivity)."""
+        return (
+            self.pruned_reservation
+            + self.pruned_nogood_vertex
+            + self.pruned_nogood_edge
+        )
+
+    def guard_prune_fraction(self) -> float:
+        """Fraction of seen local candidates pruned by guards."""
+        if self.local_candidates_seen == 0:
+            return 0.0
+        return self.pruned_by_guards() / self.local_candidates_seen
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another stats object into this one (parallel runs)."""
+        self.recursions += other.recursions
+        self.futile_recursions += other.futile_recursions
+        self.embeddings_found += other.embeddings_found
+        self.local_candidates_seen += other.local_candidates_seen
+        self.pruned_injectivity += other.pruned_injectivity
+        self.pruned_reservation += other.pruned_reservation
+        self.pruned_nogood_vertex += other.pruned_nogood_vertex
+        self.pruned_nogood_edge += other.pruned_nogood_edge
+        self.pruned_symmetry += other.pruned_symmetry
+        self.nogoods_recorded_vertex += other.nogoods_recorded_vertex
+        self.nogoods_recorded_edge += other.nogoods_recorded_edge
+        self.backjumps += other.backjumps
+        self.nogood_size_sum += other.nogood_size_sum
+        self.nogood_size_count += other.nogood_size_count
+        self.candidate_vertices += other.candidate_vertices
+        self.candidate_edges += other.candidate_edges
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one subgraph-matching run.
+
+    ``embeddings`` is empty when the run was configured not to collect
+    (``SearchLimits.collect=False``); ``num_embeddings`` is always
+    correct.
+    """
+
+    embeddings: List[Embedding]
+    num_embeddings: int
+    status: TerminationStatus
+    elapsed_seconds: float
+    stats: SearchStats = field(default_factory=SearchStats)
+    preprocessing_seconds: float = 0.0
+    method: str = ""
+
+    @property
+    def complete(self) -> bool:
+        """Whether the search exhausted the space (exact result)."""
+        return self.status is TerminationStatus.COMPLETE
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status is TerminationStatus.TIMEOUT
+
+    @property
+    def total_seconds(self) -> float:
+        """Preprocessing plus search time."""
+        return self.preprocessing_seconds + self.elapsed_seconds
+
+    def embedding_set(self) -> frozenset:
+        """Embeddings as a set for differential comparisons."""
+        return frozenset(tuple(e) for e in self.embeddings)
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchResult(method={self.method!r}, n={self.num_embeddings}, "
+            f"status={self.status.value}, time={self.total_seconds:.4f}s, "
+            f"recursions={self.stats.recursions})"
+        )

@@ -1,0 +1,94 @@
+"""Verification of the isomorphism constraints (Definition 2.1).
+
+These checks are the ground truth for all differential tests: whatever a
+matcher outputs must pass :func:`is_embedding`, and the VF2 oracle uses
+:func:`is_partial_embedding` as its extension invariant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.graph.graph import Graph
+
+
+def constraint_violations(
+    query: Graph,
+    data: Graph,
+    embedding: Sequence[int],
+) -> List[str]:
+    """Human-readable list of violated constraints (empty when valid).
+
+    Checks, in the paper's order: label constraint, adjacency constraint,
+    injectivity constraint.  The embedding must be *full* (cover every
+    query vertex) — use :func:`is_partial_embedding` for prefixes.
+    """
+    problems: List[str] = []
+    if len(embedding) != query.num_vertices:
+        problems.append(
+            f"length {len(embedding)} != |V_Q| = {query.num_vertices}"
+        )
+        return problems
+    for i, v in enumerate(embedding):
+        if not (0 <= v < data.num_vertices):
+            problems.append(f"u{i} -> v{v} is not a data vertex")
+            return problems
+        if query.label(i) != data.label(v):
+            problems.append(
+                f"label: l(u{i})={query.label(i)!r} != l(v{v})={data.label(v)!r}"
+            )
+    for a, b in query.edges():
+        if not data.has_edge(embedding[a], embedding[b]):
+            problems.append(
+                f"adjacency: (u{a}, u{b}) in E_Q but "
+                f"(v{embedding[a]}, v{embedding[b]}) not in E_G"
+            )
+    if len(set(embedding)) != len(embedding):
+        problems.append("injectivity: duplicate data vertex")
+    return problems
+
+
+def is_embedding(query: Graph, data: Graph, embedding: Sequence[int]) -> bool:
+    """Whether ``embedding`` is a full embedding of ``query`` in ``data``."""
+    return not constraint_violations(query, data, embedding)
+
+
+def is_partial_embedding(
+    query: Graph,
+    data: Graph,
+    prefix: Sequence[int],
+) -> bool:
+    """Whether ``prefix`` embeds the subgraph induced by ``u_0..u_{k-1}``.
+
+    A partial embedding must satisfy all three constraints restricted to
+    the assigned query vertices (§2.2).
+    """
+    k = len(prefix)
+    if k > query.num_vertices:
+        return False
+    if len(set(prefix)) != k:
+        return False
+    for i in range(k):
+        v = prefix[i]
+        if not (0 <= v < data.num_vertices):
+            return False
+        if query.label(i) != data.label(v):
+            return False
+        for j in query.neighbors(i):
+            if j < i and not data.has_edge(prefix[j], v):
+                return False
+    return True
+
+
+def assert_all_embeddings_valid(
+    query: Graph,
+    data: Graph,
+    embeddings: Sequence[Sequence[int]],
+) -> None:
+    """Raise ``AssertionError`` listing the first invalid embedding."""
+    for embedding in embeddings:
+        problems = constraint_violations(query, data, embedding)
+        if problems:
+            raise AssertionError(
+                f"invalid embedding {tuple(embedding)}: " + "; ".join(problems)
+            )

@@ -1,0 +1,36 @@
+"""Matching-order optimizers (§2.1 "Optimization of matching order").
+
+A matching order is a permutation of the query vertices; all engines here
+assume (like the paper, §2.2) that after reordering, the order is simply
+ascending vertex id and is a *connected order* — every vertex except the
+first has a backward neighbor.
+
+* :func:`~repro.ordering.vc.vc_order` — vertex-cover-seeded greedy order
+  (the order GuP uses, after Sun & Luo [36]).
+* :func:`~repro.ordering.gql.gql_order` — GraphQL's candidate-count
+  greedy order (GQL-G baseline).
+* :func:`~repro.ordering.ri.ri_order` — RI's structure-only order
+  (GQL-R baseline).
+"""
+
+from repro.ordering.base import (
+    ORDERINGS,
+    apply_matching_order,
+    is_connected_order,
+    make_order,
+    repair_connected_order,
+)
+from repro.ordering.gql import gql_order
+from repro.ordering.ri import ri_order
+from repro.ordering.vc import vc_order
+
+__all__ = [
+    "ORDERINGS",
+    "apply_matching_order",
+    "gql_order",
+    "is_connected_order",
+    "make_order",
+    "repair_connected_order",
+    "ri_order",
+    "vc_order",
+]

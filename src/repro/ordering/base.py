@@ -1,0 +1,93 @@
+"""Matching-order plumbing shared by all order optimizers.
+
+The crucial invariant is the *connected order* property (§2.2): every
+query vertex except the first must have a neighbor earlier in the order.
+Under it, every partial embedding of length ``k`` covers exactly
+``u_0 .. u_{k-1}`` and each new assignment is constrained by at least one
+backward edge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph
+
+
+def is_connected_order(query: Graph, order: Sequence[int]) -> bool:
+    """Whether ``order`` is a connected matching order for ``query``."""
+    if sorted(order) != list(range(query.num_vertices)):
+        return False
+    placed: Set[int] = set()
+    for position, u in enumerate(order):
+        if position > 0 and not any(w in placed for w in query.neighbors(u)):
+            return False
+        placed.add(u)
+    return True
+
+
+def repair_connected_order(query: Graph, order: Sequence[int]) -> List[int]:
+    """Stable-repair an order into a connected order.
+
+    Greedily emits the earliest-ranked vertex that is adjacent to the
+    emitted prefix (the first vertex is kept).  For connected queries the
+    result is always a valid connected order that deviates minimally from
+    the requested ranking.
+    """
+    n = query.num_vertices
+    if n == 0:
+        return []
+    rank = {u: position for position, u in enumerate(order)}
+    emitted: List[int] = [order[0]]
+    placed = {order[0]}
+    frontier: Set[int] = set(query.neighbors(order[0]))
+    while len(emitted) < n:
+        available = frontier - placed
+        if not available:
+            # Disconnected query: fall back to the next unplaced vertex.
+            available = {u for u in range(n) if u not in placed}
+        nxt = min(available, key=lambda u: rank.get(u, n))
+        emitted.append(nxt)
+        placed.add(nxt)
+        frontier.update(query.neighbors(nxt))
+    return emitted
+
+
+def apply_matching_order(query: Graph, order: Sequence[int]) -> Tuple[Graph, List[int]]:
+    """Renumber ``query`` so the matching order becomes ``0, 1, 2, ...``.
+
+    Returns the reordered graph and the order itself (new id ``i`` is old
+    id ``order[i]``).  Embeddings of the reordered query map back to the
+    original through the same permutation.
+    """
+    return query.relabeled(list(order)), list(order)
+
+
+OrderFn = Callable[[Graph, Sequence[Sequence[int]]], List[int]]
+
+ORDERINGS: Dict[str, OrderFn] = {}
+
+
+def register_ordering(name: str) -> Callable[[OrderFn], OrderFn]:
+    """Decorator adding an order optimizer to the registry."""
+
+    def deco(fn: OrderFn) -> OrderFn:
+        ORDERINGS[name] = fn
+        return fn
+
+    return deco
+
+
+def make_order(
+    name: str,
+    query: Graph,
+    candidates: Sequence[Sequence[int]],
+) -> List[int]:
+    """Dispatch to a registered order optimizer by name."""
+    try:
+        fn = ORDERINGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ordering {name!r}; expected one of {sorted(ORDERINGS)}"
+        ) from None
+    return fn(query, candidates)

@@ -1,0 +1,39 @@
+"""GraphQL's matching order [16]: candidate-count greedy (GQL-G, §4.1).
+
+Pick the query vertex with the fewest candidates first, then repeatedly
+pick the connected unplaced vertex with the fewest candidates — a
+left-deep greedy that keeps the estimated branching factor small.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.graph.graph import Graph
+from repro.ordering.base import register_ordering
+
+
+@register_ordering("gql")
+def gql_order(query: Graph, candidates: Sequence[Sequence[int]]) -> List[int]:
+    """Connected order by ascending candidate count."""
+    n = query.num_vertices
+    if n == 0:
+        return []
+    sizes = [len(c) for c in candidates]
+
+    start = min(query.vertices(), key=lambda u: (sizes[u], -query.degree(u), u))
+    order = [start]
+    placed = {start}
+    while len(order) < n:
+        frontier = {
+            w
+            for u in placed
+            for w in query.neighbors(u)
+            if w not in placed
+        }
+        if not frontier:
+            frontier = {u for u in range(n) if u not in placed}
+        nxt = min(frontier, key=lambda u: (sizes[u], -query.degree(u), u))
+        order.append(nxt)
+        placed.add(nxt)
+    return order

@@ -1,0 +1,52 @@
+"""RI's matching order (Bonnici et al. [5]): structure only (GQL-R, §4.1).
+
+RI ignores the data graph entirely.  It starts from a maximum-degree
+query vertex and greedily appends the vertex with (1) the most neighbors
+already placed, (2) the most neighbors adjacent to the placed set's
+frontier (lookahead), (3) the highest degree.  Sun & Luo's GQL-R baseline
+combines this order with GraphQL's filter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.graph.graph import Graph
+from repro.ordering.base import register_ordering
+
+
+@register_ordering("ri")
+def ri_order(query: Graph, candidates: Sequence[Sequence[int]]) -> List[int]:
+    """RI structural order; ``candidates`` is accepted but unused."""
+    n = query.num_vertices
+    if n == 0:
+        return []
+
+    start = max(query.vertices(), key=lambda u: (query.degree(u), -u))
+    order = [start]
+    placed: Set[int] = {start}
+
+    while len(order) < n:
+        frontier = {
+            w
+            for u in placed
+            for w in query.neighbors(u)
+            if w not in placed
+        }
+        if not frontier:
+            frontier = {u for u in range(n) if u not in placed}
+        unplaced_adjacent_to_placed = frontier
+
+        def key(u: int) -> tuple:
+            backward = sum(1 for w in query.neighbors(u) if w in placed)
+            lookahead = sum(
+                1
+                for w in query.neighbors(u)
+                if w not in placed and w in unplaced_adjacent_to_placed
+            )
+            return (backward, lookahead, query.degree(u), -u)
+
+        nxt = max(frontier, key=key)
+        order.append(nxt)
+        placed.add(nxt)
+    return order

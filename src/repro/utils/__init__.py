@@ -1,0 +1,23 @@
+"""Small shared utilities: query-vertex bitmasks, timers, vertex cover."""
+
+from repro.utils.bitset import (
+    bit_count,
+    bits_of,
+    iter_bits,
+    mask_below,
+    mask_of,
+)
+from repro.utils.timer import Deadline, Stopwatch
+from repro.utils.vertexcover import approx_vertex_cover, constrained_vertex_cover
+
+__all__ = [
+    "Deadline",
+    "Stopwatch",
+    "approx_vertex_cover",
+    "bit_count",
+    "bits_of",
+    "constrained_vertex_cover",
+    "iter_bits",
+    "mask_below",
+    "mask_of",
+]

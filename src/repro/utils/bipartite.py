@@ -1,0 +1,68 @@
+"""Bipartite matching via augmenting paths.
+
+Two users:
+
+* GraphQL's pseudo-matching filter — a candidate survives when the
+  bipartite graph between query neighbors and data neighbors admits a
+  matching saturating the query side;
+* Lemma 3.7 condition (ii) — a reservation guard ``S`` is matchable only
+  if no subset ``S'`` exceeds ``|C^{-1}(S')[:i]|``; by Hall's theorem this
+  holds iff ``S`` can be matched into distinct earlier query vertices.
+
+Left sides are tiny (query degrees / guard sizes), so the simple
+O(V * E) augmenting-path routine is the right tool.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Sequence, Set
+
+
+def has_saturating_matching(
+    left: Sequence[Hashable],
+    right_of: Callable[[Hashable], Iterable[Hashable]],
+) -> bool:
+    """Whether a matching saturating every ``left`` vertex exists.
+
+    ``right_of(l)`` yields the right-side vertices available to ``l``.
+    """
+    match_right: Dict[Hashable, Hashable] = {}
+
+    def augment(l: Hashable, visited: Set[Hashable]) -> bool:
+        for r in right_of(l):
+            if r in visited:
+                continue
+            visited.add(r)
+            if r not in match_right or augment(match_right[r], visited):
+                match_right[r] = l
+                return True
+        return False
+
+    for l in left:
+        if not augment(l, set()):
+            return False
+    return True
+
+
+def maximum_matching_size(
+    left: Sequence[Hashable],
+    right_of: Callable[[Hashable], Iterable[Hashable]],
+) -> int:
+    """Size of a maximum matching (left side driven)."""
+    match_right: Dict[Hashable, Hashable] = {}
+
+    def augment(l: Hashable, visited: Set[Hashable]) -> bool:
+        for r in right_of(l):
+            if r in visited:
+                continue
+            visited.add(r)
+            if r not in match_right or augment(match_right[r], visited):
+                match_right[r] = l
+                return True
+        return False
+
+    size = 0
+    for l in left:
+        if augment(l, set()):
+            size += 1
+    return size

@@ -1,0 +1,89 @@
+"""Wall-clock helpers: stopwatches and soft deadlines.
+
+The paper's harness kills a query after a per-query time limit and a
+query-set after a per-subgroup budget (§4.1).  Backtracking cannot be
+preempted from outside in pure Python, so matchers poll a
+:class:`Deadline` every few thousand recursions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """Simple monotonic stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> sw.elapsed() >= 0.0
+    True
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        """Reset the start time to now."""
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction or the last :meth:`restart`."""
+        return time.perf_counter() - self._start
+
+
+class Deadline:
+    """A soft deadline polled cooperatively by long-running searches.
+
+    ``Deadline(None)`` never expires.  ``check_every`` controls how many
+    :meth:`poll` calls are skipped between actual clock reads, keeping the
+    cost negligible inside hot loops.
+    """
+
+    __slots__ = ("_expires_at", "_check_every", "_countdown", "_expired")
+
+    def __init__(self, seconds: Optional[float], check_every: int = 2048) -> None:
+        if seconds is None:
+            self._expires_at: Optional[float] = None
+        else:
+            self._expires_at = time.perf_counter() + seconds
+        self._check_every = max(1, check_every)
+        self._countdown = self._check_every
+        self._expired = False
+
+    @property
+    def expired(self) -> bool:
+        """Whether a past :meth:`poll` observed expiry (sticky)."""
+        return self._expired
+
+    def poll(self) -> bool:
+        """Cheaply check the deadline; returns ``True`` once expired."""
+        if self._expired:
+            return True
+        if self._expires_at is None:
+            return False
+        self._countdown -= 1
+        if self._countdown > 0:
+            return False
+        self._countdown = self._check_every
+        if time.perf_counter() >= self._expires_at:
+            self._expired = True
+        return self._expired
+
+    def check_now(self) -> bool:
+        """Force an immediate clock read (used at recursion entry points)."""
+        if self._expired:
+            return True
+        if self._expires_at is None:
+            return False
+        if time.perf_counter() >= self._expires_at:
+            self._expired = True
+        return self._expired
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or ``None`` for a non-expiring deadline."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.perf_counter())

@@ -1,0 +1,109 @@
+"""Vertex cover routines.
+
+Two users in this repository:
+
+* :func:`approx_vertex_cover` — the textbook 2-approximation (repeatedly
+  take an uncovered edge and add both endpoints).  The VC matching order
+  seeds itself with a cover of the query graph.
+* :func:`constrained_vertex_cover` — Algorithm 1, line 5 of the paper:
+  find a vertex cover ``S`` of the reservation graph ``G_R`` such that
+  ``|S| <= size_limit`` and ``S`` stays *matchable* (Lemma 3.7) at every
+  step.  Matchability is anti-monotone (supersets of an unmatchable set
+  stay unmatchable), so a greedy that keeps the invariant and fails early
+  is sound.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+Edge = Tuple[Hashable, Hashable]
+
+
+def approx_vertex_cover(edges: Iterable[Edge]) -> Set[Hashable]:
+    """Classic 2-approximate vertex cover.
+
+    Iterates the edges in the given order; whenever an edge is uncovered,
+    both endpoints join the cover.
+    """
+    cover: Set[Hashable] = set()
+    for a, b in edges:
+        if a not in cover and b not in cover:
+            cover.add(a)
+            cover.add(b)
+    return cover
+
+
+def constrained_vertex_cover(
+    edges: Iterable[Edge],
+    size_limit: Optional[int],
+    is_admissible: Callable[[FrozenSet[Hashable]], bool],
+) -> Optional[Set[Hashable]]:
+    """Greedy vertex cover under a size cap and an admissibility predicate.
+
+    Walks the edges once.  For each uncovered edge ``(a, b)`` it tries, in
+    order: adding only ``a``, adding only ``b``, adding both endpoints —
+    accepting the first choice whose resulting set ``is_admissible`` and
+    within ``size_limit``.  Returns ``None`` when the edge cannot be
+    covered admissibly (the reservation guard candidate is then undefined
+    for this forward neighbor, Definition 3.9).
+
+    Preferring single endpoints departs from the textbook both-endpoints
+    2-approximation the paper cites, but produces smaller covers in
+    practice — and smaller reservation guards are matched by more partial
+    embeddings (§3.2.2's own design goal).  Soundness only needs *a*
+    vertex cover, which every accepted choice maintains.
+
+    ``size_limit=None`` means unbounded (the paper's ``r = inf``).
+
+    The predicate must be anti-monotone in the set argument (true sets
+    stay true for subsets); Lemma 3.7 matchability satisfies this because
+    both failure conditions are existential over elements/subsets of S.
+    """
+    cover: Set[Hashable] = set()
+    for a, b in edges:
+        if a in cover or b in cover:
+            continue
+        placed = False
+        for addition in ((a,), (b,), (a, b)):
+            candidate = cover.union(addition)
+            if size_limit is not None and len(candidate) > size_limit:
+                continue
+            if is_admissible(frozenset(candidate)):
+                cover = candidate
+                placed = True
+                break
+        if not placed:
+            return None
+    return cover
+
+
+def exact_vertex_cover(edges: List[Edge], max_size: int) -> Optional[Set[Hashable]]:
+    """Smallest vertex cover up to ``max_size`` by bounded branching.
+
+    Exponential in ``max_size`` only; used by tests as an oracle and by
+    the VC matching order on (small) query graphs.
+    """
+    remaining = [tuple(e) for e in edges]
+
+    def solve(uncovered: List[Edge], budget: int) -> Optional[Set[Hashable]]:
+        if not uncovered:
+            return set()
+        if budget == 0:
+            return None
+        a, b = uncovered[0]
+        best: Optional[Set[Hashable]] = None
+        for pick in (a, b):
+            rest = [e for e in uncovered if pick not in e]
+            sub = solve(rest, budget - 1)
+            if sub is not None:
+                sub = sub | {pick}
+                if best is None or len(sub) < len(best):
+                    best = sub
+        return best
+
+    for budget in range(max_size + 1):
+        result = solve(remaining, budget)
+        if result is not None:
+            return result
+    return None

@@ -1,0 +1,46 @@
+"""Workloads: synthetic data graphs and query generators (§4.1).
+
+The paper evaluates on Yeast / Human / WordNet / Patents with
+random-walk-extracted query sets (8-32 vertices, sparse/dense).  The
+real files are not available offline, so :mod:`repro.workload.datasets`
+synthesizes seeded stand-ins with the same qualitative profile, and
+:mod:`repro.workload.querygen` reimplements the query extraction.
+:mod:`repro.workload.paper_example` reconstructs Fig. 1's query/data
+pair from the paper's worked examples — the ground truth for the guard
+unit tests.
+"""
+
+from repro.workload.datasets import (
+    DATASETS,
+    DatasetSpec,
+    load_dataset,
+)
+from repro.workload.hardness import (
+    generate_cycle_query,
+    mine_hard_queries,
+    probe_hardness,
+)
+from repro.workload.paper_example import paper_example_data, paper_example_query
+from repro.workload.querygen import (
+    QuerySetSpec,
+    classify_density,
+    generate_query,
+    generate_query_set,
+    standard_query_sets,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "QuerySetSpec",
+    "classify_density",
+    "generate_cycle_query",
+    "generate_query",
+    "generate_query_set",
+    "load_dataset",
+    "mine_hard_queries",
+    "probe_hardness",
+    "paper_example_data",
+    "paper_example_query",
+    "standard_query_sets",
+]

@@ -1,0 +1,128 @@
+"""Synthetic stand-ins for the paper's four data graphs (§4.1).
+
+The originals (Yeast, Human, WordNet, Patents) are not redistributable /
+not available offline, so each spec below reproduces the *profile* that
+drives matcher behaviour — vertex count, average degree, label count,
+label skew, and clustering — scaled down so a pure-Python matcher
+completes the full experiment grid in minutes (see DESIGN.md §2).
+
+Profiles:
+
+* **yeast** — small, sparse (avg deg ~8), many skewed labels (protein
+  classes): highly selective candidate filtering, moderate search.
+* **human** — small but dense (avg deg ~37): large local candidate
+  sets, where injectivity conflicts dominate.
+* **wordnet** — large and very sparse (avg deg ~3) with only 5 labels:
+  weak filtering, long sparse walks — the regime where nogood guards
+  shine.
+* **patents** — the largest, moderately sparse, 20 uniform random
+  labels (exactly how Sun et al. labeled the original unlabeled graph).
+
+``scale`` multiplies the vertex/edge counts (1.0 = our default reduced
+size, not the original size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    random_connected_graph,
+)
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one synthetic data graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    num_labels: int
+    label_skew: float
+    structure: str  # "powerlaw" | "er" | "connected"
+    original: str   # the profile this stands in for (documentation)
+
+    def build(self, scale: float = 1.0, seed: int = 2023) -> Graph:
+        """Materialize the graph deterministically from ``seed``."""
+        n = max(8, int(self.num_vertices * scale))
+        m = max(n - 1, int(self.num_edges * scale))
+        if self.structure == "powerlaw":
+            per_vertex = max(1, round(m / n))
+            return powerlaw_cluster_graph(
+                n,
+                per_vertex,
+                triangle_probability=0.3,
+                num_labels=self.num_labels,
+                seed=seed,
+                label_skew=self.label_skew,
+            )
+        if self.structure == "er":
+            return erdos_renyi_graph(
+                n, m, num_labels=self.num_labels, seed=seed,
+                label_skew=self.label_skew,
+            )
+        return random_connected_graph(
+            n, m, num_labels=self.num_labels, seed=seed,
+            label_skew=self.label_skew,
+        )
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "yeast": DatasetSpec(
+        name="yeast",
+        num_vertices=320,
+        num_edges=1250,
+        num_labels=36,
+        label_skew=0.8,
+        structure="connected",
+        original="Yeast: 3,112 vertices, 12,519 edges, 71 labels",
+    ),
+    "human": DatasetSpec(
+        name="human",
+        num_vertices=240,
+        num_edges=4300,
+        num_labels=22,
+        label_skew=0.4,
+        structure="er",
+        original="Human: 4,674 vertices, 86,282 edges, 44 labels",
+    ),
+    "wordnet": DatasetSpec(
+        name="wordnet",
+        num_vertices=2000,
+        num_edges=3200,
+        num_labels=3,
+        label_skew=0.3,
+        structure="connected",
+        original="WordNet: 76,853 vertices, 120,399 edges, 5 labels",
+        # 3 labels, not 5: hardness tracks candidates-per-label (~n/L),
+        # so a 38x vertex scale-down keeps WordNet's weak-filtering
+        # regime only if L shrinks too (DESIGN.md §2).
+    ),
+    "patents": DatasetSpec(
+        name="patents",
+        num_vertices=3800,
+        num_edges=16500,
+        num_labels=20,
+        label_skew=0.0,
+        structure="powerlaw",
+        original="Patents: 3,774,768 vertices, 16,518,947 edges, 20 labels",
+    ),
+}
+
+DATASET_NAMES: Tuple[str, ...] = ("yeast", "human", "wordnet", "patents")
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 2023) -> Graph:
+    """Build the named synthetic dataset (deterministic per seed)."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of {sorted(DATASETS)}"
+        ) from None
+    return spec.build(scale=scale, seed=seed)

@@ -1,0 +1,64 @@
+"""The paper's running example (Fig. 1), reconstructed from the text.
+
+The figure itself is not machine-readable in the source, but the worked
+examples pin the graphs down: Example 3.4 lists every subembedding
+rooted at ``(u1, v3)``; §3.1 states every candidate set is label-only
+except that NLF removes ``v13`` from ``C(u0)``; Example 3.20 gives
+``N^-(u2) = {u0, u1}`` and the local candidate sets under
+``{(u0, v0)}``; Fig. 3 walks the full search tree, whose only full
+embedding is ``{(u0,v1), (u1,v4), (u2,v7), (u3,v10), (u4,v0)}``;
+Examples 3.8/3.13 fix the reservation guards.  The graphs below satisfy
+all of those statements (the unit tests assert each one).
+
+Query: ``u0:A, u1:B, u2:C, u3:D, u4:A`` with edges
+``u0-u1, u0-u2, u1-u2, u2-u3, u2-u4, u3-u4``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+PAPER_FULL_EMBEDDING = (1, 4, 7, 10, 0)
+"""The unique full embedding of the example (Fig. 3, node m19)."""
+
+
+def paper_example_query() -> Graph:
+    """Query graph Q of Fig. 1(a)."""
+    builder = GraphBuilder()
+    builder.add_vertices(["A", "B", "C", "D", "A"])  # u0 .. u4
+    builder.add_edges(
+        [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]
+    )
+    return builder.build()
+
+
+def paper_example_data() -> Graph:
+    """Data graph G of Fig. 1(b).
+
+    Labels: ``v0, v1, v13 -> A``; ``v2..v4 -> B``; ``v5..v8 -> C``;
+    ``v9..v12 -> D``.
+    """
+    labels = [
+        "A", "A",              # v0, v1
+        "B", "B", "B",         # v2..v4
+        "C", "C", "C", "C",    # v5..v8
+        "D", "D", "D", "D",    # v9..v12
+        "A",                   # v13
+    ]
+    edges = [
+        # A-B (query edge u0-u1)
+        (0, 2), (0, 3), (0, 4), (1, 4),
+        # A-C (query edges u0-u2 and u2-u4)
+        (0, 5), (0, 6), (0, 7), (1, 7), (1, 8), (13, 5), (13, 6), (13, 8),
+        # B-C (query edge u1-u2)
+        (2, 6), (2, 7), (3, 5), (3, 6), (3, 7), (3, 8), (4, 7),
+        # C-D (query edge u2-u3)
+        (5, 9), (6, 11), (7, 10), (8, 11), (8, 12),
+        # A-D (query edges u3-u4)
+        (0, 9), (0, 10), (1, 11), (1, 12), (13, 10),
+    ]
+    builder = GraphBuilder()
+    builder.add_vertices(labels)
+    builder.add_edges(edges)
+    return builder.build()

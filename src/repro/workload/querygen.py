@@ -1,0 +1,197 @@
+"""Query generation by random walk (Sun & Luo's protocol, §4.1).
+
+A query is extracted by random-walking the data graph until the target
+number of distinct vertices is visited and taking the induced subgraph.
+A query is *sparse* when its average degree is below three, otherwise
+*dense* (the paper's 8S..32S / 8D..32D sets).
+
+Induced subgraphs of a dense data graph are almost always dense and
+vice versa, so pure rejection sampling cannot fill both buckets on every
+graph.  Like the published query sets, we therefore adjust structure
+while staying a *subgraph of the data graph* (so every query is
+satisfiable by construction):
+
+* to sparsify, keep a random spanning tree of the induced subgraph plus
+  random extra induced edges up to the density cap;
+* to densify, bias the walk towards high-degree vertices (restarts at
+  hubs) and reject until the induced density reaches 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+RandomLike = Union[int, random.Random, None]
+
+SPARSE_THRESHOLD = 3.0
+"""Average degree below this is "sparse" (paper §4.1)."""
+
+
+def classify_density(query: Graph) -> str:
+    """"sparse" or "dense" per the paper's average-degree-3 rule."""
+    return "sparse" if query.average_degree() < SPARSE_THRESHOLD else "dense"
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def _random_walk_vertices(
+    data: Graph, size: int, rng: random.Random, hub_bias: bool
+) -> Optional[List[int]]:
+    """Distinct vertices visited by one random walk (None on a dead end)."""
+    start = rng.randrange(data.num_vertices)
+    visited: List[int] = [start]
+    seen: Set[int] = {start}
+    current = start
+    steps = 0
+    budget = 60 * size
+    while len(visited) < size and steps < budget:
+        steps += 1
+        nbrs = data.neighbors(current)
+        if not nbrs:
+            return None
+        if hub_bias:
+            # Two draws, keep the higher-degree endpoint: biases the walk
+            # into dense regions without changing connectivity.
+            a = nbrs[rng.randrange(len(nbrs))]
+            b = nbrs[rng.randrange(len(nbrs))]
+            nxt = a if data.degree(a) >= data.degree(b) else b
+        else:
+            nxt = nbrs[rng.randrange(len(nbrs))]
+        if nxt not in seen:
+            seen.add(nxt)
+            visited.append(nxt)
+        current = nxt
+    return visited if len(visited) == size else None
+
+
+def _sparsify(
+    induced: Graph, rng: random.Random, max_avg_degree: float
+) -> Graph:
+    """Connected spanning subgraph under the density cap.
+
+    Keeps a random spanning tree, then adds random further induced edges
+    while the average degree stays below ``max_avg_degree``.  The result
+    is a (not necessarily induced) subgraph of the data graph.
+    """
+    n = induced.num_vertices
+    edges = list(induced.edges())
+    rng.shuffle(edges)
+
+    # Kruskal-style random spanning tree.
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    tree: List[Tuple[int, int]] = []
+    extra: List[Tuple[int, int]] = []
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            tree.append((u, v))
+        else:
+            extra.append((u, v))
+
+    max_edges = int(max_avg_degree * n / 2.0)
+    budget = max(0, max_edges - len(tree))
+    kept = tree + extra[:budget]
+
+    builder = GraphBuilder()
+    builder.add_vertices(induced.labels)
+    builder.add_edges(kept)
+    return builder.build()
+
+
+def generate_query(
+    data: Graph,
+    size: int,
+    density: str = "sparse",
+    seed: RandomLike = None,
+    max_attempts: int = 200,
+) -> Graph:
+    """One connected query of ``size`` vertices and the requested density.
+
+    Every returned query is a connected subgraph of ``data`` (so it has
+    at least one embedding), with contiguous vertex ids and the labels
+    of the walked data vertices.
+    """
+    if density not in ("sparse", "dense"):
+        raise ValueError(f"density must be 'sparse' or 'dense', got {density!r}")
+    if size < 2:
+        raise ValueError("queries need at least 2 vertices")
+    if data.num_vertices < size:
+        raise ValueError("data graph smaller than the requested query")
+    rng = _rng(seed)
+
+    fallback: Optional[Graph] = None
+    for _ in range(max_attempts):
+        vertices = _random_walk_vertices(
+            data, size, rng, hub_bias=(density == "dense")
+        )
+        if vertices is None:
+            continue
+        induced, _ = data.induced_subgraph(vertices)
+        if density == "dense":
+            if induced.average_degree() >= SPARSE_THRESHOLD:
+                return induced
+            fallback = induced if fallback is None else fallback
+        else:
+            if induced.average_degree() < SPARSE_THRESHOLD:
+                return induced
+            sparse = _sparsify(induced, rng, SPARSE_THRESHOLD - 0.01)
+            if sparse.average_degree() < SPARSE_THRESHOLD:
+                return sparse
+    if fallback is not None:
+        return fallback
+    raise RuntimeError(
+        f"could not generate a {density} {size}-vertex query in "
+        f"{max_attempts} attempts"
+    )
+
+
+@dataclass(frozen=True)
+class QuerySetSpec:
+    """One of the paper's query sets, e.g. 16S or 24D."""
+
+    size: int
+    density: str  # "sparse" | "dense"
+
+    @property
+    def name(self) -> str:
+        return f"{self.size}{'S' if self.density == 'sparse' else 'D'}"
+
+
+def standard_query_sets(sizes: Sequence[int] = (8, 16, 24, 32)) -> List[QuerySetSpec]:
+    """The paper's grid: {8,16,24,32} x {sparse, dense}."""
+    specs: List[QuerySetSpec] = []
+    for density in ("sparse", "dense"):
+        for size in sizes:
+            specs.append(QuerySetSpec(size=size, density=density))
+    return specs
+
+
+def generate_query_set(
+    data: Graph,
+    spec: QuerySetSpec,
+    count: int,
+    seed: RandomLike = None,
+) -> List[Graph]:
+    """``count`` queries drawn per ``spec`` (deterministic per seed)."""
+    rng = _rng(seed)
+    return [
+        generate_query(data, spec.size, spec.density, seed=rng)
+        for _ in range(count)
+    ]

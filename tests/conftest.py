@@ -1,0 +1,62 @@
+"""Shared fixtures: small canonical graphs and the paper's example."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.builder import (
+    GraphBuilder,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.workload.paper_example import paper_example_data, paper_example_query
+
+
+@pytest.fixture
+def triangle_query():
+    """A labeled triangle query (A-B-C)."""
+    return cycle_graph(["A", "B", "C"])
+
+
+@pytest.fixture
+def two_triangles_data():
+    """Two disjoint A-B-C triangles bridged by one edge."""
+    b = GraphBuilder()
+    b.add_vertices(["A", "B", "C", "A", "B", "C"])
+    b.add_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+    return b.build()
+
+
+@pytest.fixture
+def paper_query():
+    return paper_example_query()
+
+
+@pytest.fixture
+def paper_data():
+    return paper_example_data()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20230612)
+
+
+def make_random_pair(rng, max_query=6, max_data=14, max_labels=3):
+    """A random connected query and a random data graph (for tests)."""
+    from repro.graph.generators import erdos_renyi_graph, random_connected_graph
+
+    nq = rng.randint(2, max_query)
+    nd = rng.randint(4, max_data)
+    labels = rng.randint(1, max_labels)
+    query = random_connected_graph(
+        nq, nq - 1 + rng.randint(0, 4), num_labels=labels, seed=rng.randint(0, 10**9)
+    )
+    data = erdos_renyi_graph(
+        nd, rng.randint(0, nd * 2), num_labels=labels, seed=rng.randint(0, 10**9)
+    )
+    return query, data

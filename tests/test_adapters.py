@@ -1,0 +1,214 @@
+"""Tests for the directed and edge-labeled adapters.
+
+The crucial property: the reduction is *exact* — the adapter's
+embeddings equal the brute-force oracle's on randomized instances.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adapters import (
+    DiGraph,
+    EdgeLabeledGraph,
+    directed_to_undirected,
+    edge_labeled_to_vertex_labeled,
+    enumerate_directed_embeddings,
+    enumerate_edge_labeled_embeddings,
+    match_directed,
+    match_edge_labeled,
+)
+from repro.core.config import GuPConfig
+from repro.matching.limits import SearchLimits
+
+
+def random_digraph(rng, n, m, labels):
+    edges = set()
+    attempts = 0
+    while len(edges) < m and attempts < m * 10:
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((u, v))
+    return DiGraph(
+        [rng.randrange(labels) for _ in range(n)], sorted(edges)
+    )
+
+
+def random_edge_labeled(rng, n, m, vlabels, elabels):
+    edges = {}
+    attempts = 0
+    while len(edges) < m and attempts < m * 10:
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges[(min(u, v), max(u, v))] = rng.randrange(elabels)
+    return EdgeLabeledGraph(
+        [rng.randrange(vlabels) for _ in range(n)],
+        [(u, v, l) for (u, v), l in sorted(edges.items())],
+    )
+
+
+class TestDiGraph:
+    def test_basic(self):
+        g = DiGraph(["A", "B"], [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.successors(0) == (1,)
+        assert g.predecessors(1) == (0,)
+        assert g.num_edges == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            DiGraph(["A"], [(0, 0)])
+
+    def test_rejects_dangling(self):
+        with pytest.raises(ValueError, match="unknown vertex"):
+            DiGraph(["A"], [(0, 3)])
+
+    def test_oracle_respects_direction(self):
+        #  A -> B in data; query B -> A must not match.
+        data = DiGraph(["A", "B"], [(0, 1)])
+        forward = DiGraph(["A", "B"], [(0, 1)])
+        backward = DiGraph(["A", "B"], [(1, 0)])
+        assert enumerate_directed_embeddings(forward, data) == [(0, 1)]
+        assert enumerate_directed_embeddings(backward, data) == []
+
+
+class TestDirectedReduction:
+    def test_reduction_shape(self):
+        g = DiGraph(["A", "B"], [(0, 1)])
+        reduced = directed_to_undirected(g)
+        assert reduced.num_vertices == 4  # 2 originals + 2 gadget
+        assert reduced.num_edges == 3
+        assert reduced.label(0) == ("v", "A")
+
+    def test_direction_preserved(self):
+        data = DiGraph(["A", "A"], [(0, 1)])
+        cycle_query = DiGraph(["A", "A"], [(0, 1), (1, 0)])
+        assert match_directed(cycle_query, data).num_embeddings == 0
+        one_way = DiGraph(["A", "A"], [(0, 1)])
+        # Both orientations of the unlabeled pair: only source->target.
+        assert sorted(match_directed(one_way, data).embeddings) == [(0, 1)]
+
+    def test_two_cycle_matches_two_cycle(self):
+        data = DiGraph(["A", "A"], [(0, 1), (1, 0)])
+        query = DiGraph(["A", "A"], [(0, 1), (1, 0)])
+        assert match_directed(query, data).num_embeddings == 2
+
+    def test_empty_query(self):
+        data = DiGraph(["A"], [])
+        query = DiGraph([], [])
+        assert match_directed(query, data).embeddings == [()]
+
+    def test_limits_respected(self):
+        data = DiGraph(["A"] * 4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        query = DiGraph(["A", "A"], [(0, 1)])
+        result = match_directed(
+            query, data, limits=SearchLimits(max_embeddings=2)
+        )
+        assert result.num_embeddings == 2
+
+    def test_differential_vs_oracle(self):
+        rng = random.Random(31)
+        for _ in range(25):
+            nq = rng.randint(2, 4)
+            nd = rng.randint(3, 8)
+            labels = rng.randint(1, 2)
+            query = random_digraph(rng, nq, rng.randint(1, 5), labels)
+            data = random_digraph(rng, nd, rng.randint(0, 12), labels)
+            expected = sorted(enumerate_directed_embeddings(query, data))
+            got = sorted(match_directed(query, data).embeddings)
+            assert got == expected, (list(query.edges()), list(data.edges()))
+
+    def test_differential_with_baseline_config(self):
+        rng = random.Random(41)
+        config = GuPConfig.baseline()
+        for _ in range(10):
+            query = random_digraph(rng, 3, 3, 2)
+            data = random_digraph(rng, 7, 10, 2)
+            expected = sorted(enumerate_directed_embeddings(query, data))
+            got = sorted(match_directed(query, data, config=config).embeddings)
+            assert got == expected
+
+
+class TestEdgeLabeledGraph:
+    def test_basic(self):
+        g = EdgeLabeledGraph(["A", "B"], [(0, 1, "x")])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.edge_label(0, 1) == "x"
+        assert g.edge_label(1, 0) == "x"
+
+    def test_rejects_conflicting_labels(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            EdgeLabeledGraph(["A", "B"], [(0, 1, "x"), (1, 0, "y")])
+
+    def test_oracle_checks_edge_labels(self):
+        data = EdgeLabeledGraph(["A", "B"], [(0, 1, "x")])
+        good = EdgeLabeledGraph(["A", "B"], [(0, 1, "x")])
+        bad = EdgeLabeledGraph(["A", "B"], [(0, 1, "y")])
+        assert enumerate_edge_labeled_embeddings(good, data) == [(0, 1)]
+        assert enumerate_edge_labeled_embeddings(bad, data) == []
+
+
+class TestEdgeLabeledReduction:
+    def test_reduction_shape(self):
+        g = EdgeLabeledGraph(["A", "B"], [(0, 1, "x")])
+        reduced = edge_labeled_to_vertex_labeled(g)
+        assert reduced.num_vertices == 3
+        assert reduced.num_edges == 2
+        assert reduced.label(2) == ("e", "x")
+
+    def test_edge_labels_enforced(self):
+        data = EdgeLabeledGraph(
+            ["A", "B", "B"], [(0, 1, "x"), (0, 2, "y")]
+        )
+        query = EdgeLabeledGraph(["A", "B"], [(0, 1, "x")])
+        result = match_edge_labeled(query, data)
+        assert result.embeddings == [(0, 1)]
+
+    def test_differential_vs_oracle(self):
+        rng = random.Random(59)
+        for _ in range(25):
+            query = random_edge_labeled(rng, rng.randint(2, 4), rng.randint(1, 4), 2, 2)
+            data = random_edge_labeled(rng, rng.randint(3, 8), rng.randint(0, 10), 2, 2)
+            expected = sorted(enumerate_edge_labeled_embeddings(query, data))
+            got = sorted(match_edge_labeled(query, data).embeddings)
+            assert got == expected
+
+    def test_empty_query(self):
+        data = EdgeLabeledGraph(["A"], [])
+        query = EdgeLabeledGraph([], [])
+        assert match_edge_labeled(query, data).embeddings == [()]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    nq=st.integers(min_value=2, max_value=4),
+    nd=st.integers(min_value=3, max_value=8),
+)
+def test_directed_adapter_property(seed, nq, nd):
+    rng = random.Random(seed)
+    query = random_digraph(rng, nq, rng.randint(1, nq * 2), 2)
+    data = random_digraph(rng, nd, rng.randint(0, nd * 2), 2)
+    expected = sorted(enumerate_directed_embeddings(query, data))
+    got = sorted(match_directed(query, data).embeddings)
+    assert got == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    nq=st.integers(min_value=2, max_value=4),
+    nd=st.integers(min_value=3, max_value=8),
+)
+def test_edge_labeled_adapter_property(seed, nq, nd):
+    rng = random.Random(seed)
+    query = random_edge_labeled(rng, nq, rng.randint(1, nq + 2), 2, 2)
+    data = random_edge_labeled(rng, nd, rng.randint(0, nd * 2), 2, 2)
+    expected = sorted(enumerate_edge_labeled_embeddings(query, data))
+    got = sorted(match_edge_labeled(query, data).embeddings)
+    assert got == expected

@@ -1,0 +1,118 @@
+"""Tests for search tracing and the Fig. 3 tree reconstruction.
+
+The paper example's search trees are pinned exactly: the conventional
+tree is Fig. 3 (19 extension nodes + root, the X marks in place), and
+the guarded tree realizes Example 3.34 (R/NV filtering at M6 and the
+backjump that prunes node m12).
+"""
+
+import pytest
+
+from repro.analysis import TraceRecorder, render_search_tree, trace_search
+from repro.analysis.trace import SearchObserver
+from repro.core.backtrack import GuPSearch
+from repro.core.config import GuPConfig
+from repro.core.gcs import build_gcs
+from repro.workload import paper_example_data, paper_example_query
+from tests.conftest import make_random_pair
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return paper_example_query(), paper_example_data()
+
+
+class TestFig3Baseline:
+    def test_tree_matches_fig3(self, graphs):
+        q, d = graphs
+        tree = trace_search(q, d, GuPConfig.baseline(), reorder=False)
+        # Fig. 3: nodes m0 (root) .. m19 -> 20 recursions.
+        assert tree.num_recursions() == 20
+        assert tree.embeddings == [(1, 4, 7, 10, 0)]
+        # The X marks: three injectivity conflicts at u4=v0 and two
+        # no-candidate conflicts at u3=v11, plus the final leaf path.
+        recorder_conflicts = tree.num_conflicts()
+        assert recorder_conflicts == 6  # 3x inj + 2x empty + 1 more inj (m14)
+
+    def test_rendering_mentions_structure(self, graphs):
+        q, d = graphs
+        text = render_search_tree(q, d, GuPConfig.baseline(), reorder=False)
+        assert "u0=v0" in text and "u0=v1" in text
+        assert "[FULL EMBEDDING]" in text
+        assert "X inj" in text and "X empty" in text
+
+
+class TestExample334Guarded:
+    def test_guards_prune_fig3_shaded_nodes(self, graphs):
+        q, d = graphs
+        tree = trace_search(q, d, GuPConfig.full(), reorder=False)
+        baseline = trace_search(q, d, GuPConfig.baseline(), reorder=False)
+        assert tree.embeddings == baseline.embeddings
+        assert tree.num_recursions() < baseline.num_recursions()
+
+    def test_m6_filtering(self, graphs):
+        """Example 3.34: at M6 = {(u0,v0),(u1,v3)}, v5 is filtered by the
+        reservation guard and v6/v7 by nogood guards on vertices."""
+        q, d = graphs
+        text = render_search_tree(q, d, GuPConfig.full(), reorder=False)
+        assert "X R" in text
+        assert "X NV" in text
+        assert "<backjump>" in text
+
+    def test_backjump_prunes_m12(self, graphs):
+        """After M6's deadend (nogood {(u0, v0)}), the u0=v0 node is
+        abandoned: u1=v4 (node m12) is never explored under v0."""
+        q, d = graphs
+        tree = trace_search(q, d, GuPConfig.full(), reorder=False)
+        v0_node = next(c for c in tree.root.children if c.vertex == 0)
+        explored_u1 = [c.vertex for c in v0_node.children if not c.conflict]
+        assert 4 not in explored_u1  # m12 pruned
+        assert v0_node.backjumped_after
+        assert v0_node.mask == 0b1  # deadend mask {u0} (Example 3.34)
+
+
+class TestObserverProtocol:
+    def test_recorder_event_stream_is_balanced(self, graphs):
+        q, d = graphs
+        recorder = TraceRecorder()
+        gcs = build_gcs(q, d)
+        GuPSearch(gcs, observer=recorder).run()
+        assert recorder.count("descend") == recorder.count("return")
+        assert recorder.count("embedding") == 1
+
+    def test_noop_observer_does_not_change_search(self, rng):
+        for _ in range(8):
+            q, d = make_random_pair(rng)
+            gcs1 = build_gcs(q, d)
+            plain = GuPSearch(gcs1)
+            r1, _ = plain.run()
+            gcs2 = build_gcs(q, d)
+            observed = GuPSearch(gcs2, observer=SearchObserver())
+            r2, _ = observed.run()
+            assert sorted(r1) == sorted(r2)
+            assert plain.stats.recursions == observed.stats.recursions
+
+    def test_conflicts_by_kind(self, graphs):
+        q, d = graphs
+        recorder = TraceRecorder()
+        gcs = build_gcs(q, d)
+        GuPSearch(gcs, observer=recorder).run()
+        kinds = recorder.conflicts_by_kind()
+        assert set(kinds) <= {
+            "injectivity", "reservation", "nogood_vertex", "no_candidate",
+        }
+
+
+class TestTraceOnRandomInstances:
+    def test_tree_recursions_match_stats(self, rng):
+        for _ in range(8):
+            q, d = make_random_pair(rng)
+            recorder = TraceRecorder()
+            gcs = build_gcs(q, d)
+            search = GuPSearch(gcs, observer=recorder)
+            search.run()
+            from repro.analysis.tree import build_tree
+
+            tree = build_tree(recorder, gcs.query)
+            if not gcs.cs.is_empty() and gcs.query.num_vertices > 0:
+                assert tree.num_recursions() == search.stats.recursions

@@ -1,0 +1,54 @@
+"""Tests for the guard-inventory analysis helpers."""
+
+import pytest
+
+from repro.analysis.guards import guard_inventory, run_and_inventory
+from repro.core.config import GuPConfig
+from repro.core.gcs import build_gcs
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.workload.paper_example import paper_example_data, paper_example_query
+from repro.workload.querygen import generate_query
+
+
+@pytest.fixture(scope="module")
+def hard_gcs():
+    data = powerlaw_cluster_graph(60, 3, 0.35, num_labels=4, seed=9)
+    query = generate_query(data, 10, "dense", seed=10)
+    return build_gcs(query, data)
+
+
+class TestInventory:
+    def test_paper_example(self):
+        gcs = build_gcs(paper_example_query(), paper_example_data())
+        search, inventory = run_and_inventory(gcs)
+        assert inventory.reservations_total == gcs.cs.total_candidates()
+        assert inventory.nv_guards == gcs.nogoods.num_vertex_guards
+        assert sum(inventory.reservation_size_histogram.values()) == (
+            inventory.reservations_total
+        )
+        assert inventory.prunes_by_kind["injectivity"] == (
+            search.stats.pruned_injectivity
+        )
+
+    def test_histogram_tracks_store(self, hard_gcs):
+        search, inventory = run_and_inventory(hard_gcs)
+        assert sum(inventory.nv_dom_histogram.values()) == inventory.nv_guards
+        assert inventory.ne_guards == hard_gcs.nogoods.num_edge_guards
+
+    def test_explicit_store_supported(self, hard_gcs):
+        search, inventory = run_and_inventory(
+            hard_gcs, config=GuPConfig(nogood_representation="explicit")
+        )
+        assert sum(inventory.nv_dom_histogram.values()) == inventory.nv_guards
+
+    def test_render(self, hard_gcs):
+        _search, inventory = run_and_inventory(hard_gcs)
+        text = inventory.render()
+        assert "reservation guards" in text
+        assert "nogood guards" in text
+        assert "prunes:" in text
+
+    def test_inventory_without_stats(self):
+        gcs = build_gcs(paper_example_query(), paper_example_data())
+        inventory = guard_inventory(gcs)
+        assert inventory.prunes_by_kind == {}

@@ -1,0 +1,114 @@
+"""Unit tests for the baseline matchers and the registry."""
+
+import pytest
+
+from repro.baselines.backtracking import BacktrackingMatcher, ancestor_closures
+from repro.baselines.registry import (
+    MATCHER_FACTORIES,
+    MATCHERS,
+    PAPER_METHODS,
+    get_matcher,
+)
+from repro.baselines.vf2 import Vf2Matcher, enumerate_embeddings_bruteforce
+from repro.graph.builder import GraphBuilder, cycle_graph, path_graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import TerminationStatus
+from repro.matching.verify import assert_all_embeddings_valid
+from tests.conftest import make_random_pair
+
+
+class TestVf2:
+    def test_paper_example(self, paper_query, paper_data):
+        result = Vf2Matcher().match(paper_query, paper_data)
+        assert result.num_embeddings == 1
+
+    def test_empty_query(self, two_triangles_data):
+        b = GraphBuilder()
+        result = Vf2Matcher().match(b.build(), two_triangles_data)
+        assert result.embeddings == [()]
+
+    def test_embedding_limit(self):
+        q = cycle_graph("XXX")
+        d = cycle_graph("XXX")
+        result = Vf2Matcher().match(q, d, SearchLimits(max_embeddings=4))
+        assert result.num_embeddings == 4
+        assert result.status is TerminationStatus.EMBEDDING_LIMIT
+
+    def test_bruteforce_helper(self, triangle_query, two_triangles_data):
+        embs = enumerate_embeddings_bruteforce(triangle_query, two_triangles_data)
+        assert sorted(embs) == [(0, 1, 2), (3, 4, 5)]
+
+
+class TestAncestorClosures:
+    def test_path(self):
+        q = path_graph("ABC")
+        assert ancestor_closures(q) == [0b001, 0b011, 0b111]
+
+    def test_branching(self):
+        # u2 adjacent to u0 only: its closure skips u1.
+        b = GraphBuilder()
+        b.add_vertices("ABC")
+        b.add_edges([(0, 1), (0, 2)])
+        q = b.build()
+        assert ancestor_closures(q) == [0b001, 0b011, 0b101]
+
+
+class TestBacktrackingMatcher:
+    def test_respects_filter_and_order_knobs(self, triangle_query, two_triangles_data):
+        for filt in ("ldf", "nlf", "dagdp", "gql"):
+            for order in ("vc", "gql", "ri"):
+                m = BacktrackingMatcher(
+                    name="t", filter_method=filt, ordering=order
+                )
+                res = m.match(triangle_query, two_triangles_data)
+                assert sorted(res.embeddings) == [(0, 1, 2), (3, 4, 5)]
+
+    def test_failing_set_reduces_or_preserves_recursions(self, rng):
+        with_fs = without_fs = 0
+        for _ in range(20):
+            q, d = make_random_pair(rng, max_query=7, max_data=20)
+            a = BacktrackingMatcher(name="fs", use_failing_set=True).match(q, d)
+            b = BacktrackingMatcher(name="nofs", use_failing_set=False).match(q, d)
+            assert a.embedding_set() == b.embedding_set()
+            with_fs += a.stats.recursions
+            without_fs += b.stats.recursions
+        assert with_fs <= without_fs
+
+    def test_empty_query(self, two_triangles_data):
+        b = GraphBuilder()
+        res = BacktrackingMatcher().match(b.build(), two_triangles_data)
+        assert res.embeddings == [()]
+
+    def test_original_numbering(self, rng):
+        for _ in range(10):
+            q, d = make_random_pair(rng)
+            res = BacktrackingMatcher(use_failing_set=True).match(q, d)
+            assert_all_embeddings_valid(q, d, res.embeddings)
+
+
+class TestRegistry:
+    def test_contains_paper_methods(self):
+        assert set(PAPER_METHODS) <= set(MATCHER_FACTORIES)
+        assert "VF2" in MATCHERS and "Baseline" in MATCHERS
+
+    def test_get_matcher_names(self):
+        for name in MATCHERS:
+            assert get_matcher(name).name == name
+
+    def test_unknown_matcher(self):
+        with pytest.raises(ValueError, match="unknown matcher"):
+            get_matcher("nope")
+
+    @pytest.mark.parametrize("name", sorted(MATCHER_FACTORIES))
+    def test_every_matcher_solves_paper_example(self, name, paper_query, paper_data):
+        result = get_matcher(name).match(paper_query, paper_data)
+        assert result.num_embeddings == 1
+        assert result.embeddings == [(1, 4, 7, 10, 0)]
+
+    @pytest.mark.parametrize("name", ["DAF", "GQL-G", "GQL-R", "RM"])
+    def test_baselines_handle_limits(self, name):
+        q = cycle_graph("XXX")
+        d = cycle_graph("XXX")
+        res = get_matcher(name).match(q, d, SearchLimits(max_embeddings=3))
+        assert res.num_embeddings == 3
+        assert res.status is TerminationStatus.EMBEDDING_LIMIT

@@ -1,0 +1,149 @@
+"""Unit tests for the benchmark harness (runner, stats, report, memory)."""
+
+import pytest
+
+from repro.baselines.registry import get_matcher
+from repro.bench.memory import measure_memory
+from repro.bench.report import format_bar_chart, format_grouped_bars, format_table
+from repro.bench.runner import (
+    BenchmarkScale,
+    QueryRunRecord,
+    QuerySetResult,
+    run_methods_on_set,
+    run_query_set,
+)
+from repro.bench.stats import (
+    average_time_with_timeouts,
+    finished_counts,
+    finished_matrix,
+    geometric_mean,
+    threshold_counts,
+    total_recursions,
+)
+from repro.matching.result import TerminationStatus
+from repro.workload.datasets import load_dataset
+from repro.workload.querygen import QuerySetSpec, generate_query_set
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    data = load_dataset("yeast", scale=0.5, seed=3)
+    queries = generate_query_set(data, QuerySetSpec(6, "sparse"), count=6, seed=4)
+    return data, queries
+
+
+def record(seconds, status=TerminationStatus.COMPLETE, recursions=10):
+    return QueryRunRecord(
+        index=0,
+        seconds=seconds,
+        status=status,
+        embeddings=1,
+        recursions=recursions,
+        futile_recursions=recursions // 2,
+    )
+
+
+class TestRunner:
+    def test_runs_all_queries(self, tiny_workload):
+        data, queries = tiny_workload
+        result = run_query_set(
+            get_matcher("GuP"), data, queries,
+            scale=BenchmarkScale(subgroup_budget=60.0),
+            set_name="6S",
+        )
+        assert not result.dnf
+        assert len(result.records) == len(queries)
+        assert result.set_name == "6S"
+        assert result.method == "GuP"
+
+    def test_dnf_on_tiny_budget(self, tiny_workload):
+        data, queries = tiny_workload
+        scale = BenchmarkScale(subgroup_budget=0.0, subgroup_size=3)
+        result = run_query_set(get_matcher("GuP"), data, queries, scale=scale)
+        assert result.dnf
+        assert result.queries_attempted < len(queries) or result.dnf
+
+    def test_run_methods_on_set(self, tiny_workload):
+        data, queries = tiny_workload
+        results = run_methods_on_set(
+            [get_matcher("GuP"), get_matcher("DAF")],
+            data,
+            queries[:3],
+            scale=BenchmarkScale(subgroup_budget=60.0),
+            set_name="x",
+        )
+        assert [r.method for r in results] == ["GuP", "DAF"]
+
+    def test_times_clamping(self):
+        r = QuerySetResult(method="m", set_name="s")
+        r.records = [record(0.5), record(9.9, TerminationStatus.TIMEOUT)]
+        assert r.times() == [0.5, 9.9]
+        assert r.times(clamp_timeouts_to=5.0) == [0.5, 5.0]
+
+
+class TestStats:
+    def test_threshold_counts(self):
+        records = [
+            record(0.05),
+            record(0.5),
+            record(2.0),
+            record(99.0, TerminationStatus.TIMEOUT),
+        ]
+        counts = threshold_counts(records, (0.1, 1.0, 5.0), clamp_timeouts_to=5.0)
+        assert counts == {0.1: 3, 1.0: 2, 5.0: 1}
+
+    def test_average_with_timeouts(self):
+        r = QuerySetResult(method="m", set_name="s")
+        r.records = [record(1.0), record(100.0, TerminationStatus.TIMEOUT)]
+        assert average_time_with_timeouts(r, clamp_timeouts_to=3.0) == 2.0
+
+    def test_total_recursions(self):
+        r = QuerySetResult(method="m", set_name="s")
+        r.records = [record(1.0, recursions=5), record(1.0, recursions=7)]
+        assert total_recursions(r) == 12
+        assert r.total_futile() == 2 + 3
+
+    def test_finished_matrix_and_counts(self):
+        a = QuerySetResult(method="GuP", set_name="8S")
+        b = QuerySetResult(method="GuP", set_name="8D", dnf=True)
+        c = QuerySetResult(method="DAF", set_name="8S", dnf=True)
+        matrix = finished_matrix([a, b, c])
+        assert matrix["GuP"] == {"8S": True, "8D": False}
+        assert finished_counts([a, b, c]) == {"GuP": 1, "DAF": 0}
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestReport:
+    def test_table_alignment(self):
+        out = format_table(["a", "long"], [[1, 2], ["xx", "y"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "long" in lines[2]
+        assert len(lines) == 6
+
+    def test_bar_chart(self):
+        out = format_bar_chart({"GuP": 10, "DAF": 100}, title="recs", log=True)
+        assert "GuP" in out and "#" in out
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in format_bar_chart({})
+
+    def test_grouped(self):
+        out = format_grouped_bars({"16S": {"GuP": 1.0}}, title="fig")
+        assert "16S" in out
+
+
+class TestMemory:
+    def test_measure_paper_example(self, paper_query, paper_data):
+        report = measure_memory(paper_query, paper_data)
+        assert report.whole_bytes > 0
+        assert report.reservation_bytes > 0
+        assert 0.0 <= report.guard_fraction < 1.0
+        row = report.row()
+        assert set(row) == {
+            "whole", "reservation", "nogood_vertices", "nogood_edges",
+            "guard/whole",
+        }

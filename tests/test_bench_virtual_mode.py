@@ -1,0 +1,125 @@
+"""Tests for the recursion-budget ("virtual time") harness mode."""
+
+import pytest
+
+from repro.baselines.registry import get_matcher
+from repro.bench.runner import (
+    BenchmarkScale,
+    QueryRunRecord,
+    VIRTUAL_SCALE,
+    run_query_set,
+)
+from repro.bench.stats import average_cost_with_timeouts, threshold_counts
+from repro.matching.limits import SearchLimits
+from repro.matching.result import TerminationStatus
+from repro.workload.datasets import load_dataset
+from repro.workload.querygen import QuerySetSpec, generate_query_set
+
+
+def record(seconds, recursions, status=TerminationStatus.COMPLETE):
+    return QueryRunRecord(
+        index=0,
+        seconds=seconds,
+        status=status,
+        embeddings=0,
+        recursions=recursions,
+        futile_recursions=0,
+    )
+
+
+class TestScaleAccessors:
+    def test_wall_mode(self):
+        scale = BenchmarkScale(mode="wall", query_time_limit=2.0,
+                               subgroup_budget=6.0, thresholds=(0.5, 1.0))
+        r = record(1.5, 999)
+        assert scale.cost(r) == 1.5
+        assert scale.kill_cost == 2.0
+        assert scale.budget == 6.0
+        assert scale.cost_thresholds == (0.5, 1.0)
+        limits = scale.limits()
+        assert limits.time_limit == 2.0
+        assert limits.max_recursions is None
+
+    def test_recursion_mode(self):
+        scale = BenchmarkScale(
+            mode="recursions",
+            query_recursion_limit=100,
+            subgroup_recursion_budget=300,
+            recursion_thresholds=(10, 100),
+        )
+        r = record(1.5, 42)
+        assert scale.cost(r) == 42.0
+        assert scale.kill_cost == 100.0
+        assert scale.budget == 300.0
+        assert scale.cost_thresholds == (10.0, 100.0)
+        limits = scale.limits()
+        assert limits.max_recursions == 100
+        assert limits.time_limit is None
+
+    def test_virtual_scale_constants(self):
+        assert VIRTUAL_SCALE.mode == "recursions"
+        assert VIRTUAL_SCALE.limits().collect is False
+
+
+class TestRecursionLimitEnforcement:
+    @pytest.mark.parametrize("method", ["GuP", "DAF", "GQL-G", "RM", "VF2"])
+    def test_all_engines_honor_recursion_cap(self, method):
+        data = load_dataset("wordnet", scale=0.4, seed=5)
+        query = generate_query_set(data, QuerySetSpec(10, "sparse"), 1, seed=6)[0]
+        limits = SearchLimits(max_recursions=5, collect=False)
+        result = get_matcher(method).match(query, data, limits)
+        # Either it finished within 5 recursions or it was killed at 5.
+        assert result.stats.recursions <= 5
+        if result.stats.recursions >= 5 and not result.complete:
+            assert result.status is TerminationStatus.TIMEOUT
+
+    def test_killed_query_reports_timeout(self):
+        data = load_dataset("wordnet", scale=0.4, seed=5)
+        query = generate_query_set(data, QuerySetSpec(12, "dense"), 1, seed=8)[0]
+        result = get_matcher("GuP").match(
+            query, data, SearchLimits(max_recursions=3, collect=False)
+        )
+        assert result.status in (
+            TerminationStatus.TIMEOUT,
+            TerminationStatus.COMPLETE,
+        )
+
+
+class TestRunnerInRecursionMode:
+    def test_dnf_by_recursion_budget(self):
+        data = load_dataset("wordnet", scale=0.4, seed=5)
+        queries = generate_query_set(data, QuerySetSpec(8, "sparse"), 4, seed=9)
+        scale = BenchmarkScale(
+            mode="recursions",
+            query_recursion_limit=1_000_000,
+            subgroup_recursion_budget=1,  # one recursion blows the budget
+            subgroup_size=4,
+        )
+        result = run_query_set(get_matcher("GuP"), data, queries, scale=scale)
+        assert result.dnf
+
+    def test_threshold_counts_use_recursion_cost(self):
+        records = [
+            record(99.0, 5),
+            record(0.001, 500),
+            record(0.001, 50_000, TerminationStatus.TIMEOUT),
+        ]
+        counts = threshold_counts(
+            records, (10, 1000), clamp_timeouts_to=2000,
+            cost_of=lambda r: float(r.recursions),
+        )
+        # Wall seconds are irrelevant; recursions decide the buckets.
+        assert counts == {10: 2, 1000: 1}
+
+    def test_average_cost(self):
+        from repro.bench.runner import QuerySetResult
+
+        result = QuerySetResult(method="m", set_name="s")
+        result.records = [
+            record(0.0, 10),
+            record(0.0, 0, TerminationStatus.TIMEOUT),
+        ]
+        avg = average_cost_with_timeouts(
+            result, lambda r: float(r.recursions), clamp_timeouts_to=90
+        )
+        assert avg == 50.0

@@ -1,0 +1,140 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import load_graph, save_graph
+from repro.workload.paper_example import paper_example_data, paper_example_query
+
+
+@pytest.fixture
+def graph_files(tmp_path):
+    qpath = tmp_path / "q.graph"
+    dpath = tmp_path / "d.graph"
+    save_graph(paper_example_query(), qpath)
+    save_graph(paper_example_data(), dpath)
+    return str(qpath), str(dpath)
+
+
+class TestMatch:
+    def test_basic(self, graph_files, capsys):
+        q, d = graph_files
+        assert main(["match", q, d]) == 0
+        out = capsys.readouterr().out
+        assert "embeddings:  1" in out
+        assert "u0->v1" in out
+
+    @pytest.mark.parametrize("method", ["DAF", "GQL-G", "RM", "VF2"])
+    def test_methods(self, method, graph_files, capsys):
+        q, d = graph_files
+        assert main(["match", q, d, "--method", method]) == 0
+        assert "embeddings:  1" in capsys.readouterr().out
+
+    def test_count_only(self, graph_files, capsys):
+        q, d = graph_files
+        assert main(["match", q, d, "--count-only"]) == 0
+        out = capsys.readouterr().out
+        assert "embeddings:  1" in out
+        assert "u0->" not in out
+
+    def test_limit(self, graph_files, capsys):
+        q, d = graph_files
+        assert main(["match", q, d, "--limit", "1"]) == 0
+
+    def test_recursion_limit(self, graph_files, capsys):
+        q, d = graph_files
+        assert main(["match", q, d, "--recursion-limit", "100000"]) == 0
+
+
+class TestDataset:
+    def test_writes_graph(self, tmp_path, capsys):
+        out = tmp_path / "yeast.graph"
+        assert main([
+            "dataset", "yeast", "--scale", "0.2", "--out", str(out)
+        ]) == 0
+        g = load_graph(out)
+        assert g.num_vertices > 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestQuerygen:
+    def test_walk(self, tmp_path, capsys):
+        data_path = tmp_path / "d.graph"
+        main(["dataset", "yeast", "--scale", "0.3", "--out", str(data_path)])
+        prefix = str(tmp_path / "q")
+        assert main([
+            "querygen", str(data_path), "--size", "5", "--count", "2",
+            "--out-prefix", prefix,
+        ]) == 0
+        q0 = load_graph(prefix + "0.graph")
+        q1 = load_graph(prefix + "1.graph")
+        assert q0.num_vertices == q1.num_vertices == 5
+
+    def test_cycle(self, tmp_path, capsys):
+        data_path = tmp_path / "d.graph"
+        main(["dataset", "wordnet", "--scale", "0.3", "--out", str(data_path)])
+        prefix = str(tmp_path / "c")
+        rc = main([
+            "querygen", str(data_path), "--kind", "cycle", "--size", "6",
+            "--out-prefix", prefix,
+        ])
+        assert rc == 0
+        q = load_graph(prefix + "0.graph")
+        assert all(q.degree(v) == 2 for v in q.vertices())
+
+    def test_hard(self, tmp_path, capsys):
+        data_path = tmp_path / "d.graph"
+        main(["dataset", "wordnet", "--scale", "0.25", "--out", str(data_path)])
+        prefix = str(tmp_path / "h")
+        assert main([
+            "querygen", str(data_path), "--kind", "hard", "--size", "8",
+            "--count", "1", "--out-prefix", prefix,
+        ]) == 0
+        assert load_graph(prefix + "0.graph").num_vertices >= 4
+
+
+class TestInspect:
+    def test_reports_gcs(self, graph_files, capsys):
+        q, d = graph_files
+        assert main(["inspect", q, d]) == 0
+        out = capsys.readouterr().out
+        assert "candidate space" in out
+        assert "reservation guards" in out
+        assert "2-core" in out
+
+
+class TestBench:
+    def test_quick_comparison(self, capsys):
+        assert main([
+            "bench", "--dataset", "yeast", "--size", "6", "--count", "2",
+            "--methods", "GuP", "DAF", "--recursion-limit", "5000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "GuP" in out and "DAF" in out
+        assert "Recursions" in out
+
+    def test_hard_mining_mode(self, capsys):
+        assert main([
+            "bench", "--dataset", "yeast", "--size", "6", "--count", "1",
+            "--hard", "--methods", "GuP", "--recursion-limit", "2000",
+        ]) == 0
+        assert "hard x1" in capsys.readouterr().out
+
+
+class TestMethods:
+    def test_lists_all(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("GuP", "DAF", "GQL-G", "GQL-R", "RM", "VF2"):
+            assert name in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_method_rejected(self, graph_files):
+        q, d = graph_files
+        with pytest.raises(SystemExit):
+            main(["match", q, d, "--method", "nope"])

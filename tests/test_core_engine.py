@@ -1,0 +1,119 @@
+"""Unit tests for the GuP engine facade and Algorithm 2 behaviors."""
+
+import pytest
+
+from repro.core.config import GuPConfig
+from repro.core.engine import GuPEngine, count_embeddings, match
+from repro.graph.builder import GraphBuilder, cycle_graph, path_graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import TerminationStatus
+from repro.matching.verify import assert_all_embeddings_valid
+from repro.workload.paper_example import PAPER_FULL_EMBEDDING
+
+
+class TestBasicMatching:
+    def test_paper_example(self, paper_query, paper_data):
+        result = match(paper_query, paper_data)
+        assert result.embeddings == [PAPER_FULL_EMBEDDING]
+        assert result.num_embeddings == 1
+        assert result.complete
+
+    def test_triangle(self, triangle_query, two_triangles_data):
+        result = match(triangle_query, two_triangles_data)
+        assert sorted(result.embeddings) == [(0, 1, 2), (3, 4, 5)]
+
+    def test_embeddings_in_original_numbering(self, rng):
+        from tests.conftest import make_random_pair
+
+        for _ in range(10):
+            q, d = make_random_pair(rng)
+            result = match(q, d)
+            assert_all_embeddings_valid(q, d, result.embeddings)
+
+    def test_no_match_different_labels(self):
+        q = path_graph("AB")
+        d = path_graph("CC")
+        result = match(q, d)
+        assert result.num_embeddings == 0
+        assert result.complete
+
+    def test_empty_query(self, two_triangles_data):
+        b = GraphBuilder()
+        result = match(b.build(), two_triangles_data)
+        assert result.embeddings == [()]
+        assert result.num_embeddings == 1
+
+    def test_single_vertex_query(self, two_triangles_data):
+        b = GraphBuilder()
+        b.add_vertex("A")
+        result = match(b.build(), two_triangles_data)
+        assert sorted(result.embeddings) == [(0,), (3,)]
+
+    def test_automorphisms_counted(self):
+        # A label-free triangle in a triangle: 3! = 6 embeddings.
+        q = cycle_graph("XXX")
+        d = cycle_graph("XXX")
+        assert match(q, d).num_embeddings == 6
+
+
+class TestEngineReuse:
+    def test_engine_is_stateless_across_queries(self, two_triangles_data, triangle_query):
+        engine = GuPEngine(two_triangles_data)
+        first = engine.match(triangle_query)
+        second = engine.match(triangle_query)
+        assert first.embeddings == second.embeddings
+
+    def test_prebuilt_gcs(self, two_triangles_data, triangle_query):
+        engine = GuPEngine(two_triangles_data)
+        gcs = engine.build(triangle_query)
+        result = engine.match(triangle_query, gcs=gcs)
+        assert result.num_embeddings == 2
+
+
+class TestLimits:
+    def test_embedding_limit(self):
+        q = cycle_graph("XXX")
+        d = cycle_graph("XXX")
+        result = match(q, d, limits=SearchLimits(max_embeddings=2))
+        assert result.num_embeddings == 2
+        assert result.status is TerminationStatus.EMBEDDING_LIMIT
+
+    def test_count_embeddings_does_not_collect(self):
+        q = cycle_graph("XXX")
+        d = cycle_graph("XXX")
+        assert count_embeddings(q, d) == 6
+
+    def test_zero_time_limit_on_large_search(self):
+        from repro.graph.generators import random_connected_graph
+        from repro.workload.querygen import generate_query
+
+        data = random_connected_graph(40, 300, num_labels=1, seed=3)
+        query = generate_query(data, 8, "dense", seed=4)
+        result = match(
+            query, data, limits=SearchLimits(time_limit=0.0, collect=False)
+        )
+        assert result.status is TerminationStatus.TIMEOUT
+
+
+class TestStatsPlumbing:
+    def test_counters_populated(self, paper_query, paper_data):
+        result = match(paper_query, paper_data)
+        assert result.stats.recursions > 0
+        assert result.stats.candidate_vertices > 0
+        assert result.stats.candidate_edges > 0
+        assert result.preprocessing_seconds >= 0
+
+    def test_guards_record_nogoods_on_hard_query(self):
+        # Satisfiable cyclic queries with deadend-rich searches.
+        from repro.graph.generators import powerlaw_cluster_graph
+        from repro.workload.querygen import generate_query
+
+        recorded = 0
+        for seed in range(8):
+            d = powerlaw_cluster_graph(60, 3, 0.35, num_labels=4, seed=seed)
+            q = generate_query(d, 10, "dense", seed=seed)
+            recorded += match(q, d).stats.nogoods_recorded_vertex
+        assert recorded > 0
+
+    def test_method_name(self, paper_query, paper_data):
+        assert match(paper_query, paper_data).method == "GuP"

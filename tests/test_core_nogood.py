@@ -1,0 +1,79 @@
+"""Unit tests for nogood storage and search-node encoding (§3.5.1)."""
+
+from repro.core.nogood import (
+    ROOT_NODE_ID,
+    NogoodStore,
+    encode_nogood,
+    nogood_matches,
+)
+
+
+class TestEncoding:
+    def test_empty_mask_encodes_to_root(self):
+        anc = [0, 11, 12, 13]
+        guard = encode_nogood(0, anc)
+        assert guard == (ROOT_NODE_ID, 0, 0)
+        # Matches every path: Example 3.29's "never use again" guard.
+        assert nogood_matches(guard, [0, 99, 98])
+
+    def test_minimum_superset_embedding(self):
+        # dom = {u0, u2} -> minimum superset embedding is M[:3], whose
+        # search node is anc[3] (Definition 3.36).
+        anc = [0, 11, 12, 13, 14]
+        guard = encode_nogood(0b101, anc)
+        assert guard == (13, 3, 0b101)
+
+    def test_match_requires_same_ancestor(self):
+        anc = [0, 11, 12, 13, 14]
+        guard = encode_nogood(0b101, anc)
+        assert nogood_matches(guard, [0, 11, 12, 13])       # same path
+        assert nogood_matches(guard, [0, 11, 12, 13, 99])   # descendant
+        assert not nogood_matches(guard, [0, 11, 12, 77])   # sibling
+
+    def test_example_3_35_subset_check(self):
+        # m3 corresponds to M3, m5 to M5; anc of m5 holds m0,m1,m2,m4,m5.
+        anc_m5 = [0, 1, 2, 4, 5]
+        m3_guard = (3, 3, 0b111)  # encoded at node m3, length 3
+        assert not nogood_matches(m3_guard, anc_m5)  # anc(3)=4 != 3
+
+
+class TestStore:
+    def test_vertex_roundtrip(self):
+        store = NogoodStore()
+        anc = [0, 5, 6]
+        store.record_vertex(2, 77, encode_nogood(0b01, anc))
+        assert store.vertex_guard(2, 77) == (5, 1, 0b01)
+        assert store.vertex_matches(2, 77, anc) is not None
+        assert store.vertex_matches(2, 77, [0, 9, 9]) is None
+        assert store.vertex_matches(2, 78, anc) is None
+
+    def test_vertex_overwrite(self):
+        store = NogoodStore()
+        store.record_vertex(1, 5, (1, 1, 0b1))
+        store.record_vertex(1, 5, (2, 2, 0b11))
+        assert store.vertex_guard(1, 5) == (2, 2, 0b11)
+        assert store.num_vertex_guards == 1
+        assert store.recorded_vertex == 2
+
+    def test_edge_roundtrip(self):
+        store = NogoodStore()
+        anc = [0, 5]
+        store.record_edge(1, 10, 3, 20, encode_nogood(0b1, anc))
+        assert store.edge_guard(1, 10, 3, 20) == (5, 1, 0b1)
+        assert store.edge_matches(1, 10, 3, 20, anc) is not None
+        assert store.edge_matches(1, 10, 3, 21, anc) is None
+
+    def test_clear(self):
+        store = NogoodStore()
+        store.record_vertex(0, 0, (0, 0, 0))
+        store.record_edge(0, 0, 1, 1, (0, 0, 0))
+        store.clear()
+        assert store.num_vertex_guards == 0
+        assert store.num_edge_guards == 0
+
+    def test_memory_estimate(self):
+        store = NogoodStore()
+        assert store.memory_estimate_bytes() == (0, 0)
+        store.record_vertex(0, 0, (0, 0, 0))
+        nv, ne = store.memory_estimate_bytes()
+        assert nv > 0 and ne == 0

@@ -1,0 +1,103 @@
+"""Tests for the explicit (un-encoded) nogood representation."""
+
+import pytest
+
+from repro.core.config import GuPConfig
+from repro.core.engine import match
+from repro.core.nogood import (
+    ExplicitNogoodStore,
+    NogoodStore,
+    make_nogood_store,
+)
+from repro.baselines.vf2 import Vf2Matcher
+from tests.conftest import make_random_pair
+
+ORACLE = Vf2Matcher()
+
+
+class TestFactory:
+    def test_default(self):
+        assert isinstance(make_nogood_store(), NogoodStore)
+
+    def test_explicit(self):
+        assert isinstance(make_nogood_store("explicit"), ExplicitNogoodStore)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown nogood representation"):
+            make_nogood_store("nope")
+
+    def test_representation_tags(self):
+        assert NogoodStore.representation == "search_node"
+        assert ExplicitNogoodStore.representation == "explicit"
+
+
+class TestExplicitStore:
+    def test_vertex_roundtrip(self):
+        store = ExplicitNogoodStore()
+        # Record NV(u2, 77) with dom {u0} while embedding = [5, 6].
+        store.record_vertex_nogood(2, 77, 0b01, anc=None, embedding=[5, 6])
+        # Matches any embedding assigning u0 -> 5.
+        assert store.match_vertex(2, 77, None, [5, 9]) == 0b01
+        assert store.match_vertex(2, 77, None, [4, 9]) is None
+        assert store.match_vertex(2, 78, None, [5, 9]) is None
+
+    def test_path_independent_matching(self):
+        """The explicit representation's extra generality: a guard fires
+        on any superset embedding, not only search-tree descendants."""
+        store = ExplicitNogoodStore()
+        store.record_vertex_nogood(3, 50, 0b10, None, [7, 8, 9])
+        # Different u0/u2 assignments, same u1 assignment: still matches.
+        assert store.match_vertex(3, 50, None, [1, 8, 2]) == 0b10
+
+    def test_empty_dom_matches_everything(self):
+        store = ExplicitNogoodStore()
+        store.record_vertex_nogood(1, 5, 0, None, [3])
+        assert store.match_vertex(1, 5, None, []) == 0
+
+    def test_edge_roundtrip(self):
+        store = ExplicitNogoodStore()
+        store.record_edge_nogood(1, 10, 3, 20, 0b1, None, [4, 10])
+        assert store.match_edge(1, 10, 3, 20, None, [4, 10]) == 0b1
+        assert store.match_edge(1, 10, 3, 20, None, [5, 10]) is None
+
+    def test_short_embedding_does_not_match(self):
+        store = ExplicitNogoodStore()
+        store.record_vertex_nogood(2, 9, 0b10, None, [1, 2])
+        assert store.match_vertex(2, 9, None, [1]) is None
+
+    def test_counters_and_memory(self):
+        store = ExplicitNogoodStore()
+        store.record_vertex_nogood(1, 5, 0b1, None, [3])
+        store.record_edge_nogood(1, 5, 2, 6, 0b1, None, [3])
+        assert store.num_vertex_guards == 1
+        assert store.num_edge_guards == 1
+        nv, ne = store.memory_estimate_bytes()
+        assert nv > 0 and ne > 0
+        store.clear()
+        assert store.num_vertex_guards == 0
+
+
+class TestSearchWithExplicitStore:
+    def test_differential_vs_oracle(self, rng):
+        config = GuPConfig(nogood_representation="explicit")
+        for _ in range(25):
+            q, d = make_random_pair(rng)
+            expected = ORACLE.match(q, d).embedding_set()
+            got = match(q, d, config=config).embedding_set()
+            assert got == expected
+
+    def test_explicit_prunes_at_least_as_much(self):
+        """Path-independent matching can only widen guard applicability,
+        so the explicit store never needs *more* recursions."""
+        from repro.graph.generators import powerlaw_cluster_graph
+        from repro.workload.querygen import generate_query
+
+        total_encoded = total_explicit = 0
+        for seed in range(8):
+            d = powerlaw_cluster_graph(50, 3, 0.35, num_labels=3, seed=seed)
+            q = generate_query(d, 9, "dense", seed=seed)
+            total_encoded += match(q, d).stats.recursions
+            total_explicit += match(
+                q, d, config=GuPConfig(nogood_representation="explicit")
+            ).stats.recursions
+        assert total_explicit <= total_encoded

@@ -1,0 +1,91 @@
+"""Tests for the parallel search model (§3.5.2 / §4.3.4)."""
+
+import pytest
+
+from repro.core.parallel import (
+    ParallelRunReport,
+    _lpt_makespan,
+    _work_stealing_makespan,
+    sequential_gup_work,
+    simulate_daf_parallel,
+    simulate_gup_parallel,
+)
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.workload.querygen import generate_query
+
+
+@pytest.fixture(scope="module")
+def instance():
+    data = powerlaw_cluster_graph(60, 3, 0.35, num_labels=3, seed=77)
+    query = generate_query(data, 8, "dense", seed=78)
+    return query, data
+
+
+class TestSchedulingModels:
+    def test_lpt_single_thread(self):
+        assert _lpt_makespan([5, 3, 2], 1) == 10
+
+    def test_lpt_balances(self):
+        assert _lpt_makespan([5, 3, 2], 2) == 5
+
+    def test_lpt_plateaus_on_dominant_task(self):
+        # One huge root subtree caps the speedup — the paper's DAF story.
+        costs = [100, 1, 1, 1]
+        assert _lpt_makespan(costs, 8) == 100
+
+    def test_lpt_empty(self):
+        assert _lpt_makespan([], 4) == 0
+
+    def test_work_stealing_perfect_split(self):
+        assert _work_stealing_makespan(100, [100], 4) == 25
+        assert _work_stealing_makespan(100, [50, 50], 1) == 100
+
+    def test_work_stealing_ceils(self):
+        assert _work_stealing_makespan(101, [101], 4) == 26
+
+
+class TestSimulations:
+    def test_gup_reports(self, instance):
+        query, data = instance
+        reports = simulate_gup_parallel(query, data, [1, 2, 4])
+        assert [r.num_threads for r in reports] == [1, 2, 4]
+        total = reports[0].total_work
+        assert total > 0
+        assert all(r.total_work == total for r in reports)
+        # Monotone non-increasing makespan => non-decreasing speedup.
+        speedups = [r.speedup_vs for r in reports]
+        assert speedups == sorted(speedups)
+        assert speedups[0] == pytest.approx(1.0)
+
+    def test_daf_reports(self, instance):
+        query, data = instance
+        reports = simulate_daf_parallel(query, data, [1, 2, 4, 8])
+        speedups = [r.speedup_vs for r in reports]
+        assert speedups == sorted(speedups)
+        # Static root splitting cannot exceed the task-count bound.
+        assert all(
+            r.speedup_vs <= max(1, len(r.task_costs)) + 1e-9 for r in reports
+        )
+
+    def test_gup_scales_better_than_daf_at_high_thread_counts(self, instance):
+        query, data = instance
+        p = 16
+        gup = simulate_gup_parallel(query, data, [p])[0]
+        daf = simulate_daf_parallel(query, data, [p])[0]
+        assert gup.speedup_vs >= daf.speedup_vs * 0.9  # GuP at least comparable
+
+    def test_thread_local_stores_change_total_work_only_mildly(self, instance):
+        """§4.3.4: parallel total recursions stay close to sequential."""
+        query, data = instance
+        seq = sequential_gup_work(query, data)
+        par = simulate_gup_parallel(query, data, [4])[0].total_work
+        assert par > 0 and seq > 0
+        assert par <= seq * 4  # sanity bound: no pathological blowup
+
+    def test_embeddings_preserved_across_partitions(self, instance):
+        query, data = instance
+        from repro.core.engine import count_embeddings
+
+        expected = count_embeddings(query, data)
+        report = simulate_gup_parallel(query, data, [2])[0]
+        assert report.embeddings == expected

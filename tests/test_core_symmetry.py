@@ -1,0 +1,172 @@
+"""Tests for the symmetry-breaking extension (repro.core.symmetry)."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.vf2 import Vf2Matcher
+from repro.core.config import GuPConfig
+from repro.core.engine import match
+from repro.core.symmetry import (
+    equivalence_classes,
+    expand_embedding,
+    expansion_factor,
+    map_classes,
+    symmetry_predecessors,
+)
+from repro.graph.builder import (
+    GraphBuilder,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators import erdos_renyi_graph, random_connected_graph
+from repro.matching.limits import SearchLimits
+
+ORACLE = Vf2Matcher()
+SYM = GuPConfig(break_symmetry=True)
+
+
+class TestEquivalenceClasses:
+    def test_star_leaves_are_twins(self):
+        q = star_graph("C", "AAAA")
+        assert equivalence_classes(q) == [[1, 2, 3, 4]]
+
+    def test_clique_twins(self):
+        q = complete_graph("AAA")
+        assert equivalence_classes(q) == [[0, 1, 2]]
+
+    def test_labels_split_classes(self):
+        q = star_graph("C", ["A", "A", "B"])
+        assert equivalence_classes(q) == [[1, 2]]
+
+    def test_path_has_end_twins(self):
+        # Path A-B-A: the two endpoints share label and neighborhood.
+        q = path_graph("ABA")
+        assert equivalence_classes(q) == [[0, 2]]
+
+    def test_asymmetric_query_has_none(self):
+        q = path_graph("ABC")
+        assert equivalence_classes(q) == []
+
+    def test_classes_are_disjoint(self):
+        rng = random.Random(4)
+        for _ in range(20):
+            n = rng.randint(2, 8)
+            q = random_connected_graph(
+                n, n - 1 + rng.randint(0, 6), num_labels=2,
+                seed=rng.randint(0, 10**9),
+            )
+            classes = equivalence_classes(q)
+            seen = set()
+            for cls in classes:
+                assert len(cls) >= 2
+                assert not (set(cls) & seen)
+                seen.update(cls)
+
+    def test_classes_are_genuine_automorphisms(self):
+        """Swapping two class members maps the query onto itself."""
+        rng = random.Random(5)
+        for _ in range(20):
+            n = rng.randint(2, 7)
+            q = random_connected_graph(
+                n, n - 1 + rng.randint(0, 5), num_labels=2,
+                seed=rng.randint(0, 10**9),
+            )
+            for cls in equivalence_classes(q):
+                a, b = cls[0], cls[1]
+                assert q.label(a) == q.label(b)
+                perm = list(q.vertices())
+                perm[a], perm[b] = perm[b], perm[a]
+                swapped = q.relabeled(perm)
+                assert swapped == q
+
+
+class TestHelpers:
+    def test_predecessors(self):
+        prev = symmetry_predecessors([[1, 3, 4]], 5)
+        assert prev == [-1, -1, -1, 1, 3]
+
+    def test_map_classes(self):
+        # old ids [1, 2] under new-id i = old-id order [2, 0, 1].
+        assert map_classes([[1, 2]], old_to_new=[1, 2, 0]) == [[0, 2]]
+
+    def test_expansion_factor(self):
+        assert expansion_factor([]) == 1
+        assert expansion_factor([[0, 1]]) == 2
+        assert expansion_factor([[0, 1], [2, 3, 4]]) == 12
+
+    def test_expand_embedding(self):
+        out = expand_embedding((10, 20, 30), [[0, 2]])
+        assert sorted(out) == [(10, 20, 30), (30, 20, 10)]
+
+    def test_expand_with_limit(self):
+        out = expand_embedding((1, 2, 3), [[0, 1, 2]], limit=4)
+        assert len(out) == 4
+
+    def test_expand_multiple_classes(self):
+        out = expand_embedding((1, 2, 3, 4), [[0, 1], [2, 3]])
+        assert len(out) == 4
+        assert len(set(out)) == 4
+
+
+class TestMatchingWithSymmetryBreaking:
+    def test_star_query_exact(self):
+        q = star_graph(1, [0, 0, 0])
+        d = erdos_renyi_graph(15, 45, 2, seed=11)
+        truth = ORACLE.match(q, d).embedding_set()
+        result = match(q, d, config=SYM)
+        assert result.embedding_set() == truth
+        assert result.num_embeddings == len(truth)
+
+    def test_representatives_scale_down_by_factor(self):
+        q = star_graph(1, [0, 0, 0])  # leaves: 3! = 6 per representative
+        d = erdos_renyi_graph(15, 45, 2, seed=11)
+        result = match(q, d, config=SYM)
+        if result.num_embeddings:
+            assert result.num_embeddings == result.stats.embeddings_found * 6
+
+    def test_symmetry_prunes_candidates(self):
+        q = complete_graph([0, 0, 0, 0])
+        d = erdos_renyi_graph(14, 60, 1, seed=12)
+        plain = match(q, d)
+        broken = match(q, d, config=SYM)
+        assert broken.embedding_set() == plain.embedding_set()
+        assert broken.stats.pruned_symmetry > 0
+        assert broken.stats.recursions < plain.stats.recursions
+
+    def test_differential_random(self, rng):
+        for _ in range(30):
+            nq = rng.randint(2, 6)
+            nd = rng.randint(4, 12)
+            labels = rng.randint(1, 2)
+            q = random_connected_graph(
+                nq, nq - 1 + rng.randint(0, 4), num_labels=labels,
+                seed=rng.randint(0, 10**9),
+            )
+            d = erdos_renyi_graph(
+                nd, rng.randint(0, nd * 2), num_labels=labels,
+                seed=rng.randint(0, 10**9),
+            )
+            truth = ORACLE.match(q, d).embedding_set()
+            result = match(q, d, config=SYM)
+            assert result.embedding_set() == truth
+            assert result.num_embeddings == len(truth)
+
+    def test_embedding_cap_applies_to_expanded_list(self):
+        q = star_graph(1, [0, 0])
+        d = erdos_renyi_graph(14, 50, 2, seed=13)
+        capped = match(q, d, config=SYM, limits=SearchLimits(max_embeddings=3))
+        assert len(capped.embeddings) <= 3
+
+    def test_works_with_all_guards_and_ablations(self):
+        q = cycle_graph([0, 0, 0, 0])
+        d = erdos_renyi_graph(12, 35, 1, seed=14)
+        truth = ORACLE.match(q, d).embedding_set()
+        for base in (GuPConfig.full(), GuPConfig.baseline(), GuPConfig.r_nv()):
+            from dataclasses import replace
+
+            config = replace(base, break_symmetry=True)
+            assert match(q, d, config=config).embedding_set() == truth

@@ -1,0 +1,127 @@
+"""Differential tests: every engine must agree with the VF2 oracle.
+
+This is the central correctness argument of the reproduction: on
+randomized instances, GuP under every ablation configuration and every
+baseline matcher produces exactly the same *set* of embeddings as the
+brute-force oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.registry import get_matcher
+from repro.baselines.vf2 import Vf2Matcher
+from repro.core.config import GuPConfig
+from repro.core.engine import match
+from repro.workload.querygen import generate_query
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    random_connected_graph,
+)
+
+ORACLE = Vf2Matcher()
+
+GUP_CONFIGS = {
+    "All": GuPConfig.full(),
+    "baseline": GuPConfig.baseline(),
+    "R": GuPConfig.reservation_only(),
+    "R+NV": GuPConfig.r_nv(),
+    "R+NV+NE": GuPConfig.r_nv_ne(),
+    "NE-only": GuPConfig(
+        use_reservation=False,
+        use_nogood_vertex=False,
+        use_nogood_edge=True,
+        use_backjumping=False,
+    ),
+    "NV+BJ": GuPConfig(
+        use_reservation=False,
+        use_nogood_vertex=True,
+        use_nogood_edge=False,
+        use_backjumping=True,
+    ),
+    "r=0": GuPConfig(reservation_limit=0),
+    "r=inf": GuPConfig(reservation_limit=None),
+    "no-2core": GuPConfig(ne_two_core_only=False),
+}
+
+
+def random_instances(seed, count, max_query=6, max_data=14):
+    rng = random.Random(seed)
+    for _ in range(count):
+        nq = rng.randint(2, max_query)
+        nd = rng.randint(4, max_data)
+        labels = rng.randint(1, 3)
+        query = random_connected_graph(
+            nq, nq - 1 + rng.randint(0, 4), num_labels=labels,
+            seed=rng.randint(0, 10**9),
+        )
+        data = erdos_renyi_graph(
+            nd, rng.randint(0, nd * 2), num_labels=labels,
+            seed=rng.randint(0, 10**9),
+        )
+        yield query, data
+
+
+def satisfiable_instances(seed, count, size=7):
+    rng = random.Random(seed)
+    for _ in range(count):
+        data = powerlaw_cluster_graph(
+            rng.randint(25, 50), 3, 0.35, num_labels=rng.randint(2, 4),
+            seed=rng.randint(0, 10**9),
+        )
+        density = rng.choice(["sparse", "dense"])
+        query = generate_query(data, size, density, seed=rng.randint(0, 10**9))
+        yield query, data
+
+
+@pytest.mark.parametrize("name", sorted(GUP_CONFIGS))
+def test_gup_configs_match_oracle_random(name):
+    config = GUP_CONFIGS[name]
+    for query, data in random_instances(seed=hash(name) % 2**31, count=25):
+        expected = ORACLE.match(query, data).embedding_set()
+        got = match(query, data, config=config).embedding_set()
+        assert got == expected, (
+            f"{name}: {len(got)} vs {len(expected)} on "
+            f"q={list(query.edges())}/{query.labels} "
+            f"d={list(data.edges())}/{data.labels}"
+        )
+
+
+@pytest.mark.parametrize("name", ["All", "R+NV+NE", "no-2core"])
+def test_gup_configs_match_oracle_satisfiable(name):
+    config = GUP_CONFIGS[name]
+    for query, data in satisfiable_instances(seed=len(name), count=8):
+        expected = ORACLE.match(query, data).embedding_set()
+        got = match(query, data, config=config).embedding_set()
+        assert got == expected
+
+
+@pytest.mark.parametrize("method", ["DAF", "GQL-G", "GQL-R", "RM", "Baseline"])
+def test_baselines_match_oracle(method):
+    matcher = get_matcher(method)
+    for query, data in random_instances(seed=len(method) * 77, count=20):
+        expected = ORACLE.match(query, data).embedding_set()
+        got = matcher.match(query, data).embedding_set()
+        assert got == expected
+
+
+@pytest.mark.parametrize("method", ["DAF", "RM"])
+def test_baselines_match_oracle_satisfiable(method):
+    matcher = get_matcher(method)
+    for query, data in satisfiable_instances(seed=len(method) * 13, count=6):
+        expected = ORACLE.match(query, data).embedding_set()
+        got = matcher.match(query, data).embedding_set()
+        assert got == expected
+
+
+def test_all_methods_agree_pairwise_on_one_hard_instance():
+    data = powerlaw_cluster_graph(60, 3, 0.4, num_labels=3, seed=99)
+    query = generate_query(data, 9, "dense", seed=100)
+    reference = None
+    for method in ("GuP", "DAF", "GQL-G", "GQL-R", "RM", "Baseline", "VF2"):
+        got = get_matcher(method).match(query, data).embedding_set()
+        if reference is None:
+            reference = got
+        assert got == reference, method

@@ -1,0 +1,115 @@
+"""Failure injection: limits, aborts, and state isolation.
+
+The dangerous failure mode of nogood learning is recording a "nogood"
+from a subtree that was not exhaustively explored (embedding cap or
+timeout hit inside it) — such a guard could prune real embeddings
+later.  These tests abort searches at every possible embedding count
+and verify the results are always a prefix-correct subset.
+"""
+
+import pytest
+
+from repro.baselines.registry import get_matcher
+from repro.core.config import GuPConfig
+from repro.core.engine import match
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import TerminationStatus
+from repro.matching.verify import assert_all_embeddings_valid
+from repro.workload.querygen import generate_query
+
+
+@pytest.fixture(scope="module")
+def multi_embedding_instance():
+    data = powerlaw_cluster_graph(40, 3, 0.4, num_labels=2, seed=55)
+    query = generate_query(data, 6, "sparse", seed=56)
+    full = match(query, data)
+    assert full.num_embeddings >= 5, "fixture needs several embeddings"
+    return query, data, full.embedding_set()
+
+
+class TestEmbeddingCapAtEveryCount:
+    def test_gup_capped_results_are_valid_subsets(self, multi_embedding_instance):
+        query, data, truth = multi_embedding_instance
+        for cap in range(1, len(truth) + 2):
+            result = match(query, data, limits=SearchLimits(max_embeddings=cap))
+            assert result.num_embeddings == min(cap, len(truth))
+            assert result.embedding_set() <= truth
+            assert_all_embeddings_valid(query, data, result.embeddings)
+            if cap <= len(truth):
+                assert result.status is TerminationStatus.EMBEDDING_LIMIT
+            else:
+                assert result.status is TerminationStatus.COMPLETE
+
+    @pytest.mark.parametrize("method", ["DAF", "GQL-G", "RM"])
+    def test_baselines_capped_results_are_valid_subsets(
+        self, method, multi_embedding_instance
+    ):
+        query, data, truth = multi_embedding_instance
+        matcher = get_matcher(method)
+        for cap in (1, 2, len(truth)):
+            result = matcher.match(query, data, SearchLimits(max_embeddings=cap))
+            assert result.num_embeddings == min(cap, len(truth))
+            assert result.embedding_set() <= truth
+
+
+class TestAbortDoesNotPoisonLaterRuns:
+    def test_capped_then_full_run_is_exact(self, multi_embedding_instance):
+        """A fresh engine run after an aborted one must be complete —
+        guard state must not leak across runs."""
+        query, data, truth = multi_embedding_instance
+        from repro.core.engine import GuPEngine
+
+        engine = GuPEngine(data)
+        capped = engine.match(query, limits=SearchLimits(max_embeddings=1))
+        assert capped.num_embeddings == 1
+        full = engine.match(query)
+        assert full.embedding_set() == truth
+
+    def test_shared_gcs_after_abort_is_still_exact(self, multi_embedding_instance):
+        query, data, truth = multi_embedding_instance
+        from repro.core.engine import GuPEngine
+
+        engine = GuPEngine(data)
+        gcs = engine.build(query)
+        engine.match(query, limits=SearchLimits(max_embeddings=1), gcs=gcs)
+        result = engine.match(query, gcs=gcs)
+        assert result.embedding_set() == truth
+
+
+class TestCollectFlag:
+    def test_counting_mode_returns_no_embeddings(self, multi_embedding_instance):
+        query, data, truth = multi_embedding_instance
+        result = match(
+            query, data, limits=SearchLimits(collect=False)
+        )
+        assert result.embeddings == []
+        assert result.num_embeddings == len(truth)
+
+
+class TestDegenerateInputs:
+    def test_query_larger_than_data(self):
+        from repro.graph.builder import path_graph
+
+        q = path_graph("AAAA")
+        d = path_graph("AA")
+        assert match(q, d).num_embeddings == 0
+
+    def test_data_without_query_labels(self):
+        from repro.graph.builder import path_graph
+
+        q = path_graph("AB")
+        d = path_graph("XY")
+        result = match(q, d)
+        assert result.num_embeddings == 0
+        assert result.complete
+
+    def test_disconnected_data(self):
+        from repro.graph.builder import GraphBuilder, path_graph
+
+        b = GraphBuilder()
+        b.add_vertices(["A", "B", "A", "B"])
+        b.add_edges([(0, 1), (2, 3)])
+        d = b.build()
+        q = path_graph("AB")
+        assert match(q, d).num_embeddings == 2

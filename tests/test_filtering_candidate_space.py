@@ -1,0 +1,85 @@
+"""Unit + property tests for the CandidateSpace structure."""
+
+import pytest
+
+from repro.baselines.vf2 import enumerate_embeddings_bruteforce
+from repro.filtering.candidate_space import (
+    CandidateSpace,
+    build_candidate_space,
+)
+from repro.filtering.nlf import nlf_candidates
+from repro.graph.builder import GraphBuilder, cycle_graph
+from tests.conftest import make_random_pair
+
+
+class TestConstruction:
+    def test_requires_one_list_per_vertex(self, paper_query, paper_data):
+        with pytest.raises(ValueError):
+            CandidateSpace(paper_query, paper_data, [[0]])
+
+    def test_candidates_sorted_frozen(self, paper_query, paper_data):
+        cs = CandidateSpace(paper_query, paper_data, nlf_candidates(paper_query, paper_data))
+        for lst, fset in zip(cs.candidates, cs.candidate_sets):
+            assert list(lst) == sorted(lst)
+            assert set(lst) == fset
+
+    def test_candidate_edges_both_directions(self, paper_query, paper_data):
+        cs = CandidateSpace(paper_query, paper_data, nlf_candidates(paper_query, paper_data))
+        # u2-u3 edge: v7's D candidates and back.
+        assert cs.adjacent_candidates(2, 7, 3) == (10,)
+        assert cs.adjacent_candidates(3, 10, 2) == (7,)
+
+    def test_adjacent_candidates_subset_of_candidates(self, rng):
+        for _ in range(10):
+            q, d = make_random_pair(rng)
+            cs = build_candidate_space(q, d, method="nlf")
+            for i, j in q.edges():
+                for v in cs.candidates[i]:
+                    adj = cs.adjacent_candidates(i, v, j)
+                    assert set(adj) <= cs.candidate_sets[j]
+                    for w in adj:
+                        assert d.has_edge(v, w)
+
+    def test_inverse_index(self, paper_query, paper_data):
+        cs = CandidateSpace(paper_query, paper_data, nlf_candidates(paper_query, paper_data))
+        assert cs.inverse_candidates(0) == (0, 4)   # v0 in C(u0), C(u4)
+        assert cs.inverse_candidates(13) == (4,)
+        assert cs.inverse_candidates_below(0, 3) == (0,)
+        assert cs.inverse_candidates_below(13, 2) == ()
+
+    def test_counts(self, paper_query, paper_data):
+        cs = CandidateSpace(paper_query, paper_data, nlf_candidates(paper_query, paper_data))
+        assert cs.total_candidates() == 2 + 3 + 4 + 4 + 3
+        assert cs.num_candidate_edges > 0
+        assert not cs.is_empty()
+
+    def test_is_empty(self, paper_query, paper_data):
+        candidates = [[] for _ in paper_query.vertices()]
+        cs = CandidateSpace(paper_query, paper_data, candidates)
+        assert cs.is_empty()
+
+
+class TestBuildPipeline:
+    @pytest.mark.parametrize("method", ["ldf", "nlf", "dagdp", "gql"])
+    def test_all_filters_sound(self, method, rng):
+        for _ in range(8):
+            q, d = make_random_pair(rng)
+            cs = build_candidate_space(q, d, method=method)
+            for emb in enumerate_embeddings_bruteforce(q, d):
+                for i, v in enumerate(emb):
+                    assert v in cs.candidate_sets[i]
+
+    def test_unknown_filter(self, paper_query, paper_data):
+        with pytest.raises(ValueError, match="unknown filter"):
+            build_candidate_space(paper_query, paper_data, method="nope")
+
+    def test_consistency_prune_closes_adjacency(self, rng):
+        for _ in range(10):
+            q, d = make_random_pair(rng)
+            cs = build_candidate_space(q, d, method="ldf")
+            for i in q.vertices():
+                for v in cs.candidates[i]:
+                    for j in q.neighbors(i):
+                        assert cs.adjacent_candidates(i, v, j), (
+                            f"candidate ({i},{v}) dangling towards u{j}"
+                        )

@@ -1,0 +1,76 @@
+"""Tests for the distance-2 neighborhood label filter."""
+
+import pytest
+
+from repro.baselines.vf2 import enumerate_embeddings_bruteforce
+from repro.core.config import GuPConfig
+from repro.core.engine import match
+from repro.filtering.candidate_space import build_candidate_space
+from repro.filtering.nlf import nlf_candidates
+from repro.filtering.nlf2 import _two_hop_label_counts, nlf2_candidates
+from repro.graph.builder import GraphBuilder, path_graph
+from tests.conftest import make_random_pair
+
+
+class TestTwoHopTables:
+    def test_path(self):
+        g = path_graph("ABC")
+        tables = _two_hop_label_counts(g)
+        # Vertex 0 reaches 1 (B) and 2 (C) within two hops.
+        assert tables[0] == {"B": 1, "C": 1}
+        assert tables[1] == {"A": 1, "C": 1}
+
+    def test_excludes_self(self):
+        g = path_graph("ABA")
+        tables = _two_hop_label_counts(g)
+        assert tables[0] == {"B": 1, "A": 1}  # the far A, not itself
+
+
+class TestNlf2:
+    def test_tightens_nlf(self):
+        # u needs a B at distance 2; v1 has none.
+        qb = GraphBuilder()
+        qb.add_vertices(["A", "C", "B"])
+        qb.add_edges([(0, 1), (1, 2)])
+        q = qb.build()
+
+        db = GraphBuilder()
+        # v0: A with C neighbor that has a B neighbor (good).
+        # v3: A with C neighbor whose other neighbor is A (bad).
+        db.add_vertices(["A", "C", "B", "A", "C", "A"])
+        db.add_edges([(0, 1), (1, 2), (3, 4), (4, 5)])
+        d = db.build()
+
+        nlf = nlf_candidates(q, d)
+        assert set(nlf[0]) == {0, 3, 5}  # NLF cannot tell them apart
+        nlf2 = nlf2_candidates(q, d)
+        assert set(nlf2[0]) == {0}  # distance-2 info removes v3/v5
+
+    def test_subset_of_nlf(self, rng):
+        for _ in range(15):
+            q, d = make_random_pair(rng)
+            nlf = nlf_candidates(q, d)
+            nlf2 = nlf2_candidates(q, d)
+            for a, b in zip(nlf2, nlf):
+                assert set(a) <= set(b)
+
+    def test_sound_vs_bruteforce(self, rng):
+        for _ in range(25):
+            q, d = make_random_pair(rng)
+            c = nlf2_candidates(q, d)
+            for emb in enumerate_embeddings_bruteforce(q, d):
+                for i, v in enumerate(emb):
+                    assert v in c[i]
+
+    def test_registered_in_pipeline(self, paper_query, paper_data):
+        cs = build_candidate_space(paper_query, paper_data, method="nlf2")
+        assert not cs.is_empty()
+
+    def test_gup_with_nlf2_filter(self, rng):
+        from repro.baselines.vf2 import Vf2Matcher
+
+        config = GuPConfig(filter_method="nlf2")
+        for _ in range(10):
+            q, d = make_random_pair(rng)
+            expected = Vf2Matcher().match(q, d).embedding_set()
+            assert match(q, d, config=config).embedding_set() == expected

@@ -1,0 +1,136 @@
+"""Unit tests for graph algorithms (k-core, BFS, components, ...)."""
+
+import pytest
+
+from repro.graph.builder import (
+    GraphBuilder,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.algorithms import (
+    bfs_levels,
+    bfs_order,
+    connected_components,
+    core_numbers,
+    degeneracy_order,
+    is_connected,
+    k_core_vertices,
+    triangle_count,
+    two_core_edges,
+)
+
+
+def tadpole():
+    """Triangle with a 2-edge tail: mixes 2-core and forest parts."""
+    b = GraphBuilder()
+    b.add_vertices("XXXXX")
+    b.add_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+    return b.build()
+
+
+class TestBfs:
+    def test_order_starts_at_root(self):
+        g = path_graph("ABCD")
+        assert bfs_order(g, 2)[0] == 2
+
+    def test_order_visits_component(self):
+        g = tadpole()
+        assert sorted(bfs_order(g, 4)) == [0, 1, 2, 3, 4]
+
+    def test_levels(self):
+        g = path_graph("ABCD")
+        assert bfs_levels(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_levels_unreachable_absent(self):
+        b = GraphBuilder()
+        b.add_vertices("AB")
+        g = b.build()
+        assert bfs_levels(g, 0) == {0: 0}
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert connected_components(tadpole()) == [[0, 1, 2, 3, 4]]
+
+    def test_multiple_sorted_by_size(self):
+        b = GraphBuilder()
+        b.add_vertices("AAAAA")
+        b.add_edges([(0, 1), (1, 2)])
+        comps = connected_components(b.build())
+        assert comps[0] == [0, 1, 2]
+        assert len(comps) == 3
+
+    def test_is_connected(self):
+        assert is_connected(tadpole())
+        b = GraphBuilder()
+        b.add_vertices("AB")
+        assert not is_connected(b.build())
+
+    def test_empty_graph_connected(self):
+        b = GraphBuilder()
+        assert is_connected(b.build())
+
+
+class TestCores:
+    def test_path_core_numbers(self):
+        assert core_numbers(path_graph("ABCD")) == [1, 1, 1, 1]
+
+    def test_complete_core_numbers(self):
+        assert core_numbers(complete_graph("ABCD")) == [3, 3, 3, 3]
+
+    def test_tadpole_core_numbers(self):
+        # Triangle vertices are 2-core; the tail is 1-core.
+        assert core_numbers(tadpole()) == [2, 2, 2, 1, 1]
+
+    def test_star_core_numbers(self):
+        assert core_numbers(star_graph("C", "AAAA")) == [1, 1, 1, 1, 1]
+
+    def test_k_core_vertices(self):
+        assert k_core_vertices(tadpole(), 2) == {0, 1, 2}
+        assert k_core_vertices(tadpole(), 1) == {0, 1, 2, 3, 4}
+        assert k_core_vertices(tadpole(), 3) == set()
+
+    def test_two_core_edges_exclude_tail(self):
+        # GuP's NE guards live only on these edges (§3.3.3).
+        assert two_core_edges(tadpole()) == {(0, 1), (1, 2), (0, 2)}
+
+    def test_two_core_of_tree_is_empty(self):
+        assert two_core_edges(path_graph("ABCDE")) == set()
+
+    def test_core_numbers_empty(self):
+        b = GraphBuilder()
+        assert core_numbers(b.build()) == []
+
+    def test_core_matches_peeling_oracle(self, rng):
+        from repro.graph.generators import erdos_renyi_graph
+
+        for _ in range(20):
+            g = erdos_renyi_graph(
+                rng.randint(1, 25), rng.randint(0, 40), seed=rng.randint(0, 10**9)
+            )
+            core = core_numbers(g)
+            for k in range(0, 6):
+                # Oracle: iteratively peel vertices of degree < k.
+                alive = set(g.vertices())
+                changed = True
+                while changed:
+                    changed = False
+                    for v in list(alive):
+                        if sum(1 for w in g.neighbors(v) if w in alive) < k:
+                            alive.discard(v)
+                            changed = True
+                expected = alive
+                assert {v for v in g.vertices() if core[v] >= k} == expected
+
+
+class TestDegeneracyAndTriangles:
+    def test_degeneracy_order_is_permutation(self):
+        g = tadpole()
+        assert sorted(degeneracy_order(g)) == list(g.vertices())
+
+    def test_triangle_count(self):
+        assert triangle_count(complete_graph("ABCD")) == 4
+        assert triangle_count(tadpole()) == 1
+        assert triangle_count(path_graph("ABCD")) == 0

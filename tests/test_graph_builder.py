@@ -1,0 +1,102 @@
+"""Unit tests for GraphBuilder and the shape helpers."""
+
+import pytest
+
+from repro.graph.builder import (
+    GraphBuilder,
+    complete_graph,
+    cycle_graph,
+    graph_from_adjacency,
+    path_graph,
+    star_graph,
+)
+
+
+class TestBuilder:
+    def test_add_vertex_returns_ids(self):
+        b = GraphBuilder()
+        assert b.add_vertex("A") == 0
+        assert b.add_vertex("B") == 1
+
+    def test_add_vertices(self):
+        b = GraphBuilder()
+        assert b.add_vertices("ABC") == [0, 1, 2]
+
+    def test_add_edge_dedup(self):
+        b = GraphBuilder()
+        b.add_vertices("AB")
+        assert b.add_edge(0, 1) is True
+        assert b.add_edge(1, 0) is False
+        assert b.num_edges == 1
+
+    def test_add_edges_counts_new(self):
+        b = GraphBuilder()
+        b.add_vertices("ABC")
+        assert b.add_edges([(0, 1), (1, 0), (1, 2)]) == 2
+
+    def test_rejects_self_loop(self):
+        b = GraphBuilder()
+        b.add_vertices("AB")
+        with pytest.raises(ValueError, match="self-loop"):
+            b.add_edge(1, 1)
+
+    def test_rejects_unknown_vertex(self):
+        b = GraphBuilder()
+        b.add_vertices("AB")
+        with pytest.raises(ValueError, match="unknown vertex"):
+            b.add_edge(0, 5)
+
+    def test_rejects_unhashable_label(self):
+        b = GraphBuilder()
+        with pytest.raises(TypeError):
+            b.add_vertex([1, 2])
+
+    def test_introspection(self):
+        b = GraphBuilder()
+        b.add_vertices("ABC")
+        b.add_edge(0, 1)
+        assert b.num_vertices == 3
+        assert b.has_edge(0, 1) and b.has_edge(1, 0)
+        assert not b.has_edge(0, 2)
+        assert b.degree(1) == 1
+        assert b.neighbors(1) == (0,)
+
+    def test_build_freezes(self):
+        b = GraphBuilder()
+        b.add_vertices("AB")
+        b.add_edge(0, 1)
+        g = b.build()
+        b.add_vertex("C")  # must not affect the built graph
+        assert g.num_vertices == 2
+
+
+class TestShapeHelpers:
+    def test_complete(self):
+        g = complete_graph("ABCD")
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 3 for v in g.vertices())
+
+    def test_path(self):
+        g = path_graph("ABCD")
+        assert g.num_edges == 3
+        assert g.degree(0) == g.degree(3) == 1
+
+    def test_cycle(self):
+        g = cycle_graph("ABCD")
+        assert g.num_edges == 4
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_rejects_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph("AB")
+
+    def test_star(self):
+        g = star_graph("C", "AAA")
+        assert g.degree(0) == 3
+        assert g.num_edges == 3
+        assert g.label(0) == "C"
+
+    def test_graph_from_adjacency(self):
+        g = graph_from_adjacency("AB", [(0, 1)])
+        assert g.num_edges == 1
+        assert g.labels == ("A", "B")

@@ -1,0 +1,108 @@
+"""Unit + property tests for the random graph generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.algorithms import is_connected
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    random_connected_graph,
+    random_labels,
+    random_tree,
+)
+
+
+class TestRandomLabels:
+    def test_length_and_range(self):
+        labels = random_labels(100, 5, seed=1)
+        assert len(labels) == 100
+        assert set(labels) <= set(range(5))
+
+    def test_deterministic(self):
+        assert random_labels(50, 4, seed=9) == random_labels(50, 4, seed=9)
+
+    def test_skew_concentrates_mass(self):
+        skewed = random_labels(3000, 10, seed=3, skew=1.5)
+        uniform = random_labels(3000, 10, seed=3, skew=0.0)
+        assert skewed.count(0) > uniform.count(0) * 1.5
+
+    def test_rejects_no_labels(self):
+        with pytest.raises(ValueError):
+            random_labels(5, 0)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_graph(20, 30, seed=2)
+        assert g.num_vertices == 20
+        assert g.num_edges == 30
+
+    def test_caps_at_complete(self):
+        g = erdos_renyi_graph(5, 100, seed=2)
+        assert g.num_edges == 10
+
+    def test_deterministic(self):
+        assert erdos_renyi_graph(15, 20, 3, seed=7) == erdos_renyi_graph(15, 20, 3, seed=7)
+
+
+class TestRandomTree:
+    def test_tree_shape(self):
+        g = random_tree(30, seed=4)
+        assert g.num_edges == 29
+        assert is_connected(g)
+
+
+class TestRandomConnected:
+    def test_connected_with_extras(self):
+        g = random_connected_graph(25, 40, seed=5)
+        assert is_connected(g)
+        assert g.num_edges == 40
+
+    def test_rejects_too_few_edges(self):
+        with pytest.raises(ValueError):
+            random_connected_graph(10, 5)
+
+
+class TestPowerlaw:
+    def test_basic_shape(self):
+        g = powerlaw_cluster_graph(60, 3, seed=6)
+        assert g.num_vertices == 60
+        assert is_connected(g)
+        # Preferential attachment: the max degree well exceeds the mean.
+        assert max(g.degree(v) for v in g.vertices()) > 2 * g.average_degree()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(3, 5)
+
+    def test_deterministic(self):
+        a = powerlaw_cluster_graph(40, 2, 0.5, 4, seed=8)
+        b = powerlaw_cluster_graph(40, 2, 0.5, 4, seed=8)
+        assert a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    extra=st.integers(min_value=0, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_random_connected_is_always_connected(n, extra, seed):
+    g = random_connected_graph(n, n - 1 + extra, num_labels=3, seed=seed)
+    assert is_connected(g)
+    assert g.num_vertices == n
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=25),
+    m=st.integers(min_value=0, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**30),
+)
+def test_erdos_renyi_respects_edge_budget(n, m, seed):
+    g = erdos_renyi_graph(n, m, num_labels=2, seed=seed)
+    assert g.num_edges == min(m, n * (n - 1) // 2)

@@ -1,0 +1,145 @@
+"""Unit tests for the core Graph class."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, complete_graph, cycle_graph, path_graph
+from repro.graph.graph import Graph
+
+
+def build_labeled_path():
+    b = GraphBuilder()
+    b.add_vertices(["A", "B", "A", "C"])
+    b.add_edges([(0, 1), (1, 2), (2, 3)])
+    return b.build()
+
+
+class TestBasics:
+    def test_counts(self):
+        g = build_labeled_path()
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+        assert len(g) == 4
+
+    def test_labels(self):
+        g = build_labeled_path()
+        assert g.label(0) == "A"
+        assert g.label(3) == "C"
+        assert g.labels == ("A", "B", "A", "C")
+
+    def test_degree(self):
+        g = build_labeled_path()
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+        assert g.degree_sequence() == [1, 2, 2, 1]
+
+    def test_neighbors_sorted(self):
+        b = GraphBuilder()
+        b.add_vertices("XXXX")
+        b.add_edges([(3, 0), (1, 3), (3, 2)])
+        g = b.build()
+        assert g.neighbors(3) == (0, 1, 2)
+
+    def test_neighbor_set(self):
+        g = build_labeled_path()
+        assert g.neighbor_set(1) == {0, 2}
+
+    def test_has_edge_symmetric(self):
+        g = build_labeled_path()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_edges_each_once(self):
+        g = complete_graph("ABC")
+        assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_empty_graph(self):
+        g = Graph([], [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.average_degree() == 0.0
+
+    def test_average_degree(self):
+        g = cycle_graph("ABCD")
+        assert g.average_degree() == pytest.approx(2.0)
+
+    def test_repr_mentions_sizes(self):
+        g = build_labeled_path()
+        assert "num_vertices=4" in repr(g)
+
+
+class TestValidation:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(["A"], [[0]])
+
+    def test_rejects_duplicate_neighbor(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph(["A", "B"], [[1, 1], [0, 0]])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            Graph(["A", "B"], [[1]])
+
+    def test_rejects_asymmetric_adjacency(self):
+        with pytest.raises(ValueError):
+            Graph(["A", "B", "C"], [[1], [0, 2], []])
+
+
+class TestLabelIndex:
+    def test_vertices_with_label(self):
+        g = build_labeled_path()
+        assert g.vertices_with_label("A") == (0, 2)
+        assert g.vertices_with_label("B") == (1,)
+        assert g.vertices_with_label("missing") == ()
+
+    def test_label_set(self):
+        g = build_labeled_path()
+        assert g.label_set == {"A", "B", "C"}
+
+    def test_nlf_table(self):
+        g = build_labeled_path()
+        assert g.neighbor_label_frequency(1) == {"A": 2}
+        assert g.neighbor_label_frequency(2) == {"B": 1, "C": 1}
+        assert g.neighbor_label_frequency(0) == {"B": 1}
+
+
+class TestDerivedViews:
+    def test_induced_subgraph(self):
+        g = complete_graph("ABCD")
+        sub, mapping = g.induced_subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert mapping == {1: 0, 2: 1, 3: 2}
+        assert sub.labels == ("B", "C", "D")
+
+    def test_induced_subgraph_drops_outside_edges(self):
+        g = path_graph("ABCD")
+        sub, _ = g.induced_subgraph([0, 2])
+        assert sub.num_edges == 0
+
+    def test_relabeled_roundtrip(self):
+        g = build_labeled_path()
+        perm = [3, 1, 0, 2]
+        h = g.relabeled(perm)
+        assert h.label(0) == g.label(3)
+        # Edge (0,1) in g maps to (new(0), new(1)).
+        new_of = {old: new for new, old in enumerate(perm)}
+        for u, v in g.edges():
+            assert h.has_edge(new_of[u], new_of[v])
+        assert h.num_edges == g.num_edges
+
+    def test_relabeled_identity(self):
+        g = build_labeled_path()
+        assert g.relabeled([0, 1, 2, 3]) == g
+
+    def test_relabeled_rejects_non_permutation(self):
+        g = build_labeled_path()
+        with pytest.raises(ValueError):
+            g.relabeled([0, 0, 1, 2])
+
+    def test_equality_and_hash(self):
+        g1 = build_labeled_path()
+        g2 = build_labeled_path()
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != complete_graph("AB")

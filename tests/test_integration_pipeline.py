@@ -1,0 +1,87 @@
+"""Integration: the full evaluation pipeline on a small grid.
+
+dataset -> query sets -> every paper method -> harness statistics.
+This mirrors exactly what the benchmark scripts do, at a tiny scale, so
+a green run here means the benchmark suite can only fail on scale, not
+on plumbing.
+"""
+
+import pytest
+
+from repro.baselines.registry import PAPER_METHODS, get_matcher
+from repro.bench.runner import BenchmarkScale, run_query_set
+from repro.bench.stats import (
+    average_time_with_timeouts,
+    threshold_counts,
+    total_recursions,
+)
+from repro.core.config import GuPConfig
+from repro.core.engine import match
+from repro.matching.limits import SearchLimits
+from repro.workload.datasets import load_dataset
+from repro.workload.querygen import QuerySetSpec, generate_query_set
+
+SCALE = BenchmarkScale(
+    max_embeddings=500,
+    query_time_limit=2.0,
+    subgroup_size=5,
+    subgroup_budget=20.0,
+    thresholds=(0.01, 0.1, 2.0),
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = load_dataset("yeast", scale=0.6, seed=21)
+    queries = generate_query_set(data, QuerySetSpec(8, "sparse"), count=6, seed=22)
+    return data, queries
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("method", PAPER_METHODS)
+    def test_method_completes_set(self, method, workload):
+        data, queries = workload
+        result = run_query_set(
+            get_matcher(method), data, queries, scale=SCALE, set_name="8S"
+        )
+        assert len(result.records) >= 1
+        assert total_recursions(result) > 0
+        counts = threshold_counts(
+            result.records, SCALE.thresholds, SCALE.query_time_limit
+        )
+        assert counts[0.01] >= counts[0.1] >= counts[2.0]
+        assert average_time_with_timeouts(result, SCALE.query_time_limit) >= 0
+
+    def test_methods_agree_on_embedding_counts(self, workload):
+        data, queries = workload
+        limits = SearchLimits(max_embeddings=500, collect=False)
+        for query in queries[:3]:
+            counts = {
+                m: get_matcher(m).match(query, data, limits).num_embeddings
+                for m in PAPER_METHODS
+            }
+            assert len(set(counts.values())) == 1, counts
+
+    def test_dense_set_runs(self):
+        data = load_dataset("human", scale=0.4, seed=31)
+        queries = generate_query_set(data, QuerySetSpec(8, "dense"), count=3, seed=32)
+        result = run_query_set(get_matcher("GuP"), data, queries, scale=SCALE)
+        assert result.records
+
+    def test_ablation_grid_runs(self, workload):
+        data, queries = workload
+        limits = SearchLimits(max_embeddings=200, collect=False)
+        configs = {
+            "Baseline": GuPConfig.baseline(),
+            "R": GuPConfig.reservation_only(),
+            "R+NV": GuPConfig.r_nv(),
+            "R+NV+NE": GuPConfig.r_nv_ne(),
+            "All": GuPConfig.full(),
+        }
+        counts = {}
+        for name, config in configs.items():
+            counts[name] = sum(
+                match(q, data, config=config, limits=limits).num_embeddings
+                for q in queries[:3]
+            )
+        assert len(set(counts.values())) == 1, counts

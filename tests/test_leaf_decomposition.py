@@ -1,0 +1,193 @@
+"""Tests for injective counting and DAF's leaf decomposition."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.daf import DafMatcher
+from repro.baselines.leaf_decomposition import leaf_last_order, query_leaves
+from repro.baselines.vf2 import Vf2Matcher
+from repro.graph.builder import (
+    GraphBuilder,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators import erdos_renyi_graph, random_connected_graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import TerminationStatus
+from repro.ordering.base import is_connected_order
+from repro.utils.counting import count_injective_assignments
+
+ORACLE = Vf2Matcher()
+COUNT = SearchLimits(collect=False)
+
+
+def brute_force_injective(sets):
+    count = 0
+    for combo in itertools.product(*[sorted(s) for s in sets]):
+        if len(set(combo)) == len(combo):
+            count += 1
+    return count
+
+
+class TestCounting:
+    def test_empty(self):
+        assert count_injective_assignments([]) == 1
+
+    def test_single(self):
+        assert count_injective_assignments([{1, 2, 3}]) == 3
+
+    def test_disjoint(self):
+        assert count_injective_assignments([{1, 2}, {3, 4}]) == 4
+
+    def test_identical_pairs(self):
+        # Two sets {1,2}: injective pairs = 2 (permutations).
+        assert count_injective_assignments([{1, 2}, {1, 2}]) == 2
+
+    def test_impossible(self):
+        assert count_injective_assignments([{1}, {1}]) == 0
+
+    def test_empty_set_blocks(self):
+        assert count_injective_assignments([{1, 2}, set()]) == 0
+
+    def test_partition_equals_backtracking(self):
+        rng = random.Random(6)
+        for _ in range(30):
+            r = rng.randint(1, 5)
+            sets = [
+                {rng.randrange(8) for _ in range(rng.randint(0, 5))}
+                for _ in range(r)
+            ]
+            if any(not s for s in sets):
+                continue
+            exact = count_injective_assignments(sets, exact_limit=8)
+            fallback = count_injective_assignments(sets, exact_limit=0)
+            assert exact == fallback == brute_force_injective(sets)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.sets(st.integers(min_value=0, max_value=7), min_size=1, max_size=6),
+        min_size=0,
+        max_size=5,
+    )
+)
+def test_counting_property(sets):
+    assert count_injective_assignments(sets) == brute_force_injective(sets)
+
+
+class TestQueryLeaves:
+    def test_star(self):
+        assert query_leaves(star_graph("C", "AAA")) == [1, 2, 3]
+
+    def test_cycle_has_none(self):
+        assert query_leaves(cycle_graph("AAAA")) == []
+
+    def test_path(self):
+        # Path of 4: both endpoints are leaves (inner vertices deg 2).
+        assert query_leaves(path_graph("AAAA")) == [0, 3]
+
+    def test_single_edge_keeps_a_core(self):
+        q = path_graph("AB")
+        leaves = query_leaves(q)
+        assert leaves == [1]
+
+    def test_single_vertex(self):
+        b = GraphBuilder()
+        b.add_vertex("A")
+        assert query_leaves(b.build()) == []
+
+    def test_isolated_vertices_are_leaves(self):
+        b = GraphBuilder()
+        b.add_vertices("AB")
+        assert 1 in query_leaves(b.build())
+
+
+class TestLeafLastOrder:
+    def test_leaves_trail(self):
+        q = star_graph("C", "AAAA")
+        order = leaf_last_order(q, [[0]] * 5)
+        assert order[0] == 0
+        assert sorted(order[1:]) == [1, 2, 3, 4]
+
+    def test_connected_order(self, rng):
+        for _ in range(15):
+            n = rng.randint(2, 9)
+            q = random_connected_graph(
+                n, n - 1 + rng.randint(0, 5), num_labels=2,
+                seed=rng.randint(0, 10**9),
+            )
+            order = leaf_last_order(q, [[0]] * n)
+            assert sorted(order) == list(range(n))
+            assert is_connected_order(q, order)
+
+    def test_no_leaves_falls_back(self):
+        q = cycle_graph("AAAA")
+        order = leaf_last_order(q, [[0, 1]] * 4)
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestDafLeafDecomposition:
+    def test_counts_match_oracle(self, rng):
+        leafy = DafMatcher(leaf_decomposition=True)
+        for _ in range(25):
+            nq = rng.randint(2, 6)
+            nd = rng.randint(4, 14)
+            labels = rng.randint(1, 3)
+            q = random_connected_graph(
+                nq, nq - 1 + rng.randint(0, 3), num_labels=labels,
+                seed=rng.randint(0, 10**9),
+            )
+            d = erdos_renyi_graph(
+                nd, rng.randint(0, nd * 2), num_labels=labels,
+                seed=rng.randint(0, 10**9),
+            )
+            truth = ORACLE.match(q, d).num_embeddings
+            assert leafy.match(q, d, COUNT).num_embeddings == truth
+
+    def test_enumeration_unaffected(self, rng):
+        leafy = DafMatcher(leaf_decomposition=True)
+        for _ in range(10):
+            nq = rng.randint(2, 5)
+            q = random_connected_graph(nq, nq - 1, num_labels=2,
+                                       seed=rng.randint(0, 10**9))
+            d = erdos_renyi_graph(10, 20, num_labels=2,
+                                  seed=rng.randint(0, 10**9))
+            assert (
+                leafy.match(q, d).embedding_set()
+                == ORACLE.match(q, d).embedding_set()
+            )
+
+    def test_counting_shortcut_saves_recursions(self):
+        q = star_graph(0, [1, 1, 1, 1])
+        d = erdos_renyi_graph(35, 180, 2, seed=5)
+        plain = DafMatcher().match(q, d, COUNT)
+        leafy = DafMatcher(leaf_decomposition=True).match(q, d, COUNT)
+        assert plain.num_embeddings == leafy.num_embeddings
+        if plain.num_embeddings:
+            assert leafy.stats.recursions < plain.stats.recursions
+
+    def test_embedding_cap_clamped_exactly(self):
+        q = star_graph(0, [1, 1, 1])
+        d = erdos_renyi_graph(30, 150, 2, seed=6)
+        full = DafMatcher(leaf_decomposition=True).match(q, d, COUNT)
+        if full.num_embeddings > 5:
+            capped = DafMatcher(leaf_decomposition=True).match(
+                q, d, SearchLimits(max_embeddings=5, collect=False)
+            )
+            assert capped.num_embeddings == 5
+            assert capped.status is TerminationStatus.EMBEDDING_LIMIT
+
+    def test_cliques_have_no_leaves(self):
+        q = complete_graph([0, 0, 0])
+        d = erdos_renyi_graph(12, 40, 1, seed=7)
+        truth = ORACLE.match(q, d).num_embeddings
+        assert DafMatcher(leaf_decomposition=True).match(
+            q, d, COUNT
+        ).num_embeddings == truth

@@ -1,0 +1,33 @@
+"""Unit tests for embedding helpers."""
+
+from repro.matching.embedding import (
+    embedding_image,
+    embedding_to_dict,
+    extend,
+    images_of_mask,
+    restrict_embedding,
+)
+
+
+class TestHelpers:
+    def test_to_dict(self):
+        assert embedding_to_dict((5, 7)) == {0: 5, 1: 7}
+
+    def test_image(self):
+        assert embedding_image((5, 7, 5)) == {5, 7}
+
+    def test_extend(self):
+        assert extend((1, 2), 9) == (1, 2, 9)
+        assert extend([], 3) == (3,)
+
+    def test_restrict_by_mask(self):
+        # M[K] with K = {u0, u2}
+        assert restrict_embedding((4, 5, 6), 0b101) == ((0, 4), (2, 6))
+
+    def test_restrict_ignores_unassigned_bits(self):
+        # The mask may mention vertices the prefix has not reached.
+        assert restrict_embedding((4,), 0b110 | 1) == ((0, 4),)
+
+    def test_images_of_mask(self):
+        assert images_of_mask((4, 5, 6), 0b110) == {5, 6}
+        assert images_of_mask((4, 5, 6), 0) == frozenset()

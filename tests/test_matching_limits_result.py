@@ -1,0 +1,71 @@
+"""Unit tests for SearchLimits, SearchStats, MatchResult."""
+
+from repro.matching.limits import SearchLimits, UNLIMITED
+from repro.matching.result import MatchResult, SearchStats, TerminationStatus
+
+
+class TestLimits:
+    def test_unlimited(self):
+        assert UNLIMITED.max_embeddings is None
+        assert not UNLIMITED.embeddings_reached(10**9)
+
+    def test_embedding_cap(self):
+        limits = SearchLimits(max_embeddings=5)
+        assert not limits.embeddings_reached(4)
+        assert limits.embeddings_reached(5)
+        assert limits.embeddings_reached(6)
+
+    def test_deadline_factory(self):
+        d = SearchLimits(time_limit=None).make_deadline()
+        assert not d.check_now()
+
+
+class TestStats:
+    def test_guard_prune_accounting(self):
+        s = SearchStats()
+        s.local_candidates_seen = 100
+        s.pruned_reservation = 5
+        s.pruned_nogood_vertex = 10
+        s.pruned_nogood_edge = 5
+        s.pruned_injectivity = 7  # not a guard prune
+        assert s.pruned_by_guards() == 20
+        assert s.guard_prune_fraction() == 0.2
+
+    def test_guard_fraction_zero_when_no_candidates(self):
+        assert SearchStats().guard_prune_fraction() == 0.0
+
+    def test_merge(self):
+        a = SearchStats(recursions=3, embeddings_found=1)
+        b = SearchStats(recursions=4, futile_recursions=2)
+        a.merge(b)
+        assert a.recursions == 7
+        assert a.futile_recursions == 2
+        assert a.embeddings_found == 1
+
+
+class TestResult:
+    def _result(self, status):
+        return MatchResult(
+            embeddings=[(0, 1)],
+            num_embeddings=1,
+            status=status,
+            elapsed_seconds=0.5,
+            preprocessing_seconds=0.25,
+            method="X",
+        )
+
+    def test_complete_flag(self):
+        assert self._result(TerminationStatus.COMPLETE).complete
+        assert not self._result(TerminationStatus.TIMEOUT).complete
+
+    def test_timeout_flag(self):
+        assert self._result(TerminationStatus.TIMEOUT).timed_out
+
+    def test_total_seconds(self):
+        assert self._result(TerminationStatus.COMPLETE).total_seconds == 0.75
+
+    def test_embedding_set(self):
+        assert self._result(TerminationStatus.COMPLETE).embedding_set() == {(0, 1)}
+
+    def test_repr(self):
+        assert "method='X'" in repr(self._result(TerminationStatus.COMPLETE))

@@ -1,0 +1,84 @@
+"""Unit tests for embedding verification (Definition 2.1)."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, cycle_graph
+from repro.matching.verify import (
+    assert_all_embeddings_valid,
+    constraint_violations,
+    is_embedding,
+    is_partial_embedding,
+)
+
+
+@pytest.fixture
+def pair():
+    query = cycle_graph(["A", "B", "C"])
+    b = GraphBuilder()
+    b.add_vertices(["A", "B", "C", "A"])
+    b.add_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+    return query, b.build()
+
+
+class TestFullEmbedding:
+    def test_valid(self, pair):
+        q, d = pair
+        assert is_embedding(q, d, (0, 1, 2))
+
+    def test_wrong_label_reported(self, pair):
+        q, d = pair
+        problems = constraint_violations(q, d, (1, 0, 2))
+        assert any("label" in p for p in problems)
+
+    def test_adjacency_violation(self, pair):
+        q, d = pair
+        # v3 has label A but lacks the edge to v1.
+        problems = constraint_violations(q, d, (3, 1, 2))
+        assert any("adjacency" in p for p in problems)
+
+    def test_injectivity_violation(self):
+        q = cycle_graph(["A", "A", "A"])
+        b = GraphBuilder()
+        b.add_vertices(["A", "A", "A"])
+        b.add_edges([(0, 1), (1, 2), (2, 0)])
+        d = b.build()
+        problems = constraint_violations(q, d, (0, 1, 0))
+        assert any("injectivity" in p for p in problems)
+
+    def test_length_mismatch(self, pair):
+        q, d = pair
+        assert constraint_violations(q, d, (0, 1)) != []
+
+    def test_out_of_range_vertex(self, pair):
+        q, d = pair
+        assert constraint_violations(q, d, (0, 1, 99)) != []
+
+
+class TestPartialEmbedding:
+    def test_prefixes_of_valid(self, pair):
+        q, d = pair
+        for k in range(4):
+            assert is_partial_embedding(q, d, (0, 1, 2)[:k])
+
+    def test_detects_backward_edge_violation(self, pair):
+        q, d = pair
+        assert not is_partial_embedding(q, d, (0, 1, 3))  # v3 not adj v0? v3-v0 missing
+
+    def test_detects_duplicate(self, pair):
+        q, d = pair
+        assert not is_partial_embedding(q, d, (0, 0))
+
+    def test_too_long(self, pair):
+        q, d = pair
+        assert not is_partial_embedding(q, d, (0, 1, 2, 3))
+
+
+class TestAssertHelper:
+    def test_passes_on_valid(self, pair):
+        q, d = pair
+        assert_all_embeddings_valid(q, d, [(0, 1, 2)])
+
+    def test_raises_with_details(self, pair):
+        q, d = pair
+        with pytest.raises(AssertionError, match="invalid embedding"):
+            assert_all_embeddings_valid(q, d, [(0, 1, 2), (1, 0, 2)])

@@ -1,0 +1,86 @@
+"""Unit tests for matching orders (VC, GQL, RI) and order plumbing."""
+
+import pytest
+
+from repro.filtering.nlf import nlf_candidates
+from repro.graph.builder import GraphBuilder, cycle_graph, path_graph, star_graph
+from repro.graph.generators import random_connected_graph
+from repro.ordering import (
+    ORDERINGS,
+    apply_matching_order,
+    gql_order,
+    is_connected_order,
+    make_order,
+    repair_connected_order,
+    ri_order,
+    vc_order,
+)
+from tests.conftest import make_random_pair
+
+
+class TestConnectedOrder:
+    def test_path_orders(self):
+        q = path_graph("ABCD")
+        assert is_connected_order(q, [0, 1, 2, 3])
+        assert is_connected_order(q, [1, 0, 2, 3])
+        assert not is_connected_order(q, [0, 2, 1, 3])
+        assert not is_connected_order(q, [0, 1, 1, 3])
+
+    def test_repair(self):
+        q = path_graph("ABCD")
+        repaired = repair_connected_order(q, [0, 3, 2, 1])
+        assert is_connected_order(q, repaired)
+        assert repaired[0] == 0
+
+    def test_apply(self):
+        q = path_graph("ABC")
+        reordered, order = apply_matching_order(q, [1, 0, 2])
+        assert reordered.label(0) == "B"
+        assert is_connected_order(reordered, [0, 1, 2])
+
+
+class TestOrders:
+    @pytest.mark.parametrize("name", ["vc", "gql", "ri"])
+    def test_permutation_and_connected(self, name, rng):
+        for _ in range(15):
+            q, d = make_random_pair(rng, max_query=8)
+            candidates = nlf_candidates(q, d)
+            order = make_order(name, q, candidates)
+            assert sorted(order) == list(q.vertices())
+            assert is_connected_order(q, order)
+
+    def test_registry_contents(self):
+        assert {"vc", "gql", "ri"} <= set(ORDERINGS)
+
+    def test_unknown_order(self):
+        q = path_graph("AB")
+        with pytest.raises(ValueError, match="unknown ordering"):
+            make_order("nope", q, [[0], [1]])
+
+    def test_gql_starts_at_fewest_candidates(self):
+        q = path_graph("ABC")
+        order = gql_order(q, [[1, 2, 3], [1], [1, 2]])
+        assert order[0] == 1
+
+    def test_ri_starts_at_max_degree(self):
+        q = star_graph("C", "AAA")
+        assert ri_order(q, [[]] * 4)[0] == 0
+
+    def test_vc_prefers_cover_vertices(self):
+        # Star: the cover is the center; VC must match it first.
+        q = star_graph("C", "AAA")
+        order = vc_order(q, [[0]] * 4)
+        assert order[0] == 0
+
+    def test_single_vertex(self):
+        b = GraphBuilder()
+        b.add_vertex("A")
+        q = b.build()
+        for name in ("vc", "gql", "ri"):
+            assert make_order(name, q, [[0, 1]]) == [0]
+
+    def test_empty_query(self):
+        b = GraphBuilder()
+        q = b.build()
+        for name in ("vc", "gql", "ri"):
+            assert make_order(name, q, []) == []

@@ -1,0 +1,82 @@
+"""Property tests: graph serialization and structural invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.algorithms import core_numbers, two_core_edges
+from repro.graph.generators import erdos_renyi_graph, random_connected_graph
+from repro.graph.io import loads_graph, saves_graph
+
+
+def _random_graph(seed, n, m, labels):
+    return erdos_renyi_graph(n, m, num_labels=labels, seed=seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    n=st.integers(min_value=0, max_value=30),
+    m=st.integers(min_value=0, max_value=60),
+    labels=st.integers(min_value=1, max_value=5),
+)
+def test_graph_format_roundtrip(seed, n, m, labels):
+    graph = _random_graph(seed, n, m, labels)
+    assert loads_graph(saves_graph(graph), strict=True) == graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    n=st.integers(min_value=1, max_value=25),
+    m=st.integers(min_value=0, max_value=50),
+)
+def test_handshake_lemma(seed, n, m):
+    graph = _random_graph(seed, n, m, 2)
+    assert sum(graph.degree(v) for v in graph.vertices()) == 2 * graph.num_edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    n=st.integers(min_value=1, max_value=25),
+    m=st.integers(min_value=0, max_value=50),
+)
+def test_core_numbers_bounded_by_degree(seed, n, m):
+    graph = _random_graph(seed, n, m, 2)
+    cores = core_numbers(graph)
+    for v in graph.vertices():
+        assert 0 <= cores[v] <= graph.degree(v)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    n=st.integers(min_value=2, max_value=20),
+    extra=st.integers(min_value=0, max_value=20),
+)
+def test_two_core_edges_have_min_degree_two(seed, n, extra):
+    graph = random_connected_graph(n, n - 1 + extra, num_labels=2, seed=seed)
+    core_edges = two_core_edges(graph)
+    vertices_in_core = {v for e in core_edges for v in e}
+    # Within the 2-core subgraph, every vertex touches >= 2 core edges.
+    for v in vertices_in_core:
+        incident = sum(1 for e in core_edges if v in e)
+        assert incident >= 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    n=st.integers(min_value=1, max_value=15),
+    m=st.integers(min_value=0, max_value=30),
+)
+def test_relabeled_preserves_degree_multiset(seed, n, m):
+    graph = _random_graph(seed, n, m, 3)
+    rng = random.Random(seed)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    relabeled = graph.relabeled(perm)
+    assert sorted(relabeled.degree_sequence()) == sorted(graph.degree_sequence())
+    assert sorted(relabeled.labels) == sorted(graph.labels)

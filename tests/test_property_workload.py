@@ -1,0 +1,57 @@
+"""Property tests for the workload generators."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.algorithms import is_connected
+from repro.graph.generators import random_connected_graph
+from repro.workload.querygen import (
+    SPARSE_THRESHOLD,
+    _sparsify,
+    classify_density,
+    generate_query,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    size=st.integers(min_value=2, max_value=10),
+)
+def test_generated_queries_are_connected_subgraph_patterns(seed, size):
+    data = random_connected_graph(80, 200, num_labels=3, seed=seed)
+    query = generate_query(data, size, "sparse", seed=seed)
+    assert query.num_vertices == size
+    assert is_connected(query)
+    assert classify_density(query) in ("sparse", "dense")
+    # Every query label exists in the data graph (walk extraction).
+    assert set(query.labels) <= set(data.labels)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    n=st.integers(min_value=2, max_value=12),
+    extra=st.integers(min_value=0, max_value=25),
+)
+def test_sparsify_keeps_connectivity_and_density(seed, n, extra):
+    graph = random_connected_graph(n, n - 1 + extra, num_labels=2, seed=seed)
+    rng = random.Random(seed)
+    sparse = _sparsify(graph, rng, SPARSE_THRESHOLD - 0.01)
+    assert sparse.num_vertices == graph.num_vertices
+    assert is_connected(sparse)
+    # Result is a subgraph of the input.
+    for u, v in sparse.edges():
+        assert graph.has_edge(u, v)
+    assert sparse.labels == graph.labels
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**30))
+def test_generate_query_deterministic(seed):
+    data = random_connected_graph(60, 140, num_labels=3, seed=7)
+    a = generate_query(data, 6, "sparse", seed=seed)
+    b = generate_query(data, 6, "sparse", seed=seed)
+    assert a == b

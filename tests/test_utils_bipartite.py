@@ -1,0 +1,61 @@
+"""Unit + property tests for bipartite matching."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bipartite import has_saturating_matching, maximum_matching_size
+
+
+class TestSaturating:
+    def test_trivial(self):
+        assert has_saturating_matching([], lambda l: [])
+
+    def test_perfect(self):
+        adj = {0: [10], 1: [11]}
+        assert has_saturating_matching([0, 1], lambda l: adj[l])
+
+    def test_needs_augmenting_path(self):
+        # 0 prefers 10; 1 can only use 10 -> must re-route 0 to 11.
+        adj = {0: [10, 11], 1: [10]}
+        assert has_saturating_matching([0, 1], lambda l: adj[l])
+
+    def test_impossible(self):
+        adj = {0: [10], 1: [10]}
+        assert not has_saturating_matching([0, 1], lambda l: adj[l])
+
+    def test_isolated_left_vertex(self):
+        adj = {0: [], 1: [10]}
+        assert not has_saturating_matching([0, 1], lambda l: adj[l])
+
+
+class TestMaximumSize:
+    def test_counts(self):
+        adj = {0: [10], 1: [10], 2: [11]}
+        assert maximum_matching_size([0, 1, 2], lambda l: adj[l]) == 2
+
+
+def _hall_oracle(left, adj):
+    """Exhaustive Hall's-condition check (exponential, tiny inputs)."""
+    for r in range(1, len(left) + 1):
+        for subset in itertools.combinations(left, r):
+            neighborhood = set()
+            for l in subset:
+                neighborhood.update(adj[l])
+            if len(neighborhood) < len(subset):
+                return False
+    return True
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5),
+       st.integers(min_value=0, max_value=2**30))
+def test_matches_halls_condition(nl, nr, seed):
+    rng = random.Random(seed)
+    left = list(range(nl))
+    adj = {
+        l: [r for r in range(nr) if rng.random() < 0.45] for l in left
+    }
+    assert has_saturating_matching(left, lambda l: adj[l]) == _hall_oracle(left, adj)

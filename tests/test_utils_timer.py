@@ -1,0 +1,56 @@
+"""Unit tests for Stopwatch and Deadline."""
+
+import time
+
+from repro.utils.timer import Deadline, Stopwatch
+
+
+class TestStopwatch:
+    def test_elapsed_monotone(self):
+        sw = Stopwatch()
+        a = sw.elapsed()
+        b = sw.elapsed()
+        assert 0 <= a <= b
+
+    def test_restart(self):
+        sw = Stopwatch()
+        time.sleep(0.01)
+        sw.restart()
+        assert sw.elapsed() < 0.01
+
+
+class TestDeadline:
+    def test_never_expires_without_limit(self):
+        d = Deadline(None, check_every=1)
+        assert not d.poll()
+        assert not d.check_now()
+        assert d.remaining() is None
+
+    def test_expires(self):
+        d = Deadline(0.0, check_every=1)
+        time.sleep(0.001)
+        assert d.poll()
+        assert d.expired
+
+    def test_expiry_is_sticky(self):
+        d = Deadline(0.0, check_every=1)
+        time.sleep(0.001)
+        d.check_now()
+        assert d.poll()
+        assert d.poll()
+
+    def test_poll_skips_clock_reads(self):
+        # With a large check_every, early polls return False cheaply even
+        # though the wall deadline has passed; check_now still catches it.
+        d = Deadline(0.0, check_every=10_000)
+        time.sleep(0.001)
+        assert not d.poll()
+        assert d.check_now()
+
+    def test_remaining_nonnegative(self):
+        d = Deadline(100.0)
+        rem = d.remaining()
+        assert rem is not None and 0 < rem <= 100.0
+        d2 = Deadline(0.0)
+        time.sleep(0.001)
+        assert d2.remaining() == 0.0

@@ -1,0 +1,103 @@
+"""Unit + property tests for vertex cover routines."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.vertexcover import (
+    approx_vertex_cover,
+    constrained_vertex_cover,
+    exact_vertex_cover,
+)
+
+
+def is_cover(cover, edges):
+    return all(a in cover or b in cover for a, b in edges)
+
+
+class TestApprox:
+    def test_empty(self):
+        assert approx_vertex_cover([]) == set()
+
+    def test_covers(self):
+        edges = [(0, 1), (1, 2), (3, 4)]
+        assert is_cover(approx_vertex_cover(edges), edges)
+
+    def test_two_approximation(self):
+        # A star: optimum is 1; the 2-approx takes both endpoints of one
+        # edge, hence at most 2.
+        edges = [(0, i) for i in range(1, 6)]
+        cover = approx_vertex_cover(edges)
+        assert is_cover(cover, edges)
+        assert len(cover) <= 2
+
+
+class TestExact:
+    def test_star_optimum(self):
+        edges = [(0, i) for i in range(1, 6)]
+        assert exact_vertex_cover(edges, 5) == {0}
+
+    def test_triangle_optimum_size(self):
+        cover = exact_vertex_cover([(0, 1), (1, 2), (0, 2)], 3)
+        assert cover is not None and len(cover) == 2
+
+    def test_budget_too_small(self):
+        assert exact_vertex_cover([(0, 1), (2, 3)], 1) is None
+
+    def test_empty_edges(self):
+        assert exact_vertex_cover([], 0) == set()
+
+
+class TestConstrained:
+    def test_unconstrained_behaves_like_greedy(self):
+        edges = [(0, 1), (1, 2)]
+        cover = constrained_vertex_cover(edges, None, lambda s: True)
+        assert cover is not None and is_cover(cover, edges)
+
+    def test_size_limit_fails_cleanly(self):
+        edges = [(0, 1), (2, 3), (4, 5)]  # needs >= 3 vertices
+        assert constrained_vertex_cover(edges, 2, lambda s: True) is None
+
+    def test_admissibility_can_force_single_endpoint(self):
+        # Predicate forbids vertex 1; the cover must use 0 and 2 instead.
+        edges = [(0, 1), (1, 2)]
+        cover = constrained_vertex_cover(
+            edges, None, lambda s: 1 not in s
+        )
+        assert cover == {0, 2}
+
+    def test_admissibility_failure(self):
+        edges = [(0, 1)]
+        assert constrained_vertex_cover(edges, None, lambda s: False) is None
+
+    def test_self_loop_edge(self):
+        # The reservation graph can contain (w, w) edges; the cover must
+        # then include w itself.
+        cover = constrained_vertex_cover([(7, 7)], 3, lambda s: True)
+        assert cover == {7}
+
+    def test_empty_edges_gives_empty_cover(self):
+        assert constrained_vertex_cover([], 0, lambda s: True) == set()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 8), st.integers(0, 8)),
+        max_size=12,
+    ),
+    st.integers(min_value=0, max_value=2**30),
+)
+def test_constrained_result_is_always_a_cover(edges, seed):
+    rng = random.Random(seed)
+    forbidden = {v for v in range(9) if rng.random() < 0.25}
+
+    def admissible(s):
+        return not (s & forbidden)
+
+    cover = constrained_vertex_cover(edges, 6, admissible)
+    if cover is not None:
+        assert is_cover(cover, edges)
+        assert len(cover) <= 6
+        assert admissible(frozenset(cover))

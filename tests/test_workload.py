@@ -1,0 +1,114 @@
+"""Unit tests for datasets and query generation."""
+
+import pytest
+
+from repro.baselines.vf2 import Vf2Matcher
+from repro.graph.algorithms import is_connected
+from repro.matching.limits import SearchLimits
+from repro.workload.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.workload.querygen import (
+    QuerySetSpec,
+    classify_density,
+    generate_query,
+    generate_query_set,
+    standard_query_sets,
+)
+from repro.graph.builder import cycle_graph, path_graph
+
+
+class TestDatasets:
+    def test_registry_has_all_four(self):
+        assert set(DATASETS) == {"yeast", "human", "wordnet", "patents"}
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_profiles(self, name):
+        spec = DATASETS[name]
+        g = load_dataset(name, scale=0.25, seed=7)
+        assert g.num_vertices > 0
+        assert len(g.label_set) <= spec.num_labels
+
+    def test_deterministic(self):
+        assert load_dataset("yeast", seed=3) == load_dataset("yeast", seed=3)
+
+    def test_different_seeds_differ(self):
+        assert load_dataset("yeast", seed=3) != load_dataset("yeast", seed=4)
+
+    def test_human_denser_than_wordnet(self):
+        human = load_dataset("human", scale=0.5, seed=1)
+        wordnet = load_dataset("wordnet", scale=0.5, seed=1)
+        assert human.average_degree() > 3 * wordnet.average_degree()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("nope")
+
+
+class TestClassify:
+    def test_sparse(self):
+        assert classify_density(path_graph("AAAA")) == "sparse"
+
+    def test_dense(self):
+        from repro.graph.builder import complete_graph
+
+        assert classify_density(complete_graph("AAAA")) == "dense"
+
+
+class TestGenerateQuery:
+    @pytest.mark.parametrize("density", ["sparse", "dense"])
+    def test_query_properties(self, density):
+        data = load_dataset("yeast", seed=5)
+        for seed in range(5):
+            q = generate_query(data, 8, density, seed=seed)
+            assert q.num_vertices == 8
+            assert is_connected(q)
+
+    def test_sparse_queries_are_sparse(self):
+        data = load_dataset("yeast", seed=5)
+        for seed in range(5):
+            q = generate_query(data, 12, "sparse", seed=seed)
+            assert q.average_degree() < 3.0
+
+    def test_dense_queries_on_dense_data(self):
+        data = load_dataset("human", seed=5)
+        q = generate_query(data, 8, "dense", seed=1)
+        assert q.average_degree() >= 3.0
+
+    def test_queries_are_satisfiable(self):
+        """Extraction-by-walk guarantees at least one embedding."""
+        data = load_dataset("yeast", seed=9)
+        for seed in range(4):
+            q = generate_query(data, 6, "sparse", seed=seed)
+            res = Vf2Matcher().match(data=data, query=q, limits=SearchLimits(max_embeddings=1))
+            assert res.num_embeddings >= 1
+
+    def test_validation(self):
+        data = load_dataset("yeast", seed=5)
+        with pytest.raises(ValueError):
+            generate_query(data, 8, "medium")
+        with pytest.raises(ValueError):
+            generate_query(data, 1, "sparse")
+        small = path_graph("AB")
+        with pytest.raises(ValueError):
+            generate_query(small, 5, "sparse")
+
+    def test_deterministic(self):
+        data = load_dataset("yeast", seed=5)
+        assert generate_query(data, 8, "sparse", seed=3) == generate_query(
+            data, 8, "sparse", seed=3
+        )
+
+
+class TestQuerySets:
+    def test_standard_grid(self):
+        specs = standard_query_sets()
+        assert len(specs) == 8
+        assert {s.name for s in specs} == {
+            "8S", "16S", "24S", "32S", "8D", "16D", "24D", "32D",
+        }
+
+    def test_generate_set(self):
+        data = load_dataset("yeast", seed=5)
+        qs = generate_query_set(data, QuerySetSpec(8, "sparse"), count=5, seed=1)
+        assert len(qs) == 5
+        for q in qs:
+            assert q.num_vertices == 8

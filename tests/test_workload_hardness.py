@@ -1,0 +1,115 @@
+"""Unit tests for cycle extraction and hard-query mining."""
+
+import pytest
+
+from repro.baselines.vf2 import Vf2Matcher
+from repro.graph.algorithms import is_connected
+from repro.graph.builder import GraphBuilder, path_graph
+from repro.graph.generators import random_connected_graph
+from repro.matching.limits import SearchLimits
+from repro.workload.hardness import (
+    generate_cycle_query,
+    mine_hard_queries,
+    probe_hardness,
+)
+from repro.workload.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def data():
+    return random_connected_graph(300, 520, num_labels=3, seed=17)
+
+
+class TestCycleQueries:
+    def test_is_a_cycle(self, data):
+        q = generate_cycle_query(data, 6, 12, seed=1)
+        assert q is not None
+        assert q.num_vertices == q.num_edges  # exactly one cycle
+        assert all(q.degree(v) == 2 for v in q.vertices())
+        assert 6 <= q.num_vertices <= 12
+
+    def test_satisfiable(self, data):
+        q = generate_cycle_query(data, 5, 10, seed=2)
+        assert q is not None
+        res = Vf2Matcher().match(q, data, SearchLimits(max_embeddings=1))
+        assert res.num_embeddings >= 1
+
+    def test_chords_added(self, data):
+        q = generate_cycle_query(data, 8, 14, seed=3, chords=2)
+        assert q is not None
+        assert q.num_edges >= q.num_vertices  # cycle + possibly chords
+
+    def test_none_on_tree(self):
+        tree = path_graph("AAAAAA")
+        assert generate_cycle_query(tree, 3, 6, seed=1, max_attempts=5) is None
+
+    def test_none_on_empty(self):
+        b = GraphBuilder()
+        assert generate_cycle_query(b.build(), 3, 6, seed=1) is None
+
+    def test_deterministic(self, data):
+        a = generate_cycle_query(data, 6, 12, seed=5)
+        b = generate_cycle_query(data, 6, 12, seed=5)
+        assert a == b
+
+
+class TestProbe:
+    def test_probe_is_bounded(self, data):
+        q = generate_cycle_query(data, 6, 12, seed=4)
+        score = probe_hardness(q, data, probe_recursions=500)
+        assert 0 <= score <= 500
+
+    def test_trivial_query_scores_low(self, data):
+        q = path_graph([data.label(0), data.label(1)]) if data.has_edge(0, 1) else None
+        from repro.workload.querygen import generate_query
+
+        easy = generate_query(data, 3, "sparse", seed=9)
+        assert probe_hardness(easy, data, probe_recursions=5000) < 5000
+
+
+class TestMining:
+    def test_returns_count_connected_satisfiable(self, data):
+        mined = mine_hard_queries(
+            data, count=3, size=10, seed=21, candidate_factor=4,
+            probe_recursions=1_000,
+        )
+        assert len(mined) == 3
+        for q in mined:
+            assert is_connected(q)
+            res = Vf2Matcher().match(q, data, SearchLimits(max_embeddings=1))
+            assert res.num_embeddings >= 1
+
+    def test_hardest_first(self, data):
+        mined = mine_hard_queries(
+            data, count=4, size=10, seed=22, candidate_factor=4,
+            probe_recursions=1_000,
+        )
+        scores = [probe_hardness(q, data, probe_recursions=1_000) for q in mined]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic(self, data):
+        a = mine_hard_queries(data, count=2, size=8, seed=23, candidate_factor=3)
+        b = mine_hard_queries(data, count=2, size=8, seed=23, candidate_factor=3)
+        assert a == b
+
+    def test_mined_harder_than_random(self, data):
+        """Mining must beat the average random query on its own metric."""
+        from repro.workload.querygen import generate_query
+
+        mined = mine_hard_queries(
+            data, count=2, size=12, seed=25, candidate_factor=6,
+            probe_recursions=2_000,
+        )
+        mined_score = min(
+            probe_hardness(q, data, probe_recursions=2_000) for q in mined
+        )
+        random_scores = [
+            probe_hardness(
+                generate_query(data, 12, "sparse", seed=100 + i),
+                data,
+                probe_recursions=2_000,
+            )
+            for i in range(5)
+        ]
+        avg_random = sum(random_scores) / len(random_scores)
+        assert mined_score >= avg_random
