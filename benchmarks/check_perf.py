@@ -1,0 +1,71 @@
+"""Hot-path perf smoke gate for CI.
+
+Re-runs the *smoke* sub-grid of :mod:`benchmarks.bench_hotpath` (two
+small query sets, easy queries only — a few seconds of work) and
+compares the bitmap backend's recursions/sec against the committed
+baseline in ``BENCH_hotpath.json``.  Fails (exit 1) when throughput
+dropped more than the tolerance (default 30%), catching accidental
+de-optimization of the search hot path; also fails if the bitmap
+backend is no longer faster than the seed list backend at all.
+
+Run: ``python benchmarks/check_perf.py [--baseline PATH] [--tolerance F]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(ROOT / "src"), str(ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.bench_hotpath import SMOKE_SETS, run_grid  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", type=Path, default=ROOT / "BENCH_hotpath.json"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="maximum allowed fractional drop in recursions/sec",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    base_rps = baseline["smoke"]["overall"]["bitmap"]["recursions_per_sec"]
+
+    fresh = run_grid(SMOKE_SETS, repeats=args.repeats, smoke=True)
+    now_rps = fresh["overall"]["bitmap"]["recursions_per_sec"]
+    speedup = fresh["overall"]["wall_speedup"]
+
+    floor = base_rps * (1.0 - args.tolerance)
+    print(
+        f"bitmap smoke recursions/sec: {now_rps:,} "
+        f"(baseline {base_rps:,}, floor {floor:,.0f})"
+    )
+    print(f"bitmap vs seed list backend on the smoke grid: {speedup}x")
+
+    ok = True
+    if now_rps < floor:
+        print(
+            f"FAIL: recursions/sec dropped more than "
+            f"{args.tolerance:.0%} vs the committed baseline"
+        )
+        ok = False
+    if speedup < 1.0:
+        print("FAIL: bitmap backend is slower than the seed list backend")
+        ok = False
+    if ok:
+        print("OK")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

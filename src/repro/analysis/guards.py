@@ -68,8 +68,9 @@ def guard_inventory(
 
     store = gcs.nogoods
     nv_hist: Dict[int, int] = {}
-    vertex_guards = getattr(store, "_vertex", {})
-    for guard in vertex_guards.values():
+    iter_guards = getattr(store, "iter_vertex_guards", None)
+    vertex_guards = list(iter_guards()) if iter_guards is not None else []
+    for guard in vertex_guards:
         if isinstance(guard, tuple) and len(guard) == 3 and isinstance(guard[2], int):
             dom_size = bit_count(guard[2])  # encoded triplet
         else:

@@ -36,6 +36,7 @@ from repro.graph.graph import Graph
 from repro.matching.limits import SearchLimits
 from repro.matching.result import MatchResult, SearchStats, TerminationStatus
 from repro.ordering.base import make_order
+from repro.utils.bitset import iter_bits
 from repro.utils.counting import count_injective_assignments
 
 
@@ -202,26 +203,26 @@ class _Search:
         return self._results, self._status
 
     def _local_candidates(self, k: int) -> Sequence[int]:
-        """Lazy local candidates: intersect backward candidate edges."""
+        """Lazy local candidates: intersect backward candidate edges.
+
+        Dense-index form: each backward neighbor contributes its
+        candidate-edge bitmap over positions of ``C(u_k)``, so the whole
+        intersection is ``len(backward)`` big-int ANDs instead of
+        per-candidate ``has_edge`` probes; surviving positions decode in
+        ascending candidate order (identical to the sorted edge lists).
+        """
         backward = self._backward[k]
+        cs = self.cs
         if not backward:
-            return self.cs.candidates[k]
+            return cs.candidates[k]
         embedding = self._embedding
-        # Seed from the backward neighbor with the shortest edge list.
-        best_j = min(
-            backward,
-            key=lambda j: len(self.cs.adjacent_candidates(j, embedding[j], k)),
-        )
-        pool = self.cs.adjacent_candidates(best_j, embedding[best_j], k)
-        if len(backward) == 1:
-            return pool
-        data = self._data
-        others = [embedding[j] for j in backward if j != best_j]
-        return [
-            v
-            for v in pool
-            if all(data.has_edge(w, v) for w in others)
-        ]
+        mask = -1
+        for j in backward:
+            mask &= cs.edge_bitmap(j, embedding[j], k)
+            if not mask:
+                return ()
+        cands_k = cs.candidates[k]
+        return [cands_k[p] for p in iter_bits(mask)]
 
     def _recurse(self, k: int) -> Tuple[bool, int]:
         """Returns (found_any, failing_set_mask)."""
@@ -294,7 +295,7 @@ class _Search:
         # §3.4 accounting: size of the failing set this deadend yields
         # (DAF's analogue of GuP's discovered nogood).
         fs = self.anc[k] if empty else union_fs
-        self.stats.nogood_size_sum += bin(fs).count("1")
+        self.stats.nogood_size_sum += fs.bit_count()
         self.stats.nogood_size_count += 1
         return (False, fs)
 

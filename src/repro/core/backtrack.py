@@ -9,6 +9,40 @@ nogood recording in search-node encoding (§3.5.1), and backjumping
 
 Query-vertex sets are ``int`` bitmasks throughout (bit ``i`` = ``u_i``).
 
+Dense-index candidate bitmaps
+-----------------------------
+This is the **bitmap backend** (the default; see DESIGN.md "Dense-index
+bitmap layout").  The local candidate set of ``u_j`` is an ``int`` bitmap
+over positions of the sorted ``C(u_j)``, and the candidate space
+materializes every candidate-edge direction as a bitmap over the same
+positions.  Line 6-9 refinement is then a single C-speed AND per forward
+neighbor, the no-candidate conflict is a zero test, and candidate
+iteration decodes set bits lazily.  Only the NE-guard and watched-pair
+paths — which genuinely need to visit individual candidates — decode
+bits, and they decode only the relevant ones (guard scans run only for
+``(u_k, v, u_j)`` triples that actually carry guards; watched-pair
+bookkeeping touches only the *dropped* bits ``old & ~refined``).
+
+Watched candidate edges piggyback on the same dense index: watch
+lifetimes are strictly LIFO per target (an ancestor registers its watch
+set before descending and releases it right after the child returns), so
+the per-target watch multiset is a *stack of bitmap frames* whose union
+is one cached OR — registering and releasing the watches of a whole
+node costs a few int operations instead of one refcount update per
+watched candidate.
+
+The recursion body is deliberately monolithic: guard probes and records
+against the default search-node encoded store are inlined as direct dict
+operations (the store object stays the single source of truth — the
+search just bypasses method-call overhead), and the per-pair folding of
+Definition 3.30 is expanded at both call sites.  CPython's per-call cost
+would otherwise dominate the per-recursion budget and hide the win of
+the O(1) refinement.  The readable reference implementation of the same
+algorithm is :mod:`repro.core.backtrack_ref` (``GuPConfig.
+candidate_backend = "list"``); ``tests/test_bitmap_cs.py`` proves the
+two backends return byte-identical embeddings, stats, and termination
+status.
+
 Fixed-deadend-mask propagation
 ------------------------------
 Every candidate edge from the assignment just made, ``(u_k, v)``, to a
@@ -45,15 +79,20 @@ from repro.core.gcs import GuardedCandidateSpace
 from repro.core.nogood import NogoodStore, make_nogood_store
 from repro.matching.limits import SearchLimits
 from repro.matching.result import SearchStats, TerminationStatus
+from repro.utils.bitset import iter_bits
 from repro.utils.timer import Deadline
 
-Pair = Tuple[int, int]
+Pair = int
+"""Watched candidate edge target, packed as ``j << 24 | position``
+(candidate positions are far below 2^24; int keys hash without
+allocating a tuple)."""
+
 _EMPTY_DICT: Dict[Pair, int] = {}
 _EMPTY_SET: Set[Pair] = set()
 
 
 class GuPSearch:
-    """One guarded backtracking run over a GCS.
+    """One guarded backtracking run over a GCS (bitmap backend).
 
     Not reusable: construct a fresh instance per query (the nogood
     store, the search-node counter, and all counters are per-run state).
@@ -88,7 +127,16 @@ class GuPSearch:
         self.stats.candidate_edges = gcs.cs.num_candidate_edges
 
         query = gcs.query
+        cs = gcs.cs
         self._n = query.num_vertices
+        self._cands: Tuple[Tuple[int, ...], ...] = cs.candidates
+        if any(len(c) >= (1 << 24) for c in self._cands):
+            # Watched-pair keys pack the candidate position into 24 bits
+            # (see ``Pair``); wider candidate sets would silently collide.
+            raise ValueError(
+                "candidate set exceeds 2^24 entries; the packed watched-pair "
+                "encoding does not support this"
+            )
         self._forward: List[Tuple[int, ...]] = [
             tuple(j for j in query.neighbors(i) if j > i) for i in query.vertices()
         ]
@@ -98,15 +146,44 @@ class GuPSearch:
             frozenset(j for j in self._forward[i] if gcs.edge_in_two_core(i, j))
             for i in query.vertices()
         ]
+        # Per-run constants hoisted out of the recursion.
+        self._needs_masks = self.config.needs_masks
+        self._use_nv = self.config.use_nogood_vertex
+        self._use_ne = self.config.use_nogood_edge
+        self._use_bj = self.config.use_backjumping
+        self._max_rec = self.limits.max_recursions
+        self._poll_time = self.limits.time_limit is not None
+        # Per-depth refinement plan: (j, candidate-edge bitmap table of
+        # direction (k, j), NE guards apply on this edge).  The bitmap
+        # table maps each candidate v of u_k to its adjacency bitmap
+        # over positions of C(u_j).
+        self._plans: List[List[Tuple[int, Dict[int, int], bool]]] = [
+            [
+                (j, cs.edge_bitmap_map(i, j), self._use_ne and j in self._forward_core[i])
+                for j in self._forward[i]
+            ]
+            for i in query.vertices()
+        ]
         self._data = gcs.data
         self._reservations = gcs.reservations if self.config.use_reservation else {}
-        # Per-vertex reservation index: avoids tuple-key hashing in the
-        # hot candidate loop (one plain dict get per local candidate).
+        # Per-vertex reservation index, keyed by candidate *position*:
+        # the hot loop already holds the position of every candidate it
+        # decodes, so the probe is one small-int dict get.
         self._reservations_at: List[Dict[int, FrozenSet[int]]] = [
             {} for _ in range(self._n)
         ]
+        positions = cs.positions
         for (i, v), guard in self._reservations.items():
-            self._reservations_at[i][v] = guard
+            if len(guard) == 1 and v in guard:
+                # The trivial reservation {v} can only fire when v is
+                # already in the image — which the injectivity check
+                # (line 4) has always ruled out by then.  Omitting it
+                # from the index changes no outcome and no statistic,
+                # and leaves most candidates with no guard to probe.
+                continue
+            p = positions[i].get(v)
+            if p is not None:
+                self._reservations_at[i][p] = guard
         # Always a fresh store unless the caller supplies one: encoded
         # nogoods reference this run's search-node ids, so guards from a
         # previous run over the same GCS would match spuriously.
@@ -115,21 +192,104 @@ class GuPSearch:
         else:
             self._nogoods = make_nogood_store(self.config.nogood_representation)
             gcs.nogoods = self._nogoods
+        # Devirtualized guard tables: for the default search-node store
+        # the recursion probes and writes the underlying dicts directly
+        # (the store remains the source of truth for every consumer).
+        # Any other representation goes through the generic interface.
+        if getattr(self._nogoods, "representation", None) == "search_node":
+            self._nv_at: Optional[List[Dict]] = [
+                self._nogoods.vertex_guards_at(i) for i in range(self._n)
+            ]
+            self._ne_dict: Optional[Dict] = self._nogoods._edge
+            # Guarded-position bitmaps per (i, v, j) triple: the guard
+            # scan in refinement intersects the adjacency bitmap with
+            # this instead of probing every adjacent candidate.  Kept in
+            # sync at every record site; seeded from any pre-existing
+            # guards in a caller-supplied store.
+            self._ne_pos: Dict[Tuple[int, int, int], int] = {}
+            if self._ne_dict:
+                for (gi, gv, gj), per_v2 in self._ne_dict.items():
+                    bm = 0
+                    pos_j = positions[gj]
+                    for v2 in per_v2:
+                        p2 = pos_j.get(v2)
+                        if p2 is not None:
+                            bm |= 1 << p2
+                    self._ne_pos[(gi, gv, gj)] = bm
+        else:
+            self._nv_at = None
+            self._ne_dict = None
+            self._ne_pos = {}
         self._max_watches = max_watches
         self._symmetry_prev = symmetry_prev
+        self._collect = self.limits.collect
+        self._max_emb = self.limits.max_embeddings
 
         # Per-run search state.
         self._deadline: Deadline = Deadline(None)
         self._embedding: List[int] = []
-        self._image: Dict[int, int] = {}
+        # Injectivity index: data vertex -> assigning query depth, as a
+        # flat array (-1 = unassigned) — probed once per local candidate.
+        self._image: List[int] = [-1] * gcs.data.num_vertices
         self._anc: List[int] = [0] * (self._n + 1)
         self._node_counter = 0
         self._aborted = False
         self._status = TerminationStatus.COMPLETE
         self._results: List[Tuple[int, ...]] = []
-        # Watched candidate edges: target query vertex -> v' -> refcount.
-        self._watches: Dict[int, Dict[int, int]] = {}
+        # Live watched candidate edges are threaded down the recursion
+        # as an argument (target -> live position bitmap): a child's
+        # live set is exactly ``(parent_live & child_local) | frame``,
+        # so no global watch structure is needed — only this counter,
+        # which enforces the ``max_watches`` cap.
         self._watch_total = 0
+        # Depth-indexed container pools.  Every per-node / per-descent
+        # structure has a strictly nested lifetime (a parent finishes
+        # reading a child's returned containers before starting the next
+        # sibling), so each depth reuses one instance via clear()/slice
+        # assignment instead of allocating per node — CPython's
+        # alloc/free churn would otherwise dominate the pair protocol.
+        self._pool: List[tuple] = [
+            (set(), {}, {}, {}, {}, {}, [], [0] * self._n, [0] * self._n)
+            for _ in range(self._n + 1)
+        ]
+
+        # Per-depth context, unpacked in one statement per recursion:
+        # (C(u_k), refinement plan, forward core, reservation index or
+        # None, symmetry predecessor, vertex-guard table or None).
+        self._depth_ctx: List[tuple] = [
+            (
+                self._cands[i],
+                self._plans[i],
+                self._forward_core[i],
+                (self._reservations_at[i] or None) if self._reservations else None,
+                symmetry_prev[i] if symmetry_prev else -1,
+                self._nv_at[i] if self._nv_at is not None else None,
+            )
+            for i in range(self._n)
+        ]
+        # Per-run context (constants and per-run mutable structures);
+        # the deadline-dependent entries are refreshed by run().
+        self._make_ctx()
+
+    def _make_ctx(self) -> None:
+        self._ctx = (
+            self._observer,
+            self._needs_masks,
+            self._use_nv,
+            self._use_ne,
+            self._use_bj,
+            self._image,
+            self._embedding,
+            self._anc,
+            self._nogoods,
+            self._ne_dict,
+            self._ne_pos,
+            self._cands,
+            self._poll_time,
+            self._deadline,
+            self._max_rec,
+            self._n,
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -147,11 +307,11 @@ class GuPSearch:
             return [], TerminationStatus.COMPLETE
 
         self._deadline = self.limits.make_deadline()
-        local: List[Sequence[int]] = [
-            self.gcs.cs.candidates[i] for i in range(self._n)
-        ]
+        self._make_ctx()
+        cs = self.gcs.cs
+        local: List[int] = [cs.full_mask(i) for i in range(self._n)]
         bounds = [0] * self._n
-        self._backtrack(0, local, bounds)
+        self._backtrack(0, local, bounds, None)
         return self._results, self._status
 
     # ------------------------------------------------------------------
@@ -161,31 +321,6 @@ class GuPSearch:
     def _abort(self, status: TerminationStatus) -> None:
         self._aborted = True
         self._status = status
-
-    def _emit_embedding(self) -> None:
-        self.stats.embeddings_found += 1
-        if self.limits.collect:
-            self._results.append(tuple(self._embedding))
-        if self.limits.embeddings_reached(self.stats.embeddings_found):
-            self._abort(TerminationStatus.EMBEDDING_LIMIT)
-
-    def _record_nv(self, mask: int) -> None:
-        """Record NV from nogood ``(M ⊕ v)[mask]``.
-
-        The caller guarantees ``self._embedding`` currently holds the
-        assignment of every bit in ``mask``; the guard is attached to the
-        highest-bit assignment and stores the rest (§3.3.2).
-        """
-        top = mask.bit_length() - 1
-        w = self._embedding[top]
-        rest = mask & ~(1 << top)
-        self._nogoods.record_vertex_nogood(
-            top, w, rest, self._anc, self._embedding
-        )
-        self.stats.nogoods_recorded_vertex += 1
-        # §3.4 accounting: size of the discovered nogood (M ⊕ v)[mask].
-        self.stats.nogood_size_sum += bin(mask).count("1")
-        self.stats.nogood_size_count += 1
 
     def _reservation_conflict_mask(self, guard: FrozenSet[int], k: int) -> int:
         """Definition 3.23 (2): assigners of the reserved vertices + u_k."""
@@ -202,10 +337,18 @@ class GuPSearch:
     def _backtrack(
         self,
         depth: int,
-        local: List[Sequence[int]],
+        local: List[int],
         bounds: List[int],
+        watched: Optional[Dict[int, int]],
     ) -> Tuple[bool, int, Dict[Pair, int], Set[Pair]]:
         """Explore all extensions of the current partial embedding.
+
+        ``local[j]`` is the local candidate set of ``u_j`` as a bitmap
+        over positions of ``C(u_j)``.  ``watched`` maps each target
+        query vertex ``j >= depth`` to the bitmap of its positions
+        watched by live ancestor frames and still locally present (the
+        parent computes it exactly — see the watch comment in
+        ``__init__``); ``None`` when nothing is watched.
 
         Returns ``(found, mask, pair_vals, used_pairs)``:
 
@@ -219,95 +362,110 @@ class GuPSearch:
         * ``used_pairs`` — watched pairs contained in some embedding
           found inside this subtree.
         """
+        (
+            obs,
+            needs_masks,
+            use_nv,
+            use_ne,
+            use_bj,
+            image,
+            embedding,
+            anc,
+            nogoods,
+            ne_dict,
+            ne_pos,
+            cands,
+            poll_time,
+            deadline,
+            max_rec,
+            n,
+        ) = self._ctx
         stats = self.stats
         stats.recursions += 1
-        if self._deadline.poll() or self.limits.recursions_exhausted(
-            stats.recursions
+        if (poll_time and deadline.poll()) or (
+            max_rec is not None and stats.recursions >= max_rec
         ):
             self._abort(TerminationStatus.TIMEOUT)
         if self._aborted:
             return (False, 0, _EMPTY_DICT, _EMPTY_SET)
 
         k = depth
-        if k == self._n:
-            self._emit_embedding()
-            if self._observer is not None:
-                self._observer.on_embedding(tuple(self._embedding))
+        if k == n:
+            found = stats.embeddings_found + 1
+            stats.embeddings_found = found
+            if self._collect:
+                self._results.append(tuple(embedding))
+            if self._max_emb is not None and found >= self._max_emb:
+                self._abort(TerminationStatus.EMBEDDING_LIMIT)
+            if obs is not None:
+                obs.on_embedding(tuple(embedding))
             return (True, 0, _EMPTY_DICT, _EMPTY_SET)
-
-        config = self.config
-        obs = self._observer
-        needs_masks = config.needs_masks
-        use_nv = config.use_nogood_vertex
-        use_ne = config.use_nogood_edge
-        use_bj = config.use_backjumping
-        image = self._image
-        embedding = self._embedding
-        anc = self._anc
-        nogoods = self._nogoods
-        data = self._data
-        reservations_k = self._reservations_at[k] if self._reservations else None
-        sym_prev_k = self._symmetry_prev[k] if self._symmetry_prev else -1
-        forward = self._forward[k]
-        forward_core = self._forward_core[k]
+        (
+            cands_k,
+            plan,
+            forward_core,
+            reservations_k,
+            sym_prev_k,
+            nv_k,
+        ) = self._depth_ctx[k]
+        pool = self._pool[k]
         k_bit = 1 << k
         below_k = k_bit - 1
 
-        # Ancestor-watched pairs live at this node, grouped by target.
-        anc_pairs: List[Pair] = []
-        watched_fwd: Dict[int, Set[int]] = {}
-        if use_ne and self._watch_total:
-            for j, per_v in self._watches.items():
+        # Ancestor-watched pairs live at this node, as (target, position)
+        # pairs; ``targeting`` is the live watched-position set at this
+        # very depth.
+        # Pairs are packed as ``j << 24 | position`` (positions are far
+        # below 2^24): int keys hash without allocating a tuple.
+        anc_pairs: Optional[List[int]] = None
+        watched_fwd: Dict[int, int] = _EMPTY_DICT
+        targeting = 0
+        if watched is not None:
+            watched_fwd = watched
+            for j, live in watched.items():
                 if j > k:
-                    lj = local[j]
-                    live = {v2 for v2, cnt in per_v.items() if cnt > 0 and v2 in lj}
-                    if live:
-                        watched_fwd[j] = live
-                        anc_pairs.extend((j, v2) for v2 in live)
-        targeting = self._watches.get(k) if use_ne and self._watch_total else None
+                    if anc_pairs is None:
+                        anc_pairs = pool[6]
+                        anc_pairs.clear()
+                    jbase = j << 24
+                    while live:
+                        lo = live & -live
+                        live ^= lo
+                        anc_pairs.append(jbase | (lo.bit_length() - 1))
+                else:
+                    targeting = live
 
         found_any = False
         union_mask = 0
         early_mask: Optional[int] = None
         backjump_mask: Optional[int] = None
 
-        pair_used: Set[Pair] = set()
-        pair_early: Dict[Pair, int] = {}
-        pair_acc: Dict[Pair, int] = {}
-        resolved_here: Dict[Pair, int] = {}
+        if anc_pairs is not None or targeting:
+            pair_used: Set[Pair] = pool[0]
+            pair_used.clear()
+            pair_early: Dict[Pair, int] = pool[1]
+            pair_early.clear()
+            pair_acc: Dict[Pair, int] = pool[2]
+            pair_acc.clear()
+            resolved_here: Dict[Pair, int] = pool[3]
+            resolved_here.clear()
+        else:
+            # Never mutated on this path; shared empties avoid the
+            # clears.
+            pair_used = _EMPTY_SET
+            pair_early = pair_acc = resolved_here = _EMPTY_DICT
 
-        def fold_pairs(child_vals: Dict[Pair, int], child_pre: Dict[Pair, int],
-                       child_used: Set[Pair], conflict: Optional[int]) -> None:
-            """Fold one child's per-pair values into the accumulators.
-
-            ``conflict`` is the child's conflict mask when the child was
-            never recursed into — it then applies to every pair
-            (Definition 3.30 case 3).
-            """
-            for p in anc_pairs:
-                if p in pair_used:
-                    continue
-                if p in child_used:
-                    pair_used.add(p)
-                    continue
-                if conflict is not None:
-                    val = conflict
-                elif p in child_pre:
-                    val = child_pre[p]
-                elif p in child_vals:
-                    val = child_vals[p]
-                else:
-                    # Defensive: a tracking gap must never produce an
-                    # over-strong (empty) mask — treat the pair as used,
-                    # which merely skips one recording opportunity.
-                    pair_used.add(p)
-                    continue
-                if not val & k_bit and p not in pair_early:
-                    pair_early[p] = val
-                pair_acc[p] = pair_acc.get(p, 0) | val
-
-        for v in local[k]:
-            stats.local_candidates_seen += 1
+        n_seen = 0
+        n_ref = 0
+        has_watch = watched is not None
+        last = k + 1 == n
+        todo = local[k]
+        while todo:
+            low = todo & -todo
+            todo ^= low
+            p = low.bit_length() - 1
+            v = cands_k[p]
+            n_seen += 1
             conflict_mask: Optional[int] = None
             child_bounds = bounds
             refinement_conflict = False
@@ -319,61 +477,115 @@ class GuPSearch:
                 conflict_mask = (1 << sym_prev_k) | k_bit
                 conflict_kind = "symmetry"
             # ---- line 4: injectivity --------------------------------
-            elif (assigner := image.get(v)) is not None:
+            elif (assigner := image[v]) >= 0:
                 stats.pruned_injectivity += 1
                 conflict_mask = (1 << assigner) | k_bit
                 conflict_kind = "injectivity"
             else:
                 # ---- line 5: reservation guard -----------------------
                 if reservations_k is not None:
-                    rg = reservations_k.get(v)
-                    if rg is not None and all(w in image for w in rg):
-                        stats.pruned_reservation += 1
-                        conflict_mask = self._reservation_conflict_mask(rg, k)
-                        conflict_kind = "reservation"
+                    rg = reservations_k.get(p)
+                    if rg is not None:
+                        for w in rg:
+                            if image[w] < 0:
+                                break
+                        else:
+                            stats.pruned_reservation += 1
+                            conflict_mask = self._reservation_conflict_mask(rg, k)
+                            conflict_kind = "reservation"
                 # ---- line 5: nogood guard on the vertex --------------
                 if conflict_mask is None and use_nv:
-                    dom = nogoods.match_vertex(k, v, anc, embedding)
+                    if nv_k is not None:
+                        g = nv_k.get(v)
+                        dom = (
+                            g[2]
+                            if g is not None and anc[g[1]] == g[0]
+                            else None
+                        )
+                    else:
+                        dom = nogoods.match_vertex(k, v, anc, embedding)
                     if dom is not None:
                         stats.pruned_nogood_vertex += 1
                         conflict_mask = dom | k_bit
                         conflict_kind = "nogood_vertex"
 
-            child_local: List[Sequence[int]] = local
-            child_predrop: Dict[Pair, int] = _EMPTY_DICT
-            refined_core: List[Tuple[int, List[int]]] = []
-            if conflict_mask is None:
+            child_local: List[int] = local
+            child_predrop: Dict[int, int] = _EMPTY_DICT
+            guards_checked = False
+            if conflict_mask is None and plan:
                 # ---- lines 6-9: refine local candidates --------------
-                child_local = list(local)
-                if needs_masks:
-                    child_bounds = list(bounds)
-                if anc_pairs:
-                    child_predrop = {}
-                nbr_v = data.neighbor_set(v)
-                for j in forward:
+                # One big-int AND per forward neighbor; per-candidate
+                # visits only on live guard tables and dropped watches.
+                # ``bounds`` is copied lazily on the first change.
+                child_local = pool[7]
+                child_local[:] = local
+                for j, ebm_j, check_guards in plan:
+                    n_ref += 1
                     old = local[j]
-                    check_guards = use_ne and j in forward_core
-                    wset = watched_fwd.get(j)
+                    adj = old & ebm_j.get(v, 0)
+                    wset = watched_fwd.get(j, 0) if has_watch else 0
+                    if wset:
+                        dropped_watched = wset & old & ~adj
+                        if dropped_watched and child_predrop is _EMPTY_DICT:
+                            child_predrop = {}
+                        while dropped_watched:
+                            lo3 = dropped_watched & -dropped_watched
+                            dropped_watched ^= lo3
+                            child_predrop[
+                                j << 24 | (lo3.bit_length() - 1)
+                            ] = k_bit
                     guard_doms = 0
-                    refined: List[int] = []
-                    for v2 in old:
-                        if v2 not in nbr_v:
-                            if wset and v2 in wset:
-                                child_predrop[(j, v2)] = k_bit
-                            continue
-                        if check_guards:
-                            dom = nogoods.match_edge(k, v, j, v2, anc, embedding)
-                            if dom is not None:
-                                stats.pruned_nogood_edge += 1
-                                guard_doms |= dom
-                                if wset and v2 in wset:
-                                    child_predrop[(j, v2)] = dom | k_bit
-                                continue
-                        refined.append(v2)
+                    refined = adj
+                    if check_guards and adj:
+                        if ne_dict is not None:
+                            per2 = ne_dict.get((k, v, j))
+                            if per2 is not None:
+                                cj = cands[j]
+                                drop = 0
+                                m2 = adj & ne_pos[(k, v, j)]
+                                while m2:
+                                    lo2 = m2 & -m2
+                                    m2 ^= lo2
+                                    p2 = lo2.bit_length() - 1
+                                    g = per2.get(cj[p2])
+                                    if g is not None and anc[g[1]] == g[0]:
+                                        stats.pruned_nogood_edge += 1
+                                        guard_doms |= g[2]
+                                        drop |= lo2
+                                        if (wset >> p2) & 1:
+                                            if child_predrop is _EMPTY_DICT:
+                                                child_predrop = {}
+                                            child_predrop[j << 24 | p2] = (
+                                                g[2] | k_bit
+                                            )
+                                refined = adj & ~drop
+                        elif nogoods.has_edge_guards(k, v, j):
+                            cj = cands[j]
+                            drop = 0
+                            m2 = adj
+                            while m2:
+                                lo2 = m2 & -m2
+                                m2 ^= lo2
+                                p2 = lo2.bit_length() - 1
+                                dom = nogoods.match_edge(
+                                    k, v, j, cj[p2], anc, embedding
+                                )
+                                if dom is not None:
+                                    stats.pruned_nogood_edge += 1
+                                    guard_doms |= dom
+                                    drop |= lo2
+                                    if (wset >> p2) & 1:
+                                        if child_predrop is _EMPTY_DICT:
+                                            child_predrop = {}
+                                        child_predrop[j << 24 | p2] = dom | k_bit
+                            refined = adj & ~drop
                     child_local[j] = refined
                     if check_guards:
-                        refined_core.append((j, refined))
-                    if needs_masks and (len(refined) != len(old) or guard_doms):
+                        guards_checked = True
+                    if needs_masks and (refined != old or guard_doms):
+                        if child_bounds is bounds:
+                            child_bounds = pool[8]
+                            child_bounds[:] = bounds
                         child_bounds[j] = bounds[j] | k_bit | guard_doms
                     if not refined:
                         # No-candidate conflict (Definition 3.23 case 4).
@@ -392,24 +604,89 @@ class GuPSearch:
                     # reaches the recording lines 11-13.
                     if refinement_conflict:
                         if use_nv:
-                            embedding.append(v)
-                            self._record_nv(conflict_mask)
-                            embedding.pop()
-                        if use_ne and refined_core:
+                            # Record NV from nogood (M ⊕ v)[conflict_mask]
+                            # (§3.3.2: attach to the highest-bit
+                            # assignment, store the rest).
+                            top = conflict_mask.bit_length() - 1
+                            w = v if top == k else embedding[top]
+                            rest = conflict_mask & ~(1 << top)
+                            if nv_k is not None:
+                                length = rest.bit_length()
+                                self._nv_at[top][w] = (anc[length], length, rest)
+                                nogoods.recorded_vertex += 1
+                            else:
+                                embedding.append(v)
+                                nogoods.record_vertex_nogood(
+                                    top, w, rest, anc, embedding
+                                )
+                                embedding.pop()
+                            stats.nogoods_recorded_vertex += 1
+                            # §3.4 accounting: discovered-nogood size.
+                            stats.nogood_size_sum += conflict_mask.bit_count()
+                            stats.nogood_size_count += 1
+                        if guards_checked:
                             # Line 11 with Definition 3.30 case (3): the
                             # conflict mask is the fixed mask of every
-                            # candidate edge incident to (u_k, v).
+                            # candidate edge incident to (u_k, v).  The
+                            # refined core sets are read back from
+                            # child_local (directions after the conflict
+                            # were never refined — stop there).
                             dom = conflict_mask & below_k
-                            for j, lst in refined_core:
-                                for v2 in lst:
-                                    nogoods.record_edge_nogood(
-                                        k, v, j, v2, dom, anc, embedding
-                                    )
-                                    stats.nogoods_recorded_edge += 1
-                    if anc_pairs:
-                        fold_pairs(_EMPTY_DICT, _EMPTY_DICT, _EMPTY_SET, conflict_mask)
-                    if targeting and targeting.get(v, 0) > 0:
-                        resolved_here[(k, v)] = conflict_mask & ~k_bit
+                            if ne_dict is not None:
+                                length = dom.bit_length()
+                                enc = (anc[length], length, dom)
+                                for j2, _e2, core2 in plan:
+                                    if core2:
+                                        bm = child_local[j2]
+                                        cj2 = cands[j2]
+                                        key4 = (k, v, j2)
+                                        per4 = ne_dict.get(key4)
+                                        if bm:
+                                            ne_pos[key4] = (
+                                                ne_pos.get(key4, 0) | bm
+                                            )
+                                        while bm:
+                                            lo4 = bm & -bm
+                                            bm ^= lo4
+                                            v2 = cj2[lo4.bit_length() - 1]
+                                            if per4 is None:
+                                                per4 = ne_dict[key4] = {}
+                                            if v2 not in per4:
+                                                nogoods._num_edge += 1
+                                            per4[v2] = enc
+                                            nogoods.recorded_edge += 1
+                                            stats.nogoods_recorded_edge += 1
+                                    if j2 == j:
+                                        break
+                            else:
+                                for j2, _e2, core2 in plan:
+                                    if core2:
+                                        bm = child_local[j2]
+                                        cj2 = cands[j2]
+                                        while bm:
+                                            lo4 = bm & -bm
+                                            bm ^= lo4
+                                            nogoods.record_edge_nogood(
+                                                k, v, j2,
+                                                cj2[lo4.bit_length() - 1],
+                                                dom, anc, embedding,
+                                            )
+                                            stats.nogoods_recorded_edge += 1
+                                    if j2 == j:
+                                        break
+                    if anc_pairs is not None:
+                        # Definition 3.30 case (3): the conflict mask is
+                        # the fold value of every live pair.
+                        cm = conflict_mask
+                        cm_early = not cm & k_bit
+                        for pr in anc_pairs:
+                            if pr in pair_used:
+                                continue
+                            if cm_early and pr not in pair_early:
+                                pair_early[pr] = cm
+                            pair_acc[pr] = pair_acc.get(pr, 0) | cm
+                    if (targeting >> p) & 1:
+                        resolved_here[k << 24 | p] = conflict_mask & ~k_bit
                     if not conflict_mask & k_bit:
                         if use_bj:
                             stats.backjumps += 1
@@ -427,52 +704,141 @@ class GuPSearch:
             self._node_counter += 1
             anc[k + 1] = self._node_counter
 
-            own_pairs: List[Pair] = []
-            if use_ne and forward_core and self._watch_total < self._max_watches:
-                watches = self._watches
-                for j in forward_core:
-                    per_v = watches.get(j)
-                    if per_v is None:
-                        per_v = watches[j] = {}
-                    for v2 in child_local[j]:
-                        per_v[v2] = per_v.get(v2, 0) + 1
-                        own_pairs.append((j, v2))
-                self._watch_total += len(own_pairs)
+            # Watch every candidate edge from (u_k, v) into the 2-core:
+            # one bitmap frame per target (the frame IS child_local[j],
+            # re-read after the child returns — children never mutate the
+            # list they receive); the child's live watched sets are the
+            # surviving ancestor bits plus these frames.
+            pushed = False
+            own_count = 0
+            child_watched: Optional[Dict[int, int]] = None
+            if use_ne:
+                if anc_pairs is not None:
+                    child_watched = pool[5]
+                    child_watched.clear()
+                    for j2, live2 in watched_fwd.items():
+                        if j2 > k:
+                            nl = live2 & child_local[j2]
+                            if nl:
+                                child_watched[j2] = nl
+                    if not child_watched:
+                        child_watched = None
+                if forward_core and self._watch_total < self._max_watches:
+                    pushed = True
+                    if child_watched is None:
+                        child_watched = pool[5]
+                        child_watched.clear()
+                    for j2 in forward_core:
+                        frame = child_local[j2]
+                        own_count += frame.bit_count()
+                        prev = child_watched.get(j2)
+                        child_watched[j2] = frame if prev is None else prev | frame
+                    self._watch_total += own_count
 
             if obs is not None:
                 obs.on_descend(k, v, self._node_counter)
-            child_found, child_mask, child_vals, child_used = self._backtrack(
-                k + 1, child_local, child_bounds
-            )
+            if last:
+                # Inlined leaf: the child is a full embedding — replicate
+                # the depth-n prologue without paying a frame of the
+                # recursion for the deepest (most frequent) call.
+                stats.recursions += 1
+                if (poll_time and deadline.poll()) or (
+                    max_rec is not None and stats.recursions >= max_rec
+                ):
+                    self._abort(TerminationStatus.TIMEOUT)
+                child_mask = 0
+                child_vals = _EMPTY_DICT
+                child_used = _EMPTY_SET
+                if self._aborted:
+                    child_found = False
+                else:
+                    child_found = True
+                    found = stats.embeddings_found + 1
+                    stats.embeddings_found = found
+                    if self._collect:
+                        self._results.append(tuple(embedding))
+                    if self._max_emb is not None and found >= self._max_emb:
+                        self._abort(TerminationStatus.EMBEDDING_LIMIT)
+                    if obs is not None:
+                        obs.on_embedding(tuple(embedding))
+            else:
+                child_found, child_mask, child_vals, child_used = self._backtrack(
+                    k + 1, child_local, child_bounds, child_watched
+                )
             if obs is not None:
                 obs.on_return(k, v, child_found, child_mask)
 
             embedding.pop()
-            del image[v]
+            image[v] = -1
 
             if self._aborted:
-                self._release_watches(own_pairs)
+                self._watch_total -= own_count
+                stats.local_candidates_seen += n_seen
+                stats.refine_ops += n_ref
                 return (found_any or child_found, 0, _EMPTY_DICT, _EMPTY_SET)
 
             # ---- line 11: update NE for edges incident to (u_k, v) --
-            if own_pairs:
-                for p in own_pairs:
-                    if p in child_used or p not in child_vals:
-                        continue
-                    dom = child_vals[p] & below_k
-                    nogoods.record_edge_nogood(
-                        k, v, p[0], p[1], dom, anc, embedding
-                    )
-                    stats.nogoods_recorded_edge += 1
-                self._release_watches(own_pairs)
+            if pushed:
+                if child_vals:
+                    for j2 in forward_core:
+                        frame = child_local[j2]
+                        cj2 = cands[j2]
+                        jb2 = j2 << 24
+                        while frame:
+                            lo5 = frame & -frame
+                            frame ^= lo5
+                            p2 = lo5.bit_length() - 1
+                            pr = jb2 | p2
+                            if pr in child_used or pr not in child_vals:
+                                continue
+                            dom = child_vals[pr] & below_k
+                            v2 = cj2[p2]
+                            if ne_dict is not None:
+                                length = dom.bit_length()
+                                key5 = (k, v, j2)
+                                per5 = ne_dict.get(key5)
+                                if per5 is None:
+                                    per5 = ne_dict[key5] = {}
+                                if v2 not in per5:
+                                    nogoods._num_edge += 1
+                                per5[v2] = (anc[length], length, dom)
+                                nogoods.recorded_edge += 1
+                                ne_pos[key5] = ne_pos.get(key5, 0) | lo5
+                            else:
+                                nogoods.record_edge_nogood(
+                                    k, v, j2, v2, dom, anc, embedding
+                                )
+                            stats.nogoods_recorded_edge += 1
+                self._watch_total -= own_count
 
-            if anc_pairs:
-                fold_pairs(child_vals, child_predrop, child_used, None)
-            if targeting and targeting.get(v, 0) > 0:
+            if anc_pairs is not None:
+                # Fold the child's per-pair values (Definition 3.30
+                # cases 6/7 bookkeeping; pre-drop values win).
+                for pr in anc_pairs:
+                    if pr in pair_used:
+                        continue
+                    if pr in child_used:
+                        pair_used.add(pr)
+                        continue
+                    if pr in child_predrop:
+                        val = child_predrop[pr]
+                    elif pr in child_vals:
+                        val = child_vals[pr]
+                    else:
+                        # Defensive: a tracking gap must never produce
+                        # an over-strong (empty) mask — treat the pair
+                        # as used, which merely skips one recording
+                        # opportunity.
+                        pair_used.add(pr)
+                        continue
+                    if not val & k_bit and pr not in pair_early:
+                        pair_early[pr] = val
+                    pair_acc[pr] = pair_acc.get(pr, 0) | val
+            if (targeting >> p) & 1:
                 if child_found:
-                    pair_used.add((k, v))
+                    pair_used.add(k << 24 | p)
                 else:
-                    resolved_here[(k, v)] = child_mask & ~k_bit
+                    resolved_here[k << 24 | p] = child_mask & ~k_bit
 
             # ---- lines 12-14: deadend discovery + backjumping --------
             if child_found:
@@ -482,9 +848,23 @@ class GuPSearch:
                 union_mask |= child_mask
                 if needs_masks:
                     if use_nv and child_mask:
-                        embedding.append(v)
-                        self._record_nv(child_mask)
-                        embedding.pop()
+                        # Record NV from nogood (M ⊕ v)[child_mask].
+                        top = child_mask.bit_length() - 1
+                        w = v if top == k else embedding[top]
+                        rest = child_mask & ~(1 << top)
+                        if nv_k is not None:
+                            length = rest.bit_length()
+                            self._nv_at[top][w] = (anc[length], length, rest)
+                            nogoods.recorded_vertex += 1
+                        else:
+                            embedding.append(v)
+                            nogoods.record_vertex_nogood(
+                                top, w, rest, anc, embedding
+                            )
+                            embedding.pop()
+                        stats.nogoods_recorded_vertex += 1
+                        stats.nogood_size_sum += child_mask.bit_count()
+                        stats.nogood_size_count += 1
                     if not child_mask & k_bit:
                         if use_bj:
                             stats.backjumps += 1
@@ -496,6 +876,8 @@ class GuPSearch:
                             early_mask = child_mask
 
         # ---- node epilogue ------------------------------------------
+        stats.local_candidates_seen += n_seen
+        stats.refine_ops += n_ref
         if not needs_masks:
             return (found_any, 0, _EMPTY_DICT, _EMPTY_SET)
 
@@ -508,50 +890,34 @@ class GuPSearch:
         else:
             node_mask = (union_mask | bounds[k]) & ~k_bit
 
-        if not anc_pairs and not resolved_here and not (
+        if anc_pairs is None and not resolved_here and not (
             backjump_mask is not None and targeting
         ):
             return (found_any, node_mask, _EMPTY_DICT, pair_used)
 
-        pair_vals: Dict[Pair, int] = {}
+        pair_vals: Dict[Pair, int] = pool[4]
+        pair_vals.clear()
         bk = bounds[k]
-        for p in anc_pairs:
-            if p in pair_used:
-                continue
-            if backjump_mask is not None:
-                pair_vals[p] = backjump_mask
-            elif p in pair_early:
-                pair_vals[p] = pair_early[p]
-            else:
-                pair_vals[p] = (pair_acc.get(p, 0) | bk) & ~k_bit
-        for p, val in resolved_here.items():
-            if p not in pair_used:
-                pair_vals[p] = val
+        if anc_pairs is not None:
+            for pr in anc_pairs:
+                if pr in pair_used:
+                    continue
+                if backjump_mask is not None:
+                    pair_vals[pr] = backjump_mask
+                elif pr in pair_early:
+                    pair_vals[pr] = pair_early[pr]
+                else:
+                    pair_vals[pr] = (pair_acc.get(pr, 0) | bk) & ~k_bit
+        for pr, val in resolved_here.items():
+            if pr not in pair_used:
+                pair_vals[pr] = val
         if backjump_mask is not None and targeting:
             # Pairs targeting this depth never reached resolve to the
             # backjump nogood (sound: M[K] alone is a nogood).
-            lk = local[k]
-            for v2, cnt in targeting.items():
-                if cnt > 0 and v2 in lk:
-                    p = (k, v2)
-                    if p not in pair_vals and p not in pair_used:
-                        pair_vals[p] = backjump_mask
+            kb = k << 24
+            for p2 in iter_bits(targeting & local[k]):
+                pr = kb | p2
+                if pr not in pair_vals and pr not in pair_used:
+                    pair_vals[pr] = backjump_mask
         return (found_any, node_mask, pair_vals, pair_used)
 
-    # ------------------------------------------------------------------
-    # Watch helpers
-    # ------------------------------------------------------------------
-
-    def _release_watches(self, pairs: List[Pair]) -> None:
-        if not pairs:
-            return
-        watches = self._watches
-        for j, v2 in pairs:
-            per_v = watches.get(j)
-            if per_v is not None:
-                cnt = per_v.get(v2, 0) - 1
-                if cnt <= 0:
-                    per_v.pop(v2, None)
-                else:
-                    per_v[v2] = cnt
-        self._watch_total -= len(pairs)

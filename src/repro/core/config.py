@@ -44,6 +44,13 @@ class GuPConfig:
         Extension (off by default, not in the paper): enumerate one
         representative per query-automorphism class and expand
         afterwards (see :mod:`repro.core.symmetry`).
+    candidate_backend:
+        Local-candidate representation of the search: ``"bitmap"`` (the
+        default — dense-index int bitmaps, refinement is one AND per
+        forward neighbor; :mod:`repro.core.backtrack`) or ``"list"``
+        (the seed per-element implementation kept as a differential /
+        perf reference; :mod:`repro.core.backtrack_ref`).  Both explore
+        identical search trees and produce identical results and stats.
     """
 
     reservation_limit: Optional[int] = 3
@@ -56,6 +63,14 @@ class GuPConfig:
     filter_method: str = "dagdp"
     ordering: str = "vc"
     break_symmetry: bool = False
+    candidate_backend: str = "bitmap"
+
+    def __post_init__(self) -> None:
+        if self.candidate_backend not in ("bitmap", "list"):
+            raise ValueError(
+                f"unknown candidate_backend {self.candidate_backend!r}; "
+                "expected 'bitmap' or 'list'"
+            )
 
     @property
     def needs_masks(self) -> bool:

@@ -80,7 +80,11 @@ class GuPEngine:
                     classes, gcs.query.num_vertices
                 )
 
-        search = GuPSearch(
+        if self.config.candidate_backend == "list":
+            from repro.core.backtrack_ref import ListGuPSearch as search_cls
+        else:
+            search_cls = GuPSearch
+        search = search_cls(
             gcs, config=self.config, limits=limits, symmetry_prev=symmetry_prev
         )
         search_started = time.perf_counter()

@@ -54,11 +54,15 @@ def nogood_matches(guard: EncodedNogood, anc: Sequence[int]) -> bool:
 class NogoodStore:
     """Mutable store of vertex and edge nogood guards for one search.
 
-    Vertex guards are keyed by candidate vertex ``(i, v)``; edge guards
-    by candidate edge ``(i, v, j, v')`` with ``i < j`` (the direction the
-    definition requires: the guard domain lies below ``i``).  Recording
-    overwrites (§3.3.2: "NV(u_i, v) is overwritten if it has an old
-    value").
+    Vertex guards are keyed by candidate vertex ``(i, v)``, stored
+    two-level as ``i -> v -> guard`` (the bitmap search holds the
+    per-depth sub-dict, so the hot probe hashes a small int instead of a
+    tuple); edge guards by candidate edge ``(i, v, j, v')`` with
+    ``i < j`` (the direction the definition requires: the guard domain
+    lies below ``i``), stored two-level as ``(i, v, j) -> v' -> guard``
+    so the bitmap search can skip whole refinement directions with one
+    :meth:`has_edge_guards` probe.  Recording overwrites (§3.3.2:
+    "NV(u_i, v) is overwritten if it has an old value").
 
     This is the paper's *search-node-encoded* store (§3.5.1): O(1) match
     tests that only fire for descendants of the recorded node.
@@ -68,15 +72,32 @@ class NogoodStore:
     Parallel search gives each worker its own store (§3.5.2).
     """
 
-    __slots__ = ("_vertex", "_edge", "recorded_vertex", "recorded_edge")
+    __slots__ = (
+        "_vertex",
+        "_edge",
+        "_num_edge",
+        "recorded_vertex",
+        "recorded_edge",
+    )
 
     representation = "search_node"
 
     def __init__(self) -> None:
-        self._vertex: Dict[Tuple[int, int], EncodedNogood] = {}
-        self._edge: Dict[Tuple[int, int, int, int], EncodedNogood] = {}
+        self._vertex: Dict[int, Dict[int, EncodedNogood]] = {}
+        self._edge: Dict[Tuple[int, int, int], Dict[int, EncodedNogood]] = {}
+        self._num_edge = 0
         self.recorded_vertex = 0
         self.recorded_edge = 0
+
+    def vertex_guards_at(self, i: int) -> Dict[int, EncodedNogood]:
+        """The (live) ``v -> guard`` sub-dict of query vertex ``i``.
+
+        Created on demand; the bitmap search keeps one reference per
+        depth and probes/writes it directly."""
+        per = self._vertex.get(i)
+        if per is None:
+            per = self._vertex[i] = {}
+        return per
 
     # -- representation-agnostic interface (used by the search) ---------
 
@@ -94,7 +115,8 @@ class NogoodStore:
 
     def match_vertex(self, i: int, v: int, anc, embedding) -> Optional[int]:
         """Domain mask of the matched ``NV(u_i, v)`` guard, or ``None``."""
-        guard = self._vertex.get((i, v))
+        per = self._vertex.get(i)
+        guard = per.get(v) if per is not None else None
         if guard is not None and anc[guard[1]] == guard[0]:
             return guard[2]
         return None
@@ -102,27 +124,45 @@ class NogoodStore:
     def match_edge(
         self, i: int, v: int, j: int, v2: int, anc, embedding
     ) -> Optional[int]:
-        guard = self._edge.get((i, v, j, v2))
+        per_v2 = self._edge.get((i, v, j))
+        if per_v2 is None:
+            return None
+        guard = per_v2.get(v2)
         if guard is not None and anc[guard[1]] == guard[0]:
             return guard[2]
         return None
+
+    def has_edge_guards(self, i: int, v: int, j: int) -> bool:
+        """Whether any candidate edge out of ``(u_i, v)`` toward ``u_j``
+        carries a guard — the bitmap search's O(1) gate for skipping the
+        per-candidate guard scan of one refinement direction."""
+        return (i, v, j) in self._edge
 
     # -- vertex guards --------------------------------------------------
 
     def record_vertex(self, i: int, v: int, guard: EncodedNogood) -> None:
         """Store ``NV(u_i, v)``, overwriting any previous guard."""
-        self._vertex[(i, v)] = guard
+        per = self._vertex.get(i)
+        if per is None:
+            per = self._vertex[i] = {}
+        per[v] = guard
         self.recorded_vertex += 1
 
     def vertex_guard(self, i: int, v: int) -> Optional[EncodedNogood]:
-        return self._vertex.get((i, v))
+        per = self._vertex.get(i)
+        return per.get(v) if per is not None else None
 
     def vertex_matches(self, i: int, v: int, anc: Sequence[int]) -> Optional[EncodedNogood]:
         """The guard on ``(u_i, v)`` if the current path matches it."""
-        guard = self._vertex.get((i, v))
+        guard = self.vertex_guard(i, v)
         if guard is not None and anc[guard[1]] == guard[0]:
             return guard
         return None
+
+    def iter_vertex_guards(self):
+        """Iterate over all stored vertex guards (analysis helpers)."""
+        for per in self._vertex.values():
+            yield from per.values()
 
     # -- edge guards ----------------------------------------------------
 
@@ -130,19 +170,25 @@ class NogoodStore:
         self, i: int, v: int, j: int, v2: int, guard: EncodedNogood
     ) -> None:
         """Store ``NE((u_i, v), (u_j, v2))``; requires ``i < j``."""
-        self._edge[(i, v, j, v2)] = guard
+        per_v2 = self._edge.get((i, v, j))
+        if per_v2 is None:
+            per_v2 = self._edge[(i, v, j)] = {}
+        if v2 not in per_v2:
+            self._num_edge += 1
+        per_v2[v2] = guard
         self.recorded_edge += 1
 
     def edge_guard(
         self, i: int, v: int, j: int, v2: int
     ) -> Optional[EncodedNogood]:
-        return self._edge.get((i, v, j, v2))
+        per_v2 = self._edge.get((i, v, j))
+        return per_v2.get(v2) if per_v2 is not None else None
 
     def edge_matches(
         self, i: int, v: int, j: int, v2: int, anc: Sequence[int]
     ) -> Optional[EncodedNogood]:
         """The guard on the candidate edge if the current path matches."""
-        guard = self._edge.get((i, v, j, v2))
+        guard = self.edge_guard(i, v, j, v2)
         if guard is not None and anc[guard[1]] == guard[0]:
             return guard
         return None
@@ -152,14 +198,15 @@ class NogoodStore:
     def clear(self) -> None:
         self._vertex.clear()
         self._edge.clear()
+        self._num_edge = 0
 
     @property
     def num_vertex_guards(self) -> int:
-        return len(self._vertex)
+        return sum(len(per) for per in self._vertex.values())
 
     @property
     def num_edge_guards(self) -> int:
-        return len(self._edge)
+        return self._num_edge
 
     def memory_estimate_bytes(self) -> Tuple[int, int]:
         """(vertex, edge) guard memory in the paper's cost model.
@@ -170,8 +217,8 @@ class NogoodStore:
         """
         per_guard = 5 * 8
         return (
-            len(self._vertex) * per_guard,
-            len(self._edge) * per_guard,
+            self.num_vertex_guards * per_guard,
+            self._num_edge * per_guard,
         )
 
 
@@ -188,15 +235,16 @@ class ExplicitNogoodStore:
     (``benchmarks/bench_ablation_nogood_encoding.py``).
     """
 
-    __slots__ = ("_vertex", "_edge", "recorded_vertex", "recorded_edge")
+    __slots__ = ("_vertex", "_edge", "_num_edge", "recorded_vertex", "recorded_edge")
 
     representation = "explicit"
 
     def __init__(self) -> None:
         self._vertex: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
         self._edge: Dict[
-            Tuple[int, int, int, int], Tuple[Tuple[int, int], ...]
+            Tuple[int, int, int], Dict[int, Tuple[Tuple[int, int], ...]]
         ] = {}
+        self._num_edge = 0
         self.recorded_vertex = 0
         self.recorded_edge = 0
 
@@ -231,7 +279,12 @@ class ExplicitNogoodStore:
     def record_edge_nogood(
         self, i: int, v: int, j: int, v2: int, dom_mask: int, anc, embedding
     ) -> None:
-        self._edge[(i, v, j, v2)] = self._materialize(dom_mask, embedding)
+        per_v2 = self._edge.get((i, v, j))
+        if per_v2 is None:
+            per_v2 = self._edge[(i, v, j)] = {}
+        if v2 not in per_v2:
+            self._num_edge += 1
+        per_v2[v2] = self._materialize(dom_mask, embedding)
         self.recorded_edge += 1
 
     def match_vertex(self, i: int, v: int, anc, embedding) -> Optional[int]:
@@ -243,14 +296,26 @@ class ExplicitNogoodStore:
     def match_edge(
         self, i: int, v: int, j: int, v2: int, anc, embedding
     ) -> Optional[int]:
-        guard = self._edge.get((i, v, j, v2))
+        per_v2 = self._edge.get((i, v, j))
+        if per_v2 is None:
+            return None
+        guard = per_v2.get(v2)
         if guard is not None and self._matches(guard, embedding):
             return self._dom(guard)
         return None
 
+    def has_edge_guards(self, i: int, v: int, j: int) -> bool:
+        """See :meth:`NogoodStore.has_edge_guards`."""
+        return (i, v, j) in self._edge
+
+    def iter_vertex_guards(self):
+        """Iterate over all stored vertex guards (analysis helpers)."""
+        return iter(self._vertex.values())
+
     def clear(self) -> None:
         self._vertex.clear()
         self._edge.clear()
+        self._num_edge = 0
 
     @property
     def num_vertex_guards(self) -> int:
@@ -258,14 +323,17 @@ class ExplicitNogoodStore:
 
     @property
     def num_edge_guards(self) -> int:
-        return len(self._edge)
+        return self._num_edge
 
     def memory_estimate_bytes(self) -> Tuple[int, int]:
         """Two words per stored assignment plus the key reference."""
         def cost(guards) -> int:
             return sum((2 * len(g) + 1) * 8 for g in guards.values())
 
-        return cost(self._vertex), cost(self._edge)
+        edge_cost = sum(
+            cost(per_v2) for per_v2 in self._edge.values()
+        )
+        return cost(self._vertex), edge_cost
 
 
 def make_nogood_store(representation: str = "search_node"):

@@ -9,7 +9,13 @@ substrate every matcher in this repository searches.  It stores
   ``v`` in the data graph (both directions are materialized);
 * the inverse index ``C^{-1}(v)`` — the query vertices for which data
   vertex ``v`` is a candidate — needed by the matchability conditions of
-  Lemma 3.7.
+  Lemma 3.7;
+* the **dense index**: every candidate of ``u_j`` has a position in the
+  sorted ``C(u_j)``, and each candidate edge direction is additionally
+  materialized as a Python-int bitmap over those positions
+  (DESIGN.md "Dense-index bitmap layout").  The search layers refine
+  local candidate sets with single C-speed ``&`` operations instead of
+  per-element Python loops.
 
 GuP's guarded candidate space (:mod:`repro.core.gcs`) wraps one of these
 and attaches guards.
@@ -17,6 +23,7 @@ and attaches guards.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.filtering.dagdp import dag_graph_dp
@@ -27,6 +34,7 @@ from repro.filtering.nlf2 import nlf2_candidates
 from repro.graph.graph import Graph
 
 _EMPTY: Tuple[int, ...] = ()
+_EMPTY_BITMAPS: Dict[int, int] = {}
 
 
 class CandidateSpace:
@@ -37,8 +45,12 @@ class CandidateSpace:
         "data",
         "candidates",
         "candidate_sets",
+        "positions",
         "_edge_lists",
+        "_edge_bitmaps",
+        "_full_masks",
         "_inverse",
+        "_inverse_below",
         "num_candidate_edges",
     )
 
@@ -58,28 +70,52 @@ class CandidateSpace:
         self.candidate_sets: Tuple[FrozenSet[int], ...] = tuple(
             frozenset(c) for c in self.candidates
         )
+        # Dense index: candidate vertex -> position in the sorted C(u_i).
+        self.positions: Tuple[Dict[int, int], ...] = tuple(
+            {v: p for p, v in enumerate(c)} for c in self.candidates
+        )
+        self._full_masks: Tuple[int, ...] = tuple(
+            (1 << len(c)) - 1 for c in self.candidates
+        )
 
-        # Candidate edges, both directions: (i, j) -> v -> adjacent C(u_j).
+        # Candidate edges, both directions: (i, j) -> v -> adjacent C(u_j),
+        # as sorted tuples and as bitmaps over positions of C(u_j).
         edge_lists: Dict[Tuple[int, int], Dict[int, Tuple[int, ...]]] = {}
+        edge_bitmaps: Dict[Tuple[int, int], Dict[int, int]] = {}
         edge_count = 0
         for i, j in query.edges():
             forward: Dict[int, Tuple[int, ...]] = {}
+            forward_bm: Dict[int, int] = {}
             backward: Dict[int, List[int]] = {}
             c_j = self.candidate_sets[j]
+            pos_j = self.positions[j]
             for v in self.candidates[i]:
                 adjacent = tuple(
                     w for w in data.neighbors(v) if w in c_j
                 )
                 if adjacent:
                     forward[v] = adjacent
+                    bm = 0
                     for w in adjacent:
+                        bm |= 1 << pos_j[w]
                         backward.setdefault(w, []).append(v)
+                    forward_bm[v] = bm
             edge_lists[(i, j)] = forward
+            edge_bitmaps[(i, j)] = forward_bm
+            pos_i = self.positions[i]
             edge_lists[(j, i)] = {
                 w: tuple(sorted(vs)) for w, vs in backward.items()
             }
+            backward_bm: Dict[int, int] = {}
+            for w, vs in backward.items():
+                bm = 0
+                for v in vs:
+                    bm |= 1 << pos_i[v]
+                backward_bm[w] = bm
+            edge_bitmaps[(j, i)] = backward_bm
             edge_count += sum(len(adj) for adj in forward.values())
         self._edge_lists = edge_lists
+        self._edge_bitmaps = edge_bitmaps
         self.num_candidate_edges = edge_count
 
         inverse: Dict[int, List[int]] = {}
@@ -89,6 +125,7 @@ class CandidateSpace:
         self._inverse: Dict[int, Tuple[int, ...]] = {
             v: tuple(us) for v, us in inverse.items()
         }
+        self._inverse_below: Dict[Tuple[int, int], Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Queries
@@ -101,13 +138,49 @@ class CandidateSpace:
         """
         return self._edge_lists[(i, j)].get(v, _EMPTY)
 
+    def edge_bitmap(self, i: int, v: int, j: int) -> int:
+        """:meth:`adjacent_candidates` as a bitmap over positions of ``C(u_j)``.
+
+        Bit ``p`` is set iff ``candidates[j][p]`` is adjacent to ``(u_i, v)``.
+        Intersecting a local candidate bitmap of ``u_j`` with this value is
+        the dense-index form of Definition 3.18's refinement — one int AND.
+        """
+        return self._edge_bitmaps[(i, j)].get(v, 0)
+
+    def edge_bitmap_map(self, i: int, j: int) -> Dict[int, int]:
+        """The whole bitmap table of direction ``(i, j)``: ``v -> bitmap``.
+
+        The search layers prefetch these per query edge so the inner loop
+        is one dict get plus one AND (missing ``v`` means no adjacent
+        candidates — callers default to 0).
+        """
+        return self._edge_bitmaps.get((i, j), _EMPTY_BITMAPS)
+
+    def position(self, i: int, v: int) -> int:
+        """Position of ``v`` in the sorted ``C(u_i)``; -1 if not a candidate."""
+        return self.positions[i].get(v, -1)
+
+    def full_mask(self, i: int) -> int:
+        """Bitmap with one bit per candidate of ``u_i`` (all set)."""
+        return self._full_masks[i]
+
     def inverse_candidates(self, v: int) -> Tuple[int, ...]:
         """``C^{-1}(v)``: query vertices having ``v`` as candidate (sorted)."""
         return self._inverse.get(v, _EMPTY)
 
     def inverse_candidates_below(self, v: int, i: int) -> Tuple[int, ...]:
-        """``C^{-1}(v)[:i]`` of Lemma 3.7 (query ids < ``i``)."""
-        return tuple(u for u in self._inverse.get(v, _EMPTY) if u < i)
+        """``C^{-1}(v)[:i]`` of Lemma 3.7 (query ids < ``i``).
+
+        Cached per ``(v, i)``: Lemma 3.7 matchability checks probe the
+        same slices repeatedly during reservation generation, and the
+        inverse tuple is sorted, so each miss is one ``bisect``.
+        """
+        key = (v, i)
+        cached = self._inverse_below.get(key)
+        if cached is None:
+            inv = self._inverse.get(v, _EMPTY)
+            cached = self._inverse_below[key] = inv[: bisect_left(inv, i)]
+        return cached
 
     def total_candidates(self) -> int:
         """Sum of candidate-set sizes."""
@@ -132,26 +205,61 @@ def _consistency_prune(
 ) -> List[List[int]]:
     """Drop candidates with no adjacent candidate for some query neighbor.
 
-    Sound for the same reason as DAG-graph DP; run to a fixpoint so the
-    candidate-edge lists contain no dangling vertices.
+    Sound for the same reason as DAG-graph DP; runs to the (unique)
+    fixpoint so the candidate-edge lists contain no dangling vertices.
+
+    Incremental support counting (AC-4 style): one initial pass counts,
+    for every candidate ``(u, v)`` and query neighbor ``u2``, the number
+    of adjacent candidates in ``C(u2)``; removals then decrement the
+    counts of data-neighbors and only vertices whose support hits zero
+    are (re)visited, instead of rescanning every candidate's full
+    data-neighborhood each pass.
     """
     cand_sets = [set(c) for c in candidates]
-    changed = True
-    while changed:
-        changed = False
-        for u in query.vertices():
-            if not cand_sets[u]:
-                continue
-            dead = []
-            for v in cand_sets[u]:
-                for u2 in query.neighbors(u):
-                    c2 = cand_sets[u2]
-                    if not any(w in c2 for w in data.neighbors(v)):
-                        dead.append(v)
+    nbrs = [tuple(query.neighbors(u)) for u in query.vertices()]
+
+    # AC-6-style incremental support: each (u, v, u2) keeps ONE witness
+    # (the first data neighbor of v inside C(u2)) plus a resume index,
+    # and an inverted index from each witness to its dependents.  The
+    # initial pass early-exits per constraint (like one pass of the old
+    # fixpoint); a removal only revisits the pairs whose witness died,
+    # resuming the scan where it stopped — each constraint scans its
+    # data neighborhood at most once over the whole run, instead of
+    # rescanning every candidate's full neighborhood per pass.
+    witness_idx: Dict[Tuple[int, int, int], int] = {}
+    dependents: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    dead: List[Tuple[int, int]] = []
+    for u in query.vertices():
+        for v in cand_sets[u]:
+            for u2 in nbrs[u]:
+                c2 = cand_sets[u2]
+                for idx, w in enumerate(data.neighbors(v)):
+                    if w in c2:
+                        witness_idx[(u, v, u2)] = idx
+                        dependents.setdefault((u2, w), []).append((u, v))
                         break
-            if dead:
-                cand_sets[u].difference_update(dead)
-                changed = True
+                else:
+                    dead.append((u, v))
+                    break  # v is doomed; no need to seed other neighbors
+
+    while dead:
+        u, v = dead.pop()
+        if v not in cand_sets[u]:
+            continue  # already removed via another lost witness
+        cand_sets[u].remove(v)
+        for u3, v3 in dependents.pop((u, v), ()):
+            if v3 not in cand_sets[u3]:
+                continue
+            nv = data.neighbors(v3)
+            c2 = cand_sets[u]
+            for idx in range(witness_idx[(u3, v3, u)] + 1, len(nv)):
+                w2 = nv[idx]
+                if w2 in c2:
+                    witness_idx[(u3, v3, u)] = idx
+                    dependents.setdefault((u, w2), []).append((u3, v3))
+                    break
+            else:
+                dead.append((u3, v3))
     return [sorted(c) for c in cand_sets]
 
 

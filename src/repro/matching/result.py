@@ -29,7 +29,7 @@ class TerminationStatus(enum.Enum):
     """Killed by the per-query time limit (paper: one hour)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class SearchStats:
     """Counters accumulated during one backtracking run.
 
@@ -54,6 +54,11 @@ class SearchStats:
     nogoods_recorded_vertex: int = 0
     nogoods_recorded_edge: int = 0
     backjumps: int = 0
+
+    # Local-candidate refinements performed (one per surviving extension
+    # and forward query neighbor — the Definition 3.18 sets computed).
+    # The hot-path benchmark reports these per second.
+    refine_ops: int = 0
 
     # Nogood-size accounting (§3.4's comparison: GuP's deadend masks vs
     # DAF's ancestor-closure failing sets).  ``nogood_size_sum`` counts
@@ -99,6 +104,7 @@ class SearchStats:
         self.nogoods_recorded_vertex += other.nogoods_recorded_vertex
         self.nogoods_recorded_edge += other.nogoods_recorded_edge
         self.backjumps += other.backjumps
+        self.refine_ops += other.refine_ops
         self.nogood_size_sum += other.nogood_size_sum
         self.nogood_size_count += other.nogood_size_count
         self.candidate_vertices += other.candidate_vertices

@@ -40,7 +40,7 @@ def bits_of(mask: int) -> List[int]:
 
 def bit_count(mask: int) -> int:
     """Number of set bits (population count)."""
-    return bin(mask).count("1")
+    return mask.bit_count()
 
 
 def highest_bit(mask: int) -> int:

@@ -1,0 +1,132 @@
+"""Differential test: the bitmap backend is byte-identical to the seed.
+
+The dense-index bitmap search (:mod:`repro.core.backtrack`) and the seed
+list-based search (:mod:`repro.core.backtrack_ref`) must explore the
+exact same search tree: identical embeddings *in order*, identical
+termination status, and identical pruning/recording statistics — every
+counter, not just the result set.  This is what licenses the hot-path
+benchmark to compare their wall clocks as the same algorithm on two
+candidate representations.
+
+Covered here:
+
+* the ``test_config_matrix`` configuration grid (guard combinations,
+  representations, filters, orders, reservation limits, symmetry);
+* random workloads with truncation (embedding caps and recursion
+  budgets hit mid-search, exercising the abort paths);
+* the synthetic benchmark workloads (one small set per dataset profile).
+"""
+
+import dataclasses
+import itertools
+import random
+
+import pytest
+
+from repro.core.config import GuPConfig
+from repro.core.engine import match
+from repro.graph.generators import erdos_renyi_graph, random_connected_graph
+from repro.matching.limits import SearchLimits
+from tests.test_config_matrix import CONFIGS
+
+
+def assert_identical(query, data, config, limits=None):
+    bitmap = match(query, data, config=config, limits=limits)
+    listed = match(
+        query,
+        data,
+        config=dataclasses.replace(config, candidate_backend="list"),
+        limits=limits,
+    )
+    assert bitmap.embeddings == listed.embeddings  # ordered, not set-wise
+    assert bitmap.num_embeddings == listed.num_embeddings
+    assert bitmap.status == listed.status
+    assert dataclasses.asdict(bitmap.stats) == dataclasses.asdict(listed.stats)
+
+
+def _instances(seed, count, max_q=7, max_d=24):
+    rng = random.Random(seed)
+    for _ in range(count):
+        nq = rng.randint(2, max_q)
+        nd = rng.randint(5, max_d)
+        labels = rng.randint(1, 3)
+        query = random_connected_graph(
+            nq, nq - 1 + rng.randint(0, 5), num_labels=labels,
+            seed=rng.randint(0, 10**9),
+        )
+        data = erdos_renyi_graph(
+            nd, rng.randint(nd, nd * 3), num_labels=labels,
+            seed=rng.randint(0, 10**9),
+        )
+        yield query, data
+
+
+@pytest.mark.parametrize("index", range(len(CONFIGS)))
+def test_config_grid_identical(index):
+    """Every config of the matrix on a handful of random instances."""
+    config = CONFIGS[index]
+    assert config.candidate_backend == "bitmap"  # the default
+    for query, data in _instances(seed=index * 37 + 5, count=4):
+        assert_identical(query, data, config)
+
+
+def test_random_workloads_with_truncation():
+    """Caps hit mid-search must abort identically in both backends."""
+    rng = random.Random(20230730)
+    combos = list(itertools.product((False, True), repeat=4))
+    for t, (query, data) in enumerate(_instances(seed=99, count=40, max_q=8)):
+        use_r, use_nv, use_ne, use_bj = combos[t % len(combos)]
+        config = GuPConfig(
+            use_reservation=use_r,
+            use_nogood_vertex=use_nv,
+            use_nogood_edge=use_ne,
+            use_backjumping=use_bj,
+            nogood_representation="explicit" if t % 5 == 0 else "search_node",
+            break_symmetry=(t % 7 == 0),
+        )
+        limits = SearchLimits(
+            max_embeddings=rng.choice([None, 1, 5, 50]),
+            max_recursions=rng.choice([None, 25, 400]),
+        )
+        assert_identical(query, data, config, limits=limits)
+
+
+def test_counting_mode_identical():
+    """collect=False (counting) runs the same trees too."""
+    for query, data in _instances(seed=4242, count=8):
+        config = GuPConfig()
+        limits = SearchLimits(collect=False, max_embeddings=100)
+        assert_identical(query, data, config, limits=limits)
+
+
+def test_benchmark_workload_identical():
+    """One small query set per synthetic dataset profile."""
+    from repro.workload.datasets import load_dataset
+    from repro.workload.querygen import QuerySetSpec, generate_query_set
+
+    for name, scale in (("yeast", 0.3), ("wordnet", 0.2)):
+        data = load_dataset(name, scale=scale, seed=7)
+        queries = generate_query_set(
+            data, QuerySetSpec(8, "sparse"), count=3, seed=11
+        )
+        limits = SearchLimits(max_embeddings=500, max_recursions=4000)
+        for query in queries:
+            assert_identical(query, data, GuPConfig(), limits=limits)
+
+
+def test_max_watches_zero_identical():
+    """The watch cap path (no NE line-11 recording) matches too."""
+    from repro.core.backtrack import GuPSearch
+    from repro.core.backtrack_ref import ListGuPSearch
+    from repro.core.gcs import build_gcs
+
+    for query, data in _instances(seed=777, count=6):
+        gcs_a = build_gcs(query, data)
+        gcs_b = build_gcs(query, data)
+        a = GuPSearch(gcs_a, max_watches=0)
+        b = ListGuPSearch(gcs_b, max_watches=0)
+        emb_a, status_a = a.run()
+        emb_b, status_b = b.run()
+        assert emb_a == emb_b
+        assert status_a == status_b
+        assert dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)
