@@ -8,12 +8,34 @@ barely change the total number of recursions.
 
 See DESIGN.md §2: the scheduling is simulated (GIL), the per-task work
 is real (every root task is executed with its own nogood store).
+
+Real mode
+---------
+``python benchmarks/bench_fig10_parallel.py --real [--workers 1 2 4]``
+additionally runs the *actual* process-parallel executor
+(:mod:`repro.core.procpool`, DESIGN.md §6) on the same hard instance and
+reports wall-clock speedup next to the simulated work-unit speedup,
+after asserting the parallel embeddings are identical to the sequential
+run.  Wall-clock scaling is bounded by the physical cores of the host
+(``os.cpu_count()`` is printed alongside).
 """
 
 from __future__ import annotations
 
+import os
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script entry: make repo root + src importable
+    _ROOT = Path(__file__).resolve().parent.parent
+    for _entry in (str(_ROOT / "src"), str(_ROOT)):
+        if _entry not in sys.path:
+            sys.path.insert(0, _entry)
+
 from benchmarks.conftest import dataset, hard_query_set, publish
 from repro.bench.report import format_table
+from repro.core.engine import GuPEngine
 from repro.core.parallel import (
     sequential_gup_work,
     simulate_daf_parallel,
@@ -41,9 +63,8 @@ def run_parallel():
     return gup, daf, seq
 
 
-def test_fig10_parallel(benchmark):
-    gup, daf, seq = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
-
+def simulated_report(gup, daf, seq) -> str:
+    """The Fig. 10 table + §4.3.4 footer (shared by pytest and --real)."""
     rows = []
     for g, d in zip(gup, daf):
         rows.append(
@@ -65,7 +86,13 @@ def test_fig10_parallel(benchmark):
         f"nogoods) = {seq}, parallel (thread-local nogoods) = "
         f"{gup[0].total_work} ({gup[0].total_work / max(1, seq):.2f}x)"
     )
-    publish("fig10_parallel", text)
+    return text
+
+
+def test_fig10_parallel(benchmark):
+    gup, daf, seq = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+
+    publish("fig10_parallel", simulated_report(gup, daf, seq))
 
     # Paper shape: GuP keeps scaling; DAF plateaus early.
     gup_hi = gup[-1].speedup_vs
@@ -78,3 +105,97 @@ def test_fig10_parallel(benchmark):
     if costs and max(costs) > 0:
         cap = sum(costs) / max(costs)
         assert daf_hi <= cap + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Real mode: wall-clock speedup of the process-parallel executor
+# ----------------------------------------------------------------------
+
+
+def run_real(worker_counts, repeats: int = 3) -> str:
+    """Measure the procpool executor against the sequential engine.
+
+    Wall times are the best of ``repeats`` runs (pool spawn + pickle-once
+    initialization included — this is the end-to-end cost a user pays).
+    Embeddings are collected (unlike the simulated mode's counting runs)
+    so every parallel run can be asserted bit-identical — same embedding
+    *list*, count, and status — against the sequential one.
+    """
+    real_limits = SearchLimits(max_embeddings=LIMITS.max_embeddings)
+    query = pick_instance()
+    data = dataset(DATASET)
+    engine = GuPEngine(data)
+    gcs = engine.build(query)  # shared: isolate the search step's scaling
+
+    def best_wall(workers: int):
+        best = None
+        result = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = engine.match(
+                query, limits=real_limits, gcs=gcs, workers=workers
+            )
+            wall = time.perf_counter() - started
+            best = wall if best is None else min(best, wall)
+        return best, result
+
+    seq_wall, seq = best_wall(1)
+    rows = []
+    for workers in worker_counts:
+        if workers == 1:
+            wall, par = seq_wall, seq
+        else:
+            wall, par = best_wall(workers)
+        assert par.embeddings == seq.embeddings
+        assert par.num_embeddings == seq.num_embeddings
+        assert par.status == seq.status
+        rows.append(
+            [
+                workers,
+                f"{wall:.3f}s",
+                f"{seq_wall / wall:.2f}x" if wall > 0 else "inf",
+                par.stats.recursions,
+            ]
+        )
+    text = format_table(
+        ["Workers", "Wall", "Speedup vs seq", "Recursions"],
+        rows,
+        title=(
+            f"Fig. 10 (real): process-parallel wall clock on {DATASET} "
+            f"(sequential {seq_wall:.3f}s, {os.cpu_count()} cpus, "
+            f"best of {repeats})"
+        ),
+    )
+    text += (
+        f"\n\nEvery parallel run verified identical to the sequential run: "
+        f"{len(seq.embeddings)} collected embeddings (list order included), "
+        f"count, and status."
+    )
+    return text
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--real", action="store_true",
+                        help="run the process-parallel executor for wall clock")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker counts for --real")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--skip-sim", action="store_true",
+                        help="skip the simulated sweep (quick --real checks)")
+    args = parser.parse_args(argv)
+
+    if not args.skip_sim:
+        gup, daf, seq = run_parallel()
+        publish("fig10_parallel", simulated_report(gup, daf, seq))
+
+    if args.real:
+        real_text = run_real(args.workers, repeats=args.repeats)
+        publish("fig10_parallel_real", real_text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,8 @@ Quickstart
 from repro.core.config import GuPConfig
 from repro.core.engine import GuPEngine, count_embeddings, match
 from repro.core.gcs import GuardedCandidateSpace, build_gcs
+from repro.core.procpool import match_parallel
+from repro.filtering.artifacts import DataArtifacts
 from repro.graph.builder import GraphBuilder
 from repro.graph.graph import Graph
 from repro.graph.io import load_graph, loads_graph, save_graph, saves_graph
@@ -34,6 +36,7 @@ from repro.matching.verify import is_embedding
 __version__ = "1.0.0"
 
 __all__ = [
+    "DataArtifacts",
     "Graph",
     "GraphBuilder",
     "GuPConfig",
@@ -49,6 +52,7 @@ __all__ = [
     "load_graph",
     "loads_graph",
     "match",
+    "match_parallel",
     "save_graph",
     "saves_graph",
     "__version__",

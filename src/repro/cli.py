@@ -3,6 +3,7 @@
 Commands
 --------
 ``match``      run a matcher on query/data ``.graph`` files
+``batch``      match a whole query set (glob) with a process-pool engine
 ``dataset``    synthesize a benchmark stand-in graph to a ``.graph`` file
 ``querygen``   extract queries from a data graph (random walk / cycles / mined)
 ``inspect``    print candidate-space and guard statistics for a query
@@ -16,13 +17,16 @@ Examples
     python -m repro querygen yeast.graph --size 8 --density sparse \
         --count 3 --out-prefix q
     python -m repro match q0.graph yeast.graph --method GuP --limit 10
+    python -m repro batch 'q*.graph' yeast.graph --workers 4 --limit 1000
     python -m repro inspect q0.graph yeast.graph
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as globlib
 import sys
+import time
 from typing import List, Optional
 
 from repro.baselines.registry import MATCHERS, PAPER_METHODS, get_matcher
@@ -50,6 +54,27 @@ def _add_match_parser(subparsers) -> None:
                    help="print only the embedding count")
     p.add_argument("--max-print", type=int, default=20,
                    help="print at most this many embeddings")
+
+
+def _add_batch_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "batch",
+        help="match a query set against one data graph (process pool)",
+    )
+    p.add_argument("queries",
+                   help="glob of query .graph files (quote it), or one file")
+    p.add_argument("data", help="data .graph file")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process, artifacts still "
+                        "shared across the set)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="stop each query after this many embeddings")
+    p.add_argument("--time-limit", type=float, default=None,
+                   help="per-query wall-clock kill (seconds)")
+    p.add_argument("--recursion-limit", type=int, default=None,
+                   help="per-query virtual-time kill (recursions)")
+    p.add_argument("--count-only", action="store_true",
+                   help="count embeddings without materializing them")
 
 
 def _add_dataset_parser(subparsers) -> None:
@@ -103,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_match_parser(subparsers)
+    _add_batch_parser(subparsers)
     _add_dataset_parser(subparsers)
     _add_querygen_parser(subparsers)
     _add_inspect_parser(subparsers)
@@ -135,6 +161,57 @@ def _cmd_match(args) -> int:
         hidden = result.num_embeddings - len(shown)
         if hidden > 0:
             print(f"  ... and {hidden} more")
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from repro.bench.report import format_table
+    from repro.core.engine import GuPEngine
+
+    paths = sorted(globlib.glob(args.queries)) or [args.queries]
+    try:
+        queries = [load_graph(path) for path in paths]
+        data = load_graph(args.data)
+    except (OSError, ValueError) as exc:  # missing file or malformed .graph
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    limits = SearchLimits(
+        max_embeddings=args.limit,
+        time_limit=args.time_limit,
+        max_recursions=args.recursion_limit,
+        collect=not args.count_only,
+    )
+    engine = GuPEngine(data)
+    started = time.perf_counter()
+    results = engine.match_many(queries, limits=limits, workers=args.workers)
+    wall = time.perf_counter() - started
+
+    rows = []
+    for path, result in zip(paths, results):
+        rows.append(
+            [
+                path,
+                result.num_embeddings,
+                result.status.value,
+                result.stats.recursions,
+                f"{result.total_seconds:.4f}s",
+            ]
+        )
+    print(
+        format_table(
+            ["Query", "Embeddings", "Status", "Recursions", "Time"],
+            rows,
+            title=(
+                f"batch: {len(queries)} queries vs {args.data} "
+                f"(workers={args.workers})"
+            ),
+        )
+    )
+    total_embeddings = sum(r.num_embeddings for r in results)
+    total_recursions = sum(r.stats.recursions for r in results)
+    print(f"total embeddings: {total_embeddings}")
+    print(f"total recursions: {total_recursions}")
+    print(f"wall time:        {wall:.4f}s")
     return 0
 
 
@@ -261,6 +338,7 @@ def _cmd_methods(_args) -> int:
 
 COMMANDS = {
     "match": _cmd_match,
+    "batch": _cmd_batch,
     "dataset": _cmd_dataset,
     "querygen": _cmd_querygen,
     "inspect": _cmd_inspect,

@@ -295,8 +295,19 @@ class GuPSearch:
     # Public API
     # ------------------------------------------------------------------
 
-    def run(self) -> Tuple[List[Tuple[int, ...]], TerminationStatus]:
+    def run(
+        self, root_mask: Optional[int] = None
+    ) -> Tuple[List[Tuple[int, ...]], TerminationStatus]:
         """Enumerate embeddings of the (reordered) query.
+
+        ``root_mask``, when given, restricts the root level to the
+        candidates of ``u_0`` whose *positions* (bits in the dense
+        index) are set — the parallel engines partition the search at
+        the root this way (§3.5.2) without rebuilding the candidate
+        space.  Restricting the root is equivalent to searching a GCS
+        whose ``C(u_0)`` is the selected subset: the refinement plans,
+        reservation index, and watch machinery never read the dropped
+        root candidates.
 
         Returns the embeddings (in reordered query-vertex numbering —
         the engine translates back) and the termination status.
@@ -310,6 +321,8 @@ class GuPSearch:
         self._make_ctx()
         cs = self.gcs.cs
         local: List[int] = [cs.full_mask(i) for i in range(self._n)]
+        if root_mask is not None:
+            local[0] &= root_mask
         bounds = [0] * self._n
         self._backtrack(0, local, bounds, None)
         return self._results, self._status

@@ -150,8 +150,15 @@ class ListGuPSearch:
     # Public API
     # ------------------------------------------------------------------
 
-    def run(self) -> Tuple[List[Tuple[int, ...]], TerminationStatus]:
+    def run(
+        self, root_mask: Optional[int] = None
+    ) -> Tuple[List[Tuple[int, ...]], TerminationStatus]:
         """Enumerate embeddings of the (reordered) query.
+
+        ``root_mask`` restricts the root level to the candidates of
+        ``u_0`` at the set *positions* of the sorted ``C(u_0)`` — the
+        same root-partitioning contract as the bitmap backend's
+        :meth:`repro.core.backtrack.GuPSearch.run`.
 
         Returns the embeddings (in reordered query-vertex numbering —
         the engine translates back) and the termination status.
@@ -165,6 +172,12 @@ class ListGuPSearch:
         local: List[Sequence[int]] = [
             self.gcs.cs.candidates[i] for i in range(self._n)
         ]
+        if root_mask is not None:
+            local[0] = tuple(
+                v
+                for p, v in enumerate(self.gcs.cs.candidates[0])
+                if root_mask >> p & 1
+            )
         bounds = [0] * self._n
         self._backtrack(0, local, bounds)
         return self._results, self._status

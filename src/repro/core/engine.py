@@ -17,11 +17,13 @@ or, when matching many queries against one data graph::
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from dataclasses import replace
+from typing import Iterable, List, Optional
 
 from repro.core.backtrack import GuPSearch
 from repro.core.config import GuPConfig
 from repro.core.gcs import GuardedCandidateSpace, build_gcs
+from repro.filtering.artifacts import DataArtifacts
 from repro.graph.graph import Graph
 from repro.matching.limits import SearchLimits
 from repro.matching.result import MatchResult, TerminationStatus
@@ -30,23 +32,34 @@ from repro.matching.result import MatchResult, TerminationStatus
 class GuPEngine:
     """GuP subgraph matcher bound to one data graph.
 
-    The engine itself is stateless across queries (each query gets a
-    fresh GCS and nogood store), so one engine can be shared freely.
+    The engine is stateless across queries (each query gets a fresh GCS
+    and nogood store) apart from a cache of data-graph-side filter
+    artifacts (:class:`DataArtifacts`, built lazily on the first query
+    and reused by every later one), so one engine can be shared freely.
     """
 
     def __init__(self, data: Graph, config: Optional[GuPConfig] = None) -> None:
         self.data = data
         self.config = config or GuPConfig()
+        self._artifacts: Optional[DataArtifacts] = None
+
+    @property
+    def artifacts(self) -> DataArtifacts:
+        """Data-side filter artifacts, built once per engine."""
+        if self._artifacts is None:
+            self._artifacts = DataArtifacts(self.data)
+        return self._artifacts
 
     def build(self, query: Graph) -> GuardedCandidateSpace:
         """Run GCS construction + reservation generation for ``query``."""
-        return build_gcs(query, self.data, self.config)
+        return build_gcs(query, self.data, self.config, artifacts=self.artifacts)
 
     def match(
         self,
         query: Graph,
         limits: Optional[SearchLimits] = None,
         gcs: Optional[GuardedCandidateSpace] = None,
+        workers: int = 1,
     ) -> MatchResult:
         """Enumerate embeddings of ``query`` in the data graph.
 
@@ -58,6 +71,16 @@ class GuPEngine:
         representative per query-automorphism class and expands
         afterwards; ``max_embeddings`` then caps the *representatives*
         during search and the expanded list on output.
+
+        ``workers > 1`` executes the search step root-partitioned over a
+        process pool (:mod:`repro.core.procpool`) with task-local nogood
+        stores; embeddings, counts, and termination status are identical
+        to the sequential run (``tests/test_parallel_exact.py``) for
+        unlimited and ``max_embeddings``-capped searches, and the merged
+        stats reflect the per-task guard locality of §4.3.4.  The
+        exception is ``time_limit`` / ``max_recursions`` budgets, which
+        apply to *each root task individually* rather than to the whole
+        run (DESIGN.md §6), so truncated counts can exceed sequential.
         """
         limits = limits or SearchLimits()
         started = time.perf_counter()
@@ -80,22 +103,31 @@ class GuPEngine:
                     classes, gcs.query.num_vertices
                 )
 
-        if self.config.candidate_backend == "list":
-            from repro.core.backtrack_ref import ListGuPSearch as search_cls
-        else:
-            search_cls = GuPSearch
-        search = search_cls(
-            gcs, config=self.config, limits=limits, symmetry_prev=symmetry_prev
-        )
         search_started = time.perf_counter()
-        raw, status = search.run()
+        if workers > 1 and query.num_vertices > 0:
+            from repro.core.procpool import run_partitioned
+
+            raw, status, stats = run_partitioned(
+                gcs, self.config, limits, workers, symmetry_prev
+            )
+        else:
+            if self.config.candidate_backend == "list":
+                from repro.core.backtrack_ref import ListGuPSearch as search_cls
+            else:
+                search_cls = GuPSearch
+            search = search_cls(
+                gcs, config=self.config, limits=limits,
+                symmetry_prev=symmetry_prev,
+            )
+            raw, status = search.run()
+            stats = search.stats
         elapsed = time.perf_counter() - search_started
 
         if sym_classes:
             from repro.core.symmetry import expand_embedding, expansion_factor
 
             num_embeddings = (
-                search.stats.embeddings_found * expansion_factor(sym_classes)
+                stats.embeddings_found * expansion_factor(sym_classes)
             )
             expanded = []
             for representative in raw:
@@ -110,7 +142,7 @@ class GuPEngine:
         else:
             embeddings = [gcs.to_original_embedding(e) for e in raw]
             num_embeddings = (
-                search.stats.embeddings_found
+                stats.embeddings_found
                 if query.num_vertices > 0
                 else len(embeddings)
             )
@@ -120,10 +152,52 @@ class GuPEngine:
             num_embeddings=num_embeddings,
             status=status,
             elapsed_seconds=elapsed,
-            stats=search.stats,
+            stats=stats,
             preprocessing_seconds=preprocessing,
             method="GuP",
         )
+
+    def match_many(
+        self,
+        queries: Iterable[Graph],
+        limits: Optional[SearchLimits] = None,
+        workers: int = 1,
+    ) -> List[MatchResult]:
+        """Match a whole query set; results in input order.
+
+        The data-side filter artifacts are built once and reused across
+        the set.  With ``workers > 1`` queries are dispatched
+        dynamically over a process pool (one task per query; the data
+        graph and its artifacts travel to each worker exactly once —
+        :func:`repro.core.procpool.batch_match`).  Per-query results are
+        identical to calling :meth:`match` sequentially.
+        """
+        queries = list(queries)
+        limits = limits or SearchLimits()
+        if workers <= 1:
+            return [self.match(query, limits=limits) for query in queries]
+        if len(queries) == 1:
+            # Nothing to spread across queries — honor the worker budget
+            # with intra-query root partitioning, but only when it keeps
+            # this method's sequential-identity contract: time_limit /
+            # max_recursions budgets apply per root task there (DESIGN.md
+            # §6), so those runs stay sequential.
+            intra = (
+                workers
+                if limits.time_limit is None and limits.max_recursions is None
+                else 1
+            )
+            return [self.match(queries[0], limits=limits, workers=intra)]
+
+        from repro.core.procpool import batch_match
+
+        # Materialize the NLF tables before the data graph is pickled to
+        # the workers, so they inherit them instead of recomputing (the
+        # full artifacts are built per worker; only the NLF cache rides
+        # along with the graph).
+        if self.data.num_vertices > 0:
+            self.data.neighbor_label_frequency(0)
+        return batch_match(self.data, self.config, queries, limits, workers)
 
 
 def match(
@@ -142,11 +216,11 @@ def count_embeddings(
     config: Optional[GuPConfig] = None,
     limits: Optional[SearchLimits] = None,
 ) -> int:
-    """Number of embeddings of ``query`` in ``data`` (not materialized)."""
+    """Number of embeddings of ``query`` in ``data`` (not materialized).
+
+    All limits are honored — including ``max_recursions`` virtual-time
+    budgets — the run merely skips materializing the embeddings.
+    """
     limits = limits or SearchLimits()
-    counting = SearchLimits(
-        max_embeddings=limits.max_embeddings,
-        time_limit=limits.time_limit,
-        collect=False,
-    )
+    counting = replace(limits, collect=False)
     return match(query, data, config=config, limits=counting).num_embeddings

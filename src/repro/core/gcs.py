@@ -29,6 +29,7 @@ from repro.core.reservation import (
     generate_reservation_guards,
     reservation_memory_bytes,
 )
+from repro.filtering.artifacts import DataArtifacts
 from repro.filtering.candidate_space import CandidateSpace, build_candidate_space
 from repro.filtering.nlf import nlf_candidates
 from repro.graph.algorithms import two_core_edges
@@ -100,6 +101,7 @@ def build_gcs(
     query: Graph,
     data: Graph,
     config: Optional[GuPConfig] = None,
+    artifacts: Optional["DataArtifacts"] = None,
 ) -> GuardedCandidateSpace:
     """Steps (1) and (2) of GuP (§3.1): GCS construction.
 
@@ -109,11 +111,21 @@ def build_gcs(
     4. candidate filtering (default: extended DAG-graph DP [20]) and
        candidate-edge materialization over the reordered query;
     5. reservation-guard generation (Algorithm 1), unless disabled.
+
+    ``artifacts`` optionally supplies precomputed data-graph-side filter
+    state (:class:`repro.filtering.artifacts.DataArtifacts`) so batch
+    engines skip the per-query LDF scan and NLF table build; results are
+    identical with or without it.
     """
     config = config or GuPConfig()
     started = time.perf_counter()
 
-    initial = nlf_candidates(query, data)
+    if artifacts is not None:
+        if artifacts.data is not data:
+            raise ValueError("artifacts were built for a different data graph")
+        initial = artifacts.nlf_candidates(query)
+    else:
+        initial = nlf_candidates(query, data)
     order = make_order(config.ordering, query, initial)
     reordered = query.relabeled(order)
     # The initial candidates only depend on labels/degrees, which the

@@ -23,6 +23,13 @@ simulation over real work measurements*:
 
 Speedup is reported in work units (recursions), the same quantity the
 paper uses to argue scalability.
+
+The *real* multicore executor lives in :mod:`repro.core.procpool`; the
+simulation here executes its tasks through the same root-partitioning
+codepath (:func:`repro.core.procpool.root_partition` /
+:func:`repro.core.procpool.run_root_task`), so the per-task work the
+scheduling models chew on is byte-identical to what the process pool
+runs — ``bench_fig10_parallel.py --real`` reports both side by side.
 """
 
 from __future__ import annotations
@@ -35,8 +42,11 @@ from repro.baselines.backtracking import BacktrackingMatcher
 from repro.core.backtrack import GuPSearch
 from repro.core.config import GuPConfig
 from repro.core.gcs import GuardedCandidateSpace, build_gcs
-from repro.core.nogood import NogoodStore
-from repro.filtering.candidate_space import CandidateSpace
+from repro.core.procpool import (
+    restrict_cs_to_root,
+    root_partition,
+    run_root_task,
+)
 from repro.graph.graph import Graph
 from repro.matching.limits import SearchLimits
 from repro.matching.result import SearchStats
@@ -92,31 +102,17 @@ def _root_task_costs_gup(
 
     This *is* the thread-local-guard execution of §4.3.4: pruning
     information discovered in one subtree is invisible to the others.
+    Tasks run through :func:`repro.core.procpool.run_root_task` — the
+    exact codepath the real process pool executes — only inline.
     """
     costs: List[int] = []
     embeddings = 0
     merged = SearchStats()
-    root_candidates = gcs.cs.candidates[0]
-    for v in root_candidates:
-        restricted = CandidateSpace(
-            gcs.cs.query,
-            gcs.cs.data,
-            [(v,)] + [list(c) for c in gcs.cs.candidates[1:]],
-        )
-        sub = GuardedCandidateSpace(
-            original_query=gcs.original_query,
-            query=gcs.query,
-            data=gcs.data,
-            order=gcs.order,
-            cs=restricted,
-            reservations=gcs.reservations,
-            two_core=gcs.two_core,
-        )
-        search = GuPSearch(sub, config=config, limits=limits, nogoods=NogoodStore())
-        search.run()
-        costs.append(search.stats.recursions)
-        embeddings += search.stats.embeddings_found
-        merged.merge(search.stats)
+    for task in root_partition(gcs):
+        result = run_root_task(gcs, task, config, limits)
+        costs.append(result.stats.recursions)
+        embeddings += result.stats.embeddings_found
+        merged.merge(result.stats)
     return costs, embeddings, merged
 
 
@@ -177,9 +173,7 @@ def simulate_daf_parallel(
     costs: List[int] = []
     embeddings = 0
     for v in cs.candidates[0]:
-        restricted = CandidateSpace(
-            cs.query, cs.data, [(v,)] + [list(c) for c in cs.candidates[1:]]
-        )
+        restricted = restrict_cs_to_root(cs, v)
         from repro.baselines.backtracking import _Search, ancestor_closures
 
         stats = SearchStats()

@@ -1,0 +1,85 @@
+"""Reusable data-graph-side filter artifacts.
+
+The first two filters of every pipeline — LDF and NLF — only read
+*data-graph* structure that is identical for every query: the label
+index, per-vertex degrees, and the neighbor label frequency tables.
+:class:`DataArtifacts` precomputes them once per data graph so a batch
+engine (``GuPEngine.match_many``) pays the cost once per data graph /
+worker process instead of once per query:
+
+* ``label_buckets`` stores, per label, the carrying vertices sorted by
+  *descending degree* (plus the aligned degree sequence).  The LDF
+  candidate set for ``(label, min_degree)`` is then a prefix located by
+  one binary search, instead of a scan over every vertex with the label.
+* Constructing the artifacts materializes the graph's (lazily built) NLF
+  tables, so forked/pickled workers inherit them instead of each
+  recomputing them on first use.
+
+Outputs are exactly those of :func:`repro.filtering.ldf.ldf_candidates`
+and :func:`repro.filtering.nlf.nlf_candidates` (asserted by
+``tests/test_filtering.py``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Tuple
+
+from repro.filtering.nlf import _nlf_ok
+from repro.graph.graph import Graph
+
+
+class DataArtifacts:
+    """Per-data-graph filter state, shared across a whole query set."""
+
+    __slots__ = ("data", "degrees", "label_buckets")
+
+    def __init__(self, data: Graph) -> None:
+        self.data = data
+        self.degrees: Tuple[int, ...] = tuple(
+            data.degree(v) for v in data.vertices()
+        )
+        buckets: Dict[object, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+        for label in data.label_set:
+            vs = sorted(
+                data.vertices_with_label(label),
+                key=lambda v: self.degrees[v],
+                reverse=True,
+            )
+            buckets[label] = (
+                tuple(vs),
+                # Negated-degree sequence is ascending: bisect finds the
+                # end of the ``degree >= min_degree`` prefix.
+                tuple(-self.degrees[v] for v in vs),
+            )
+        self.label_buckets = buckets
+        if data.num_vertices > 0:
+            data.neighbor_label_frequency(0)  # materialize the NLF cache
+
+    def ldf_candidates(self, query: Graph) -> List[List[int]]:
+        """LDF candidate lists (== :func:`repro.filtering.ldf.ldf_candidates`)."""
+        candidates: List[List[int]] = []
+        for u in query.vertices():
+            bucket = self.label_buckets.get(query.label(u))
+            if bucket is None:
+                candidates.append([])
+                continue
+            vs, neg_degrees = bucket
+            end = bisect_right(neg_degrees, -query.degree(u))
+            candidates.append(sorted(vs[:end]))
+        return candidates
+
+    def nlf_candidates(self, query: Graph) -> List[List[int]]:
+        """LDF+NLF candidate lists (== :func:`repro.filtering.nlf.nlf_candidates`)."""
+        data = self.data
+        refined: List[List[int]] = []
+        for u, base in enumerate(self.ldf_candidates(query)):
+            query_freq = query.neighbor_label_frequency(u)
+            refined.append(
+                [
+                    v
+                    for v in base
+                    if _nlf_ok(query_freq, data.neighbor_label_frequency(v))
+                ]
+            )
+        return refined

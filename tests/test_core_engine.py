@@ -83,6 +83,20 @@ class TestLimits:
         d = cycle_graph("XXX")
         assert count_embeddings(q, d) == 6
 
+    def test_count_embeddings_honors_max_recursions(self):
+        """Regression: the rebuilt counting limits used to drop
+        ``max_recursions``, silently ignoring virtual-time budgets."""
+        q = cycle_graph("XXX")
+        d = cycle_graph("XXX")
+        limits = SearchLimits(max_recursions=2)
+        truncated = count_embeddings(q, d, limits=limits)
+        reference = match(
+            q, d, limits=SearchLimits(max_recursions=2, collect=False)
+        )
+        assert reference.status is TerminationStatus.TIMEOUT
+        assert truncated == reference.num_embeddings
+        assert truncated < 6  # the budget genuinely cut the count
+
     def test_zero_time_limit_on_large_search(self):
         from repro.graph.generators import random_connected_graph
         from repro.workload.querygen import generate_query

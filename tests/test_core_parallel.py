@@ -11,6 +11,7 @@ from repro.core.parallel import (
     simulate_gup_parallel,
 )
 from repro.graph.generators import powerlaw_cluster_graph
+from repro.matching.limits import SearchLimits
 from repro.workload.querygen import generate_query
 
 
@@ -24,6 +25,43 @@ def instance():
 class TestSchedulingModels:
     def test_lpt_single_thread(self):
         assert _lpt_makespan([5, 3, 2], 1) == 10
+
+    def test_lpt_more_threads_than_tasks(self):
+        # Extra threads idle; the longest task sets the makespan.
+        assert _lpt_makespan([4, 2], 8) == 4
+        assert _lpt_makespan([7], 3) == 7
+
+    def test_lpt_zero_threads_treated_as_one(self):
+        assert _lpt_makespan([5, 3], 0) == 8
+
+    def test_work_stealing_empty(self):
+        # Zero total work still costs the one-unit floor on P > 1.
+        assert _work_stealing_makespan(0, [], 4) == 1
+        assert _work_stealing_makespan(0, [], 1) == 0
+
+    def test_work_stealing_single_thread_is_total(self):
+        assert _work_stealing_makespan(17, [9, 8], 1) == 17
+
+    def test_work_stealing_more_threads_than_work(self):
+        assert _work_stealing_makespan(3, [3], 100) == 1
+
+
+class TestParallelRunReport:
+    def test_speedup_vs(self):
+        report = ParallelRunReport(
+            num_threads=4, total_work=100, makespan=25
+        )
+        assert report.speedup_vs == pytest.approx(4.0)
+
+    def test_speedup_with_zero_makespan(self):
+        # Degenerate empty run: defined as the ideal P-fold speedup.
+        report = ParallelRunReport(num_threads=8, total_work=0, makespan=0)
+        assert report.speedup_vs == 8.0
+
+    def test_defaults(self):
+        report = ParallelRunReport(num_threads=2, total_work=6, makespan=3)
+        assert report.task_costs == []
+        assert report.embeddings == 0
 
     def test_lpt_balances(self):
         assert _lpt_makespan([5, 3, 2], 2) == 5
@@ -89,3 +127,28 @@ class TestSimulations:
         expected = count_embeddings(query, data)
         report = simulate_gup_parallel(query, data, [2])[0]
         assert report.embeddings == expected
+
+    def test_simulation_work_equals_real_executor_work(self, instance):
+        """The simulation and the process pool share one partitioning
+        codepath: their total (thread-local-store) work is identical."""
+        from repro.core.engine import GuPEngine
+
+        query, data = instance
+        simulated = simulate_gup_parallel(query, data, [4])[0]
+        real = GuPEngine(data).match(
+            query, limits=SearchLimits(collect=False), workers=2
+        )
+        assert real.stats.recursions == simulated.total_work
+
+    def test_daf_restriction_uses_shared_helper(self, instance):
+        from repro.core.procpool import restrict_cs_to_root
+        from repro.filtering.candidate_space import build_candidate_space
+
+        query, data = instance
+        cs = build_candidate_space(query, data)
+        if not cs.candidates[0]:
+            pytest.skip("no root candidates")
+        v = cs.candidates[0][0]
+        restricted = restrict_cs_to_root(cs, v)
+        assert restricted.candidates[0] == (v,)
+        assert restricted.candidates[1:] == cs.candidates[1:]

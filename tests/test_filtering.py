@@ -134,3 +134,58 @@ class TestGqlFilter:
         data = d.build()
         c = gql_candidates(query, data)
         assert c[0] == [0]
+
+
+class TestDataArtifacts:
+    """The precomputed data-side artifacts replicate LDF/NLF exactly."""
+
+    def test_matches_ldf_and_nlf_on_random_pairs(self, rng):
+        from repro.filtering.artifacts import DataArtifacts
+
+        for _ in range(25):
+            query, data = make_random_pair(rng)
+            artifacts = DataArtifacts(data)
+            assert artifacts.ldf_candidates(query) == ldf_candidates(query, data)
+            assert artifacts.nlf_candidates(query) == nlf_candidates(query, data)
+
+    def test_reused_across_queries(self, rng):
+        from repro.filtering.artifacts import DataArtifacts
+
+        _, data = make_random_pair(rng)
+        artifacts = DataArtifacts(data)
+        for _ in range(5):
+            query, _ = make_random_pair(rng)
+            assert artifacts.nlf_candidates(query) == nlf_candidates(query, data)
+
+    def test_unknown_label_and_empty_graphs(self):
+        from repro.filtering.artifacts import DataArtifacts
+        from repro.graph.graph import Graph
+
+        data = cycle_graph("AAA")
+        artifacts = DataArtifacts(data)
+        query = path_graph("Z")  # label absent from the data graph
+        assert artifacts.ldf_candidates(query) == [[]]
+        empty = Graph([], [])
+        assert DataArtifacts(empty).nlf_candidates(empty) == []
+
+    def test_build_gcs_with_artifacts_is_identical(self, rng):
+        from repro.core.gcs import build_gcs
+        from repro.filtering.artifacts import DataArtifacts
+
+        for _ in range(10):
+            query, data = make_random_pair(rng)
+            artifacts = DataArtifacts(data)
+            plain = build_gcs(query, data)
+            cached = build_gcs(query, data, artifacts=artifacts)
+            assert cached.order == plain.order
+            assert cached.cs.candidates == plain.cs.candidates
+            assert cached.reservations == plain.reservations
+            assert cached.two_core == plain.two_core
+
+    def test_rejects_foreign_data_graph(self):
+        from repro.core.gcs import build_gcs
+        from repro.filtering.artifacts import DataArtifacts
+
+        artifacts = DataArtifacts(cycle_graph("AAA"))
+        with pytest.raises(ValueError):
+            build_gcs(path_graph("AA"), cycle_graph("AAB"), artifacts=artifacts)

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the dense-index invariants.
+
+``tests/test_bitmap_cs.py`` proves end-to-end that the bitmap search
+backend equals the list backend; these properties fuzz the PR-1 dense
+index *directly* on random graphs:
+
+* every candidate-edge direction's ``edge_bitmap`` decodes to exactly
+  ``adjacent_candidates`` (the bitmap and list views of Definition
+  3.18's refinement sets never disagree);
+* ``positions`` is the inverse of the sorted ``C(u_j)``, and
+  ``full_mask`` covers it exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filtering.candidate_space import FILTERS, build_candidate_space
+from repro.graph.generators import erdos_renyi_graph, random_connected_graph
+
+
+def _instance(seed, nq, nd, labels, extra_q, edge_factor):
+    query = random_connected_graph(
+        nq, nq - 1 + extra_q, num_labels=labels, seed=seed
+    )
+    data = erdos_renyi_graph(
+        nd, int(nd * edge_factor), num_labels=labels, seed=seed + 1
+    )
+    return query, data
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    nq=st.integers(min_value=2, max_value=6),
+    nd=st.integers(min_value=3, max_value=16),
+    labels=st.integers(min_value=1, max_value=3),
+    extra_q=st.integers(min_value=0, max_value=5),
+    edge_factor=st.floats(min_value=0.0, max_value=2.5),
+    method=st.sampled_from(FILTERS),
+)
+def test_edge_bitmaps_decode_to_adjacent_candidates(
+    seed, nq, nd, labels, extra_q, edge_factor, method
+):
+    query, data = _instance(seed, nq, nd, labels, extra_q, edge_factor)
+    cs = build_candidate_space(query, data, method=method)
+    for i, j in query.edges():
+        for a, b in ((i, j), (j, i)):
+            table = cs.edge_bitmap_map(a, b)
+            cands_b = cs.candidates[b]
+            for v in cs.candidates[a]:
+                bitmap = cs.edge_bitmap(a, v, b)
+                decoded = tuple(
+                    cands_b[p] for p in range(len(cands_b)) if bitmap >> p & 1
+                )
+                adjacent = cs.adjacent_candidates(a, v, b)
+                assert decoded == adjacent
+                # No bits beyond C(u_b); the prefetched table agrees.
+                assert bitmap & ~cs.full_mask(b) == 0
+                assert table.get(v, 0) == bitmap
+                # The list view is consistent with the data graph.
+                assert all(data.has_edge(v, w) for w in adjacent)
+            # Bitmaps exist only for actual candidates of u_a.
+            assert set(table) <= set(cs.candidates[a])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    nq=st.integers(min_value=2, max_value=6),
+    nd=st.integers(min_value=3, max_value=16),
+    labels=st.integers(min_value=1, max_value=3),
+    extra_q=st.integers(min_value=0, max_value=5),
+    edge_factor=st.floats(min_value=0.0, max_value=2.5),
+)
+def test_positions_invert_sorted_candidates(
+    seed, nq, nd, labels, extra_q, edge_factor
+):
+    query, data = _instance(seed, nq, nd, labels, extra_q, edge_factor)
+    cs = build_candidate_space(query, data)
+    for j in query.vertices():
+        cands = cs.candidates[j]
+        assert list(cands) == sorted(set(cands))
+        assert cs.positions[j] == {v: p for p, v in enumerate(cands)}
+        assert all(cs.position(j, v) == p for p, v in enumerate(cands))
+        assert cs.full_mask(j) == (1 << len(cands)) - 1
+        # Non-candidates resolve to the sentinel, never to a bit.
+        outside = set(range(data.num_vertices)) - set(cands)
+        for v in list(outside)[:5]:
+            assert cs.position(j, v) == -1
