@@ -8,6 +8,9 @@ Commands
 ``querygen``   extract queries from a data graph (random walk / cycles / mined)
 ``inspect``    print candidate-space and guard statistics for a query
 ``methods``    list registered matchers
+``catalog``    manage the persistent graph catalog (``add``/``list``/``warm``)
+``serve``      run the long-running matching server over a catalog
+``query``      send queries to a running server (blocking client)
 
 Examples
 --------
@@ -19,12 +22,16 @@ Examples
     python -m repro match q0.graph yeast.graph --method GuP --limit 10
     python -m repro batch 'q*.graph' yeast.graph --workers 4 --limit 1000
     python -m repro inspect q0.graph yeast.graph
+    python -m repro catalog add yeast yeast.graph --root ./catalog
+    python -m repro serve --root ./catalog --port 7464
+    python -m repro query 'q*.graph' yeast --port 7464 --limit 10
 """
 
 from __future__ import annotations
 
 import argparse
 import glob as globlib
+import os
 import sys
 import time
 from typing import List, Optional
@@ -121,6 +128,77 @@ def _add_bench_parser(subparsers) -> None:
     p.add_argument("--seed", type=int, default=2023)
 
 
+def _add_catalog_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "catalog", help="manage the persistent graph catalog"
+    )
+    sp = p.add_subparsers(dest="catalog_command", required=True)
+    add = sp.add_parser("add", help="register a data graph under a name")
+    add.add_argument("name", help="catalog entry name")
+    add.add_argument("graph", help="data .graph file")
+    add.add_argument("--root", default="catalog", help="catalog directory")
+    add.add_argument("--overwrite", action="store_true",
+                     help="replace an existing entry with a different graph")
+    lst = sp.add_parser("list", help="list registered graphs")
+    lst.add_argument("--root", default="catalog", help="catalog directory")
+    warm = sp.add_parser(
+        "warm", help="verify/rebuild an entry's on-disk artifacts"
+    )
+    warm.add_argument("names", nargs="+", help="entries to warm")
+    warm.add_argument("--root", default="catalog", help="catalog directory")
+
+
+def _add_serve_parser(subparsers) -> None:
+    from repro.service.server import DEFAULT_PORT
+
+    p = subparsers.add_parser(
+        "serve", help="run the long-running matching server"
+    )
+    p.add_argument("--root", default="catalog", help="catalog directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                   help="TCP port (0 = pick a free one and print it)")
+    p.add_argument("--max-inflight", type=int, default=2,
+                   help="queries executing concurrently")
+    p.add_argument("--max-pending", type=int, default=8,
+                   help="admitted-but-waiting queries before rejection")
+    p.add_argument("--max-resident", type=int, default=4,
+                   help="data graphs kept warm in memory (LRU)")
+    p.add_argument("--cache-entries", type=int, default=256,
+                   help="query-cache slots per data graph")
+    p.add_argument("--time-limit", type=float, default=None,
+                   help="default per-query wall-clock budget (seconds)")
+    p.add_argument("--recursion-limit", type=int, default=None,
+                   help="default per-query recursion budget")
+
+
+def _add_query_parser(subparsers) -> None:
+    from repro.service.server import DEFAULT_PORT
+
+    p = subparsers.add_parser(
+        "query", help="send queries to a running matching server"
+    )
+    p.add_argument("queries",
+                   help="glob of query .graph files (quote it), or one file")
+    p.add_argument("data", help="catalog entry name on the server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p.add_argument("--limit", type=int, default=None,
+                   help="stop each query after this many embeddings")
+    p.add_argument("--time-limit", type=float, default=None,
+                   help="per-query wall-clock kill (seconds)")
+    p.add_argument("--recursion-limit", type=int, default=None,
+                   help="per-query virtual-time kill (recursions)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="root-partitioned procpool workers on the server")
+    p.add_argument("--count-only", action="store_true",
+                   help="count embeddings without materializing them")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the server's query cache")
+    p.add_argument("--max-print", type=int, default=5,
+                   help="print at most this many embeddings per query")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -133,6 +211,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_querygen_parser(subparsers)
     _add_inspect_parser(subparsers)
     _add_bench_parser(subparsers)
+    _add_catalog_parser(subparsers)
+    _add_serve_parser(subparsers)
+    _add_query_parser(subparsers)
     subparsers.add_parser("methods", help="list registered matchers")
     return parser
 
@@ -164,11 +245,28 @@ def _cmd_match(args) -> int:
     return 0
 
 
+def _expand_queries(pattern: str) -> List[str]:
+    """Query workload paths for a glob (or literal path) argument.
+
+    Empty means *no matching files*, so callers can fail loudly instead
+    of running a silent empty workload.  A literal path wins over its
+    glob reading when the file exists (e.g. a file actually named
+    ``q[1].graph``).
+    """
+    paths = sorted(globlib.glob(pattern))
+    if not paths and os.path.exists(pattern):
+        return [pattern]
+    return paths
+
+
 def _cmd_batch(args) -> int:
     from repro.bench.report import format_table
     from repro.core.engine import GuPEngine
 
-    paths = sorted(globlib.glob(args.queries)) or [args.queries]
+    paths = _expand_queries(args.queries)
+    if not paths:
+        print(f"error: no query files match {args.queries!r}", file=sys.stderr)
+        return 2
     try:
         queries = [load_graph(path) for path in paths]
         data = load_graph(args.data)
@@ -336,6 +434,110 @@ def _cmd_methods(_args) -> int:
     return 0
 
 
+def _cmd_catalog(args) -> int:
+    from repro.service.catalog import CatalogError, GraphCatalog
+
+    catalog = GraphCatalog(args.root)
+    try:
+        if args.catalog_command == "add":
+            info = catalog.add(args.name, args.graph, overwrite=args.overwrite)
+            print(f"added {info['name']}: {info['num_vertices']} vertices, "
+                  f"{info['num_edges']} edges "
+                  f"(checksum {str(info['graph_checksum'])[:12]})")
+        elif args.catalog_command == "list":
+            names = catalog.names()
+            if not names:
+                print(f"catalog {args.root}: empty")
+            for name in names:
+                info = catalog.info(name)
+                print(f"{name}: {info['num_vertices']} vertices, "
+                      f"{info['num_edges']} edges "
+                      f"(checksum {str(info['graph_checksum'])[:12]})")
+        else:  # warm
+            for name in args.names:
+                rebuilt = catalog.warm(name)
+                print(f"{name}: {'rebuilt' if rebuilt else 'ok'}")
+    except (CatalogError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.catalog import GraphCatalog
+    from repro.service.server import MatchingServer
+
+    catalog = GraphCatalog(args.root, max_resident=args.max_resident)
+    server = MatchingServer(
+        catalog,
+        max_inflight=args.max_inflight,
+        max_pending=args.max_pending,
+        cache_entries=args.cache_entries,
+        default_time_limit=args.time_limit,
+        default_recursion_limit=args.recursion_limit,
+    )
+
+    async def run() -> None:
+        host, port = await server.start(args.host, args.port)
+        print(f"serving catalog {args.root} on {host}:{port}", flush=True)
+        await server.wait_closed()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    paths = _expand_queries(args.queries)
+    if not paths:
+        print(f"error: no query files match {args.queries!r}", file=sys.stderr)
+        return 2
+    try:
+        texts = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                texts.append(handle.read())
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    total = 0
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            for path, text in zip(paths, texts):
+                reply = client.query(
+                    text,
+                    args.data,
+                    limit=args.limit,
+                    time_limit=args.time_limit,
+                    recursion_limit=args.recursion_limit,
+                    workers=args.workers,
+                    count_only=args.count_only,
+                    cache=not args.no_cache,
+                )
+                total += reply.num_embeddings
+                print(f"{path}: {reply.num_embeddings} embeddings, "
+                      f"{reply.status}, cache {reply.cache}, "
+                      f"{reply.elapsed:.4f}s")
+                for e in reply.embeddings[: args.max_print]:
+                    print("  " + " ".join(
+                        f"u{i}->v{v}" for i, v in enumerate(e)))
+                hidden = len(reply.embeddings) - args.max_print
+                if hidden > 0:
+                    print(f"  ... and {hidden} more")
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"total embeddings: {total}")
+    return 0
+
+
 COMMANDS = {
     "match": _cmd_match,
     "batch": _cmd_batch,
@@ -343,6 +545,9 @@ COMMANDS = {
     "querygen": _cmd_querygen,
     "inspect": _cmd_inspect,
     "bench": _cmd_bench,
+    "catalog": _cmd_catalog,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
     "methods": _cmd_methods,
 }
 

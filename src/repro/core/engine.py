@@ -36,12 +36,28 @@ class GuPEngine:
     and nogood store) apart from a cache of data-graph-side filter
     artifacts (:class:`DataArtifacts`, built lazily on the first query
     and reused by every later one), so one engine can be shared freely.
+
+    Long-running services can inject *prebuilt* artifacts — e.g. ones
+    deserialized from the on-disk catalog
+    (:mod:`repro.service.catalog`) — via the ``artifacts`` parameter, so
+    a fresh engine never pays the per-graph build cost.  The artifacts
+    must have been built for (a graph equal to) ``data``.
     """
 
-    def __init__(self, data: Graph, config: Optional[GuPConfig] = None) -> None:
+    def __init__(
+        self,
+        data: Graph,
+        config: Optional[GuPConfig] = None,
+        artifacts: Optional[DataArtifacts] = None,
+    ) -> None:
         self.data = data
         self.config = config or GuPConfig()
-        self._artifacts: Optional[DataArtifacts] = None
+        if artifacts is not None and artifacts.data is not data:
+            if artifacts.data != data:
+                raise ValueError(
+                    "artifacts were built for a different data graph"
+                )
+        self._artifacts: Optional[DataArtifacts] = artifacts
 
     @property
     def artifacts(self) -> DataArtifacts:

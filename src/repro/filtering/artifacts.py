@@ -18,15 +18,34 @@ worker process instead of once per query:
 Outputs are exactly those of :func:`repro.filtering.ldf.ldf_candidates`
 and :func:`repro.filtering.nlf.nlf_candidates` (asserted by
 ``tests/test_filtering.py``).
+
+The artifacts are also *persistable*: :func:`dumps_artifacts` /
+:func:`loads_artifacts` serialize everything derived (degrees, label
+buckets, the graph's NLF tables) **without** the graph itself, so the
+service catalog (:mod:`repro.service.catalog`) can store the graph in
+the portable ``.graph`` text format and the artifacts as a sidecar
+blob, rebinding them on load.  The blob is versioned and validated
+against the graph it is loaded for; any mismatch raises
+:exc:`ArtifactsFormatError` so callers rebuild instead of trusting a
+stale or corrupted store.
 """
 
 from __future__ import annotations
 
+import pickle
 from bisect import bisect_right
 from typing import Dict, List, Tuple
 
 from repro.filtering.nlf import _nlf_ok
 from repro.graph.graph import Graph
+
+ARTIFACTS_FORMAT_VERSION = 1
+"""Bump when the serialized payload layout changes; loaders treat any
+other version as stale and rebuild from the graph."""
+
+
+class ArtifactsFormatError(ValueError):
+    """A serialized artifacts blob is corrupt, stale, or mismatched."""
 
 
 class DataArtifacts:
@@ -34,7 +53,15 @@ class DataArtifacts:
 
     __slots__ = ("data", "degrees", "label_buckets")
 
+    builds_performed = 0
+    """Process-wide count of from-scratch constructions (class attribute).
+
+    Deserializing via :func:`loads_artifacts` does *not* increment it,
+    which is what lets the service tests assert that a warm catalog
+    performs zero rebuilds."""
+
     def __init__(self, data: Graph) -> None:
+        DataArtifacts.builds_performed += 1
         self.data = data
         self.degrees: Tuple[int, ...] = tuple(
             data.degree(v) for v in data.vertices()
@@ -83,3 +110,79 @@ class DataArtifacts:
                 ]
             )
         return refined
+
+
+# ----------------------------------------------------------------------
+# Serialization (graph-free payload; the graph is stored separately)
+# ----------------------------------------------------------------------
+
+
+def dumps_artifacts(artifacts: DataArtifacts) -> bytes:
+    """Serialize everything derived from the data graph (not the graph).
+
+    The payload carries the degree sequence, the label buckets, and the
+    graph's materialized NLF tables, so :func:`loads_artifacts` restores
+    the full warm state — including the NLF cache that
+    ``DataArtifacts.__init__`` would otherwise recompute — without any
+    per-vertex work.
+    """
+    data = artifacts.data
+    payload = (
+        ARTIFACTS_FORMAT_VERSION,
+        data.num_vertices,
+        data.num_edges,
+        artifacts.degrees,
+        artifacts.label_buckets,
+        # Access through the public API so the tables exist even if the
+        # artifacts were built against a graph whose cache was cleared.
+        [data.neighbor_label_frequency(v) for v in data.vertices()]
+        if data.num_vertices > 0
+        else [],
+    )
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_artifacts(blob: bytes, data: Graph) -> DataArtifacts:
+    """Rebind a serialized payload to ``data`` without rebuilding.
+
+    Validates the payload against the graph (format version, vertex and
+    edge counts, degree sequence, label-bucket key set) and raises
+    :exc:`ArtifactsFormatError` on *any* mismatch or decode failure —
+    truncated files, foreign pickles, stale versions — so callers treat
+    the blob as disposable and rebuild.
+    """
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001 - any decode failure is "corrupt"
+        raise ArtifactsFormatError(f"artifacts blob does not decode: {exc}")
+    if not (isinstance(payload, tuple) and len(payload) == 6):
+        raise ArtifactsFormatError("artifacts payload has unexpected shape")
+    version, num_vertices, num_edges, degrees, label_buckets, nlf = payload
+    if version != ARTIFACTS_FORMAT_VERSION:
+        raise ArtifactsFormatError(
+            f"artifacts format version {version!r} != {ARTIFACTS_FORMAT_VERSION}"
+        )
+    if num_vertices != data.num_vertices or num_edges != data.num_edges:
+        raise ArtifactsFormatError(
+            "artifacts were built for a different graph "
+            f"({num_vertices} vertices / {num_edges} edges, graph has "
+            f"{data.num_vertices} / {data.num_edges})"
+        )
+    if not isinstance(degrees, tuple) or len(degrees) != data.num_vertices:
+        raise ArtifactsFormatError("degree sequence has wrong length")
+    if any(degrees[v] != data.degree(v) for v in data.vertices()):
+        raise ArtifactsFormatError("degree sequence does not match the graph")
+    if not isinstance(label_buckets, dict) or set(label_buckets) != set(
+        data.label_set
+    ):
+        raise ArtifactsFormatError("label buckets do not match the graph")
+    if not isinstance(nlf, list) or len(nlf) != data.num_vertices:
+        raise ArtifactsFormatError("NLF tables have wrong length")
+
+    artifacts = DataArtifacts.__new__(DataArtifacts)
+    artifacts.data = data
+    artifacts.degrees = degrees
+    artifacts.label_buckets = label_buckets
+    if data.num_vertices > 0 and not data._nlf:
+        data._nlf = nlf  # install the warm NLF cache
+    return artifacts

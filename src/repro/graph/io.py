@@ -17,6 +17,7 @@ as strings otherwise.
 
 from __future__ import annotations
 
+import hashlib
 import io as _io
 from pathlib import Path
 from typing import Dict, Iterable, List, Tuple, Union
@@ -132,6 +133,18 @@ def save_graph(graph: Graph, path: PathLike) -> None:
     """Write a graph to disk in ``.graph`` format."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(saves_graph(graph))
+
+
+def graph_checksum(graph: Graph) -> str:
+    """Content checksum of a graph: SHA-256 over its canonical text form.
+
+    Two graphs have equal checksums iff they are equal as labeled graphs
+    under the *same* vertex numbering (``saves_graph`` is deterministic:
+    vertices in id order, neighbor lists sorted).  The service catalog
+    stores this in each entry's sidecar to detect stale artifacts after
+    the graph file changes.
+    """
+    return hashlib.sha256(saves_graph(graph).encode("utf-8")).hexdigest()
 
 
 def graph_from_edge_list(

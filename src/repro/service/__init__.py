@@ -1,0 +1,40 @@
+"""Long-running matching service on top of the GuP engine.
+
+The library's pipeline (filter → GCS → guarded backtracking) factors
+into per-*data-graph* state that is identical for every query and
+per-*query* work that is highly repetitive across a real workload.
+This package exploits both:
+
+* :mod:`repro.service.catalog` — a persistent, versioned on-disk store
+  of named data graphs plus their precomputed
+  :class:`~repro.filtering.artifacts.DataArtifacts`, with an in-memory
+  LRU of warm :class:`~repro.core.engine.GuPEngine` instances;
+* :mod:`repro.service.qcache` — query canonicalization (isomorphic
+  queries share one cache slot) and an LRU result cache with exact
+  semantics under differing ``max_embeddings`` caps;
+* :mod:`repro.service.server` — an asyncio JSON-lines TCP server with
+  admission control, per-request :class:`~repro.matching.limits.SearchLimits`,
+  chunked streaming of large embedding sets, and procpool dispatch for
+  heavy requests;
+* :mod:`repro.service.client` — a small blocking client (used by the
+  ``repro query`` CLI command and the tests).
+
+See DESIGN.md §7 for the architecture and README.md ("Serving") for a
+quickstart.
+"""
+
+from repro.service.catalog import CatalogError, GraphCatalog
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.qcache import QueryCache, canonical_form
+from repro.service.server import MatchingServer, ServerThread
+
+__all__ = [
+    "CatalogError",
+    "GraphCatalog",
+    "MatchingServer",
+    "QueryCache",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "canonical_form",
+]

@@ -1,0 +1,301 @@
+"""Persistent graph catalog: named data graphs + warm artifacts on disk.
+
+Layout (one directory per registered graph under the catalog root)::
+
+    <root>/<name>/graph.graph      the graph, portable ``.graph`` text
+    <root>/<name>/artifacts.bin    serialized DataArtifacts payload
+    <root>/<name>/meta.json        sidecar: format version + checksums
+
+The sidecar records the catalog format version, the SHA-256 of each
+file's bytes, and the graph's semantic checksum
+(:func:`repro.graph.io.graph_checksum`).  On load everything is
+verified; **any** mismatch — truncated or bit-flipped artifacts, a
+hand-edited graph file, a stale format version, a missing or corrupt
+sidecar — causes the artifacts to be *rebuilt from the graph and
+rewritten*, never trusted.  The graph file itself is the single source
+of truth; if it does not parse, the entry is unusable and a
+:class:`CatalogError` is raised.
+
+In memory the catalog keeps an LRU of warm :class:`GuPEngine` instances
+(graph + artifacts resident), so a long-running server reuses engines
+across requests instead of re-reading the store.  All counters needed
+by the service ``stats`` endpoint are kept on the catalog:
+``artifact_builds`` (from-scratch builds, e.g. on ``add``),
+``artifact_loads`` (clean loads from disk), ``artifact_rebuilds``
+(corruption/staleness recoveries), ``engine_hits`` / ``engine_misses``
+(LRU), and ``engine_evictions``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.config import GuPConfig
+from repro.core.engine import GuPEngine
+from repro.filtering.artifacts import (
+    ARTIFACTS_FORMAT_VERSION,
+    ArtifactsFormatError,
+    DataArtifacts,
+    dumps_artifacts,
+    loads_artifacts,
+)
+from repro.graph.graph import Graph
+from repro.graph.io import graph_checksum, load_graph, loads_graph, saves_graph
+
+CATALOG_FORMAT_VERSION = 1
+
+GRAPH_FILE = "graph.graph"
+ARTIFACTS_FILE = "artifacts.bin"
+META_FILE = "meta.json"
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class CatalogError(Exception):
+    """A catalog operation failed (unknown name, unparseable graph, ...)."""
+
+
+def _sha256(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+class GraphCatalog:
+    """Named data graphs with persisted artifacts and warm engines.
+
+    Thread-safe: a single lock serializes store access and LRU updates
+    (engine *searches* run outside the catalog and share freely).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        config: Optional[GuPConfig] = None,
+        max_resident: int = 4,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.config = config or GuPConfig()
+        self.max_resident = max_resident
+        self._resident: "OrderedDict[str, GuPEngine]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.counters: Dict[str, int] = {
+            "artifact_builds": 0,
+            "artifact_loads": 0,
+            "artifact_rebuilds": 0,
+            "engine_hits": 0,
+            "engine_misses": 0,
+            "engine_evictions": 0,
+        }
+
+    # -- registration --------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        graph: Union[Graph, str, Path],
+        overwrite: bool = False,
+    ) -> Dict[str, object]:
+        """Register ``graph`` (a :class:`Graph` or a ``.graph`` path).
+
+        Builds the artifacts, persists everything, and leaves a warm
+        engine resident.  Re-adding an identical graph under the same
+        name is a no-op; a different graph requires ``overwrite=True``.
+        Returns the entry's info dict.
+        """
+        directory = self._entry_dir(name)
+        if not isinstance(graph, Graph):
+            graph = load_graph(graph)
+        checksum = graph_checksum(graph)
+        with self._lock:
+            if directory.exists() and (directory / GRAPH_FILE).exists():
+                existing = self._read_meta(directory)
+                if (
+                    not overwrite
+                    and existing is not None
+                    and existing.get("graph_checksum") == checksum
+                ):
+                    return self.info(name)
+                if not overwrite:
+                    raise CatalogError(
+                        f"catalog entry {name!r} already exists with a "
+                        "different graph (use overwrite)"
+                    )
+                self._resident.pop(name, None)
+        # Build outside the lock: artifacts construction can take seconds
+        # on a large graph and must not stall concurrent engine() calls.
+        # (Two racing adds of the same name both build; the later write
+        # wins — acceptable for a registration operation.)
+        graph_text = saves_graph(graph)
+        artifacts = DataArtifacts(graph)
+        with self._lock:
+            self.counters["artifact_builds"] += 1
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / GRAPH_FILE).write_text(graph_text, encoding="utf-8")
+            self._write_artifacts(directory, graph, graph_text, artifacts)
+            self._install(name, GuPEngine(graph, self.config, artifacts=artifacts))
+        return self.info(name)
+
+    def names(self) -> List[str]:
+        """Sorted names of all registered graphs.
+
+        Directories whose names this catalog could not have created
+        (failing the name rules) are ignored rather than poisoning
+        listings."""
+        out = []
+        for child in sorted(self.root.iterdir()) if self.root.exists() else []:
+            if (
+                child.is_dir()
+                and _NAME_RE.match(child.name)
+                and (child / GRAPH_FILE).exists()
+            ):
+                out.append(child.name)
+        return out
+
+    def info(self, name: str) -> Dict[str, object]:
+        """The entry's sidecar metadata plus residency."""
+        directory = self._entry_dir(name)
+        if not (directory / GRAPH_FILE).exists():
+            raise CatalogError(f"unknown catalog entry {name!r}")
+        meta = self._read_meta(directory) or {}
+        with self._lock:
+            resident = name in self._resident
+        return {
+            "name": name,
+            "num_vertices": meta.get("num_vertices"),
+            "num_edges": meta.get("num_edges"),
+            "graph_checksum": meta.get("graph_checksum"),
+            "format_version": meta.get("format_version"),
+            "resident": resident,
+        }
+
+    # -- engines -------------------------------------------------------
+
+    def engine(self, name: str) -> GuPEngine:
+        """The warm engine for ``name`` (LRU; loads from disk on miss)."""
+        with self._lock:
+            engine = self._resident.get(name)
+            if engine is not None:
+                self.counters["engine_hits"] += 1
+                self._resident.move_to_end(name)
+                return engine
+            self.counters["engine_misses"] += 1
+            graph, artifacts, _rebuilt = self._load(name)
+            engine = GuPEngine(graph, self.config, artifacts=artifacts)
+            self._install(name, engine)
+            return engine
+
+    def warm(self, name: str) -> bool:
+        """Ensure ``name``'s on-disk artifacts are valid and its engine
+        resident.  Returns whether the artifacts had to be rebuilt."""
+        with self._lock:
+            before = self.counters["artifact_rebuilds"]
+            if name in self._resident:
+                # Residency says nothing about the disk copy: re-verify it
+                # so ``warm`` always leaves a loadable store behind.
+                graph, artifacts, rebuilt = self._load(name)
+                self._install(name, GuPEngine(graph, self.config, artifacts=artifacts))
+                return rebuilt
+            self.engine(name)
+            return self.counters["artifact_rebuilds"] > before
+
+    # -- internals -----------------------------------------------------
+
+    def _entry_dir(self, name: str) -> Path:
+        if not _NAME_RE.match(name):
+            raise CatalogError(
+                f"invalid catalog name {name!r} (allowed: letters, digits, "
+                "'.', '_', '-'; must not start with a separator)"
+            )
+        return self.root / name
+
+    def _read_meta(self, directory: Path) -> Optional[Dict[str, object]]:
+        try:
+            meta = json.loads((directory / META_FILE).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def _write_artifacts(
+        self,
+        directory: Path,
+        graph: Graph,
+        graph_text: str,
+        artifacts: DataArtifacts,
+    ) -> None:
+        blob = dumps_artifacts(artifacts)
+        (directory / ARTIFACTS_FILE).write_bytes(blob)
+        meta = {
+            "format_version": CATALOG_FORMAT_VERSION,
+            "artifacts_format_version": ARTIFACTS_FORMAT_VERSION,
+            "name": directory.name,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "graph_checksum": graph_checksum(graph),
+            "graph_file_sha256": _sha256(graph_text.encode("utf-8")),
+            "artifacts_sha256": _sha256(blob),
+        }
+        (directory / META_FILE).write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def _load(self, name: str) -> Tuple[Graph, DataArtifacts, bool]:
+        """Load an entry from disk, rebuilding artifacts when needed."""
+        directory = self._entry_dir(name)
+        try:
+            graph_text = (directory / GRAPH_FILE).read_text(encoding="utf-8")
+        except OSError:
+            raise CatalogError(f"unknown catalog entry {name!r}")
+        try:
+            graph = loads_graph(graph_text)
+        except ValueError as exc:
+            raise CatalogError(f"catalog entry {name!r} graph is corrupt: {exc}")
+
+        meta = self._read_meta(directory)
+        blob: Optional[bytes] = None
+        if (
+            meta is not None
+            and meta.get("format_version") == CATALOG_FORMAT_VERSION
+            and meta.get("graph_file_sha256")
+            == _sha256(graph_text.encode("utf-8"))
+        ):
+            try:
+                candidate = (directory / ARTIFACTS_FILE).read_bytes()
+            except OSError:
+                candidate = None
+            if (
+                candidate is not None
+                and meta.get("artifacts_sha256") == _sha256(candidate)
+            ):
+                blob = candidate
+        if blob is not None:
+            try:
+                artifacts = loads_artifacts(blob, graph)
+                self.counters["artifact_loads"] += 1
+                return graph, artifacts, False
+            except ArtifactsFormatError:
+                pass  # fall through to rebuild
+        artifacts = DataArtifacts(graph)
+        self.counters["artifact_rebuilds"] += 1
+        self._write_artifacts(directory, graph, graph_text, artifacts)
+        return graph, artifacts, True
+
+    def _install(self, name: str, engine: GuPEngine) -> None:
+        self._resident[name] = engine
+        self._resident.move_to_end(name)
+        while len(self._resident) > self.max_resident:
+            self._resident.popitem(last=False)
+            self.counters["engine_evictions"] += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot plus residency, for the service ``stats`` op."""
+        with self._lock:
+            out: Dict[str, object] = dict(self.counters)
+            out["resident"] = list(self._resident)
+            out["entries"] = self.names()
+            return out

@@ -1,0 +1,157 @@
+"""Blocking JSON-lines client for the matching server.
+
+Small by design: one socket, synchronous requests, used by the
+``repro query`` CLI command, the tests, and the throughput benchmark.
+For the wire protocol see :mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.graph.graph import Graph
+from repro.graph.io import saves_graph
+from repro.service.server import DEFAULT_PORT
+
+
+class ServiceError(Exception):
+    """The server reported an error or the connection broke."""
+
+
+@dataclass
+class QueryReply:
+    """One served query: counts, status, cache disposition, embeddings."""
+
+    num_embeddings: int
+    status: str
+    cache: str
+    elapsed: float
+    recursions: int
+    embeddings: List[Tuple[int, ...]] = field(default_factory=list)
+
+
+class ServiceClient:
+    """Synchronous client; usable as a context manager."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 300.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transport -----------------------------------------------------
+
+    def _send(self, payload: Dict) -> None:
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+
+    def _recv(self) -> Dict:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("connection closed by server")
+        try:
+            reply = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(f"malformed server reply: {exc}")
+        if not isinstance(reply, dict):
+            raise ServiceError("malformed server reply: not an object")
+        return reply
+
+    def request(self, payload: Dict) -> Dict:
+        """One request → one reply line (raises on ``ok: false``)."""
+        self._send(payload)
+        reply = self._recv()
+        if not reply.get("ok", False):
+            raise ServiceError(reply.get("error", "unknown server error"))
+        return reply
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> Dict:
+        return self.request({"op": "stats"})
+
+    def catalog_list(self) -> List[Dict]:
+        return list(self.request({"op": "catalog_list"})["entries"])
+
+    def catalog_add(
+        self, name: str, graph: Union[Graph, str], overwrite: bool = False
+    ) -> Dict:
+        text = saves_graph(graph) if isinstance(graph, Graph) else str(graph)
+        reply = self.request(
+            {"op": "catalog_add", "name": name, "graph": text,
+             "overwrite": overwrite}
+        )
+        return reply["entry"]
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    def query(
+        self,
+        graph: Union[Graph, str],
+        data: str,
+        limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        recursion_limit: Optional[int] = None,
+        workers: int = 1,
+        count_only: bool = False,
+        cache: bool = True,
+        chunk_size: Optional[int] = None,
+    ) -> QueryReply:
+        """Match ``graph`` (a :class:`Graph` or ``.graph`` text) against
+        the catalog entry ``data``; collects the streamed chunks."""
+        text = saves_graph(graph) if isinstance(graph, Graph) else str(graph)
+        payload: Dict = {"op": "query", "data": data, "graph": text}
+        if limit is not None:
+            payload["limit"] = limit
+        if time_limit is not None:
+            payload["time_limit"] = time_limit
+        if recursion_limit is not None:
+            payload["recursion_limit"] = recursion_limit
+        if workers != 1:
+            payload["workers"] = workers
+        if count_only:
+            payload["count_only"] = True
+        if not cache:
+            payload["cache"] = False
+        if chunk_size is not None:
+            payload["chunk_size"] = chunk_size
+        header = self.request(payload)
+        embeddings: List[Tuple[int, ...]] = []
+        for _ in range(int(header.get("chunks", 0))):
+            message = self._recv()
+            if "chunk" not in message:
+                raise ServiceError("missing chunk in streamed response")
+            embeddings.extend(tuple(e) for e in message["chunk"])
+        trailer = self._recv()
+        if not trailer.get("end"):
+            raise ServiceError("missing end-of-stream marker")
+        return QueryReply(
+            num_embeddings=int(header["num_embeddings"]),
+            status=str(header["status"]),
+            cache=str(header.get("cache", "")),
+            elapsed=float(header.get("elapsed", 0.0)),
+            recursions=int(header.get("recursions", 0)),
+            embeddings=embeddings,
+        )

@@ -1,0 +1,502 @@
+"""Asyncio JSON-lines TCP server fronting the GuP engine.
+
+Protocol: newline-delimited JSON both ways.  Each request is one
+object with an ``"op"`` field; each response is one or more lines:
+
+``{"op": "ping"}``
+    → ``{"ok": true, "pong": true}``
+``{"op": "stats"}``
+    → ``{"ok": true, "server": {...}, "catalog": {...}, "qcache": {...}}``
+``{"op": "catalog_list"}`` / ``{"op": "catalog_add", "name": n, "graph": text}``
+    → ``{"ok": true, "entries": [...]}`` / the new entry's info
+``{"op": "query", "data": name, "graph": text, "limit": N, "workers": W,
+   "time_limit": S, "recursion_limit": R, "count_only": b, "cache": b}``
+    → header ``{"ok": true, "num_embeddings": N, "status": s,
+      "cache": "hit"|"miss"|"bypass", "chunks": k, ...}``, then ``k``
+      lines ``{"chunk": [[...], ...]}``, then ``{"end": true}`` —
+      large embedding sets stream in bounded chunks instead of one
+      giant line.
+``{"op": "shutdown"}``
+    → ``{"ok": true, "stopping": true}`` and the server stops.
+
+Every error is a single ``{"ok": false, "error": msg}`` line; the
+connection stays usable (malformed requests don't kill it).
+
+Concurrency model: the event loop only parses and streams; matching is
+CPU-bound and runs on a thread-pool executor bounded by
+``max_inflight`` (admission control).  Queries beyond
+``max_inflight + max_pending`` are *rejected immediately* with an
+``overloaded`` error rather than queued without bound.  Heavy requests
+set ``"workers": W > 1`` and are dispatched root-partitioned over the
+:mod:`repro.core.procpool` process pool — the executor thread then
+mostly waits on worker processes, so a procpool query does not hog the
+GIL.  Per-request ``SearchLimits`` (embedding cap, wall-clock timeout,
+recursion budget) bound each query; the server can impose default
+budgets on requests that specify none.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.filtering.artifacts import DataArtifacts
+from repro.graph.graph import Graph
+from repro.graph.io import loads_graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import MatchResult
+from repro.service.catalog import CatalogError, GraphCatalog
+from repro.service.qcache import DEFAULT_LEAF_BUDGET, QueryCache
+
+DEFAULT_PORT = 7464
+
+
+class MatchingServer:
+    """Long-running matching server over a :class:`GraphCatalog`.
+
+    One :class:`QueryCache` per catalog entry (results are only valid
+    for the data graph + config that produced them).  All counters are
+    exposed by the ``stats`` op — including the catalog's artifact
+    build/load/rebuild counters, which is how tests assert that the
+    warm path rebuilds nothing.
+    """
+
+    def __init__(
+        self,
+        catalog: GraphCatalog,
+        max_inflight: int = 2,
+        max_pending: int = 8,
+        cache_entries: int = 256,
+        chunk_size: int = 512,
+        max_request_workers: int = 8,
+        default_time_limit: Optional[float] = None,
+        default_recursion_limit: Optional[int] = None,
+        leaf_budget: int = DEFAULT_LEAF_BUDGET,
+    ) -> None:
+        self.catalog = catalog
+        self.max_inflight = max(1, max_inflight)
+        self.max_pending = max(0, max_pending)
+        self.chunk_size = max(1, chunk_size)
+        self.cache_entries = cache_entries
+        self.max_request_workers = max(1, max_request_workers)
+        self.default_time_limit = default_time_limit
+        self.default_recursion_limit = default_recursion_limit
+        self.leaf_budget = leaf_budget
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._caches: Dict[str, QueryCache] = {}
+        self._counters_lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "queries": 0,
+            "served": 0,
+            "rejected": 0,
+            "errors": 0,
+            "cache_bypass": 0,
+            "procpool_dispatches": 0,
+        }
+        self._active = 0
+        self._sem: Optional[asyncio.Semaphore] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._conn_tasks: set = set()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Bind and start accepting; returns the actual ``(host, port)``
+        (useful with ``port=0``)."""
+        self._sem = asyncio.Semaphore(self.max_inflight)
+        self._shutdown = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_inflight, thread_name_prefix="repro-match"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def wait_closed(self) -> None:
+        """Serve until a ``shutdown`` op (or :meth:`request_shutdown`)."""
+        assert self._shutdown is not None, "start() first"
+        await self._shutdown.wait()
+        await self.aclose()
+
+    def request_shutdown(self) -> None:
+        """Signal the server to stop (threadsafe only via its loop)."""
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            # Cancel live connection handlers explicitly: an idle client
+            # blocked in readline() would otherwise keep
+            # ``Server.wait_closed()`` (which awaits handlers on Python
+            # >= 3.12.1) from ever returning.
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- connection handling -------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter, payload: Dict) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except ValueError:
+                    await self._send(
+                        writer, {"ok": False, "error": "malformed JSON request"}
+                    )
+                    continue
+                if not isinstance(request, dict):
+                    await self._send(
+                        writer,
+                        {"ok": False, "error": "request must be a JSON object"},
+                    )
+                    continue
+                op = request.get("op")
+                if op == "ping":
+                    await self._send(writer, {"ok": True, "pong": True})
+                elif op == "stats":
+                    await self._send(writer, self._stats_payload())
+                elif op == "catalog_list":
+                    await self._op_catalog_list(writer)
+                elif op == "catalog_add":
+                    await self._op_catalog_add(request, writer)
+                elif op == "query":
+                    await self._op_query(request, writer)
+                elif op == "shutdown":
+                    await self._send(writer, {"ok": True, "stopping": True})
+                    if self._shutdown is not None:
+                        self._shutdown.set()
+                    break
+                else:
+                    await self._send(
+                        writer, {"ok": False, "error": f"unknown op {op!r}"}
+                    )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels live connection handlers; finish
+            # quietly (the streams machinery would otherwise log it).
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    # -- ops -----------------------------------------------------------
+
+    async def _op_catalog_list(self, writer: asyncio.StreamWriter) -> None:
+        entries = [self.catalog.info(name) for name in self.catalog.names()]
+        await self._send(writer, {"ok": True, "entries": entries})
+
+    async def _op_catalog_add(
+        self, request: Dict, writer: asyncio.StreamWriter
+    ) -> None:
+        name = request.get("name")
+        text = request.get("graph")
+        if not isinstance(name, str) or not isinstance(text, str):
+            await self._send(
+                writer,
+                {"ok": False, "error": "catalog_add needs 'name' and 'graph'"},
+            )
+            return
+        loop = asyncio.get_running_loop()
+
+        def work() -> Dict:
+            graph = loads_graph(text)
+            return self.catalog.add(
+                name, graph, overwrite=bool(request.get("overwrite", False))
+            )
+
+        try:
+            info = await loop.run_in_executor(self._executor, work)
+        except (CatalogError, ValueError) as exc:
+            self._bump("errors")
+            await self._send(writer, {"ok": False, "error": str(exc)})
+            return
+        # The entry may have replaced a different graph under the same
+        # name: results cached against the old graph are now wrong.
+        with self._counters_lock:
+            self._caches.pop(name, None)
+        await self._send(writer, {"ok": True, "entry": info})
+
+    async def _op_query(
+        self, request: Dict, writer: asyncio.StreamWriter
+    ) -> None:
+        self._bump("queries")
+        if self._active >= self.max_inflight + self.max_pending:
+            self._bump("rejected")
+            await self._send(
+                writer,
+                {
+                    "ok": False,
+                    "error": "overloaded: too many in-flight queries",
+                    "overloaded": True,
+                },
+            )
+            return
+        self._active += 1
+        try:
+            try:
+                parsed, chunk_size = self._parse_query(request)
+            except ValueError as exc:
+                self._bump("errors")
+                await self._send(writer, {"ok": False, "error": str(exc)})
+                return
+            loop = asyncio.get_running_loop()
+            started = time.perf_counter()
+            assert self._sem is not None
+            try:
+                # Hold a matching slot only for the CPU work; streaming
+                # the reply to a slow client must not block admission.
+                async with self._sem:
+                    result, cache_state = await loop.run_in_executor(
+                        self._executor, self._execute, *parsed
+                    )
+            except CatalogError as exc:
+                self._bump("errors")
+                await self._send(writer, {"ok": False, "error": str(exc)})
+                return
+            except Exception as exc:  # noqa: BLE001 - report, keep serving
+                self._bump("errors")
+                await self._send(
+                    writer,
+                    {"ok": False, "error": f"internal error: {exc!r}"},
+                )
+                return
+            server_seconds = time.perf_counter() - started
+            await self._stream_result(
+                writer, result, cache_state, server_seconds, chunk_size
+            )
+            self._bump("served")
+        finally:
+            self._active -= 1
+
+    def _parse_query(self, request: Dict) -> Tuple[Tuple, int]:
+        name = request.get("data")
+        if not isinstance(name, str):
+            raise ValueError("query request needs a 'data' catalog name")
+        text = request.get("graph")
+        if not isinstance(text, str):
+            raise ValueError("query request needs 'graph' (.graph text)")
+        query = loads_graph(text)  # GraphFormatError is a ValueError
+
+        def opt_number(key, default, kind):
+            value = request[key] if key in request else default
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"{key!r} must be a number or null")
+            value = kind(value)
+            if value < 0:
+                raise ValueError(f"{key!r} must be non-negative")
+            return value
+
+        limits = SearchLimits(
+            max_embeddings=opt_number("limit", None, int),
+            time_limit=opt_number("time_limit", self.default_time_limit, float),
+            collect=not bool(request.get("count_only", False)),
+            max_recursions=opt_number(
+                "recursion_limit", self.default_recursion_limit, int
+            ),
+        )
+        workers = opt_number("workers", 1, int) or 1
+        workers = min(workers, self.max_request_workers)
+        use_cache = bool(request.get("cache", True))
+        chunk_size = opt_number("chunk_size", self.chunk_size, int) or 1
+        return (name, query, limits, workers, use_cache), chunk_size
+
+    def _cache_for(self, name: str) -> QueryCache:
+        with self._counters_lock:
+            cache = self._caches.get(name)
+            if cache is None:
+                cache = QueryCache(
+                    max_entries=self.cache_entries,
+                    leaf_budget=self.leaf_budget,
+                    cap_serving=not self.catalog.config.break_symmetry,
+                )
+                self._caches[name] = cache
+            return cache
+
+    def _execute(
+        self,
+        name: str,
+        query: Graph,
+        limits: SearchLimits,
+        workers: int,
+        use_cache: bool,
+    ) -> Tuple[MatchResult, str]:
+        """Blocking query execution (runs on the executor threads)."""
+        cache = self._cache_for(name)
+        form = None
+        if use_cache:
+            cached, form = cache.lookup(query, limits)
+            if cached is not None:
+                return cached, "hit"
+        engine = self.catalog.engine(name)
+        if workers > 1:
+            self._bump("procpool_dispatches")
+        result = engine.match(query, limits=limits, workers=workers)
+        if use_cache and form is not None:
+            cache.store(form, limits, result)
+            return result, "miss"
+        self._bump("cache_bypass")
+        return result, "bypass"
+
+    def _bump(self, key: str) -> None:
+        with self._counters_lock:
+            self.counters[key] += 1
+
+    async def _stream_result(
+        self,
+        writer: asyncio.StreamWriter,
+        result: MatchResult,
+        cache_state: str,
+        server_seconds: float,
+        chunk_size: int,
+    ) -> None:
+        embeddings = result.embeddings
+        chunk_count = (len(embeddings) + chunk_size - 1) // chunk_size
+        await self._send(
+            writer,
+            {
+                "ok": True,
+                "num_embeddings": result.num_embeddings,
+                "status": result.status.value,
+                "cache": cache_state,
+                "recursions": result.stats.recursions,
+                "elapsed": round(result.total_seconds, 6),
+                "server_seconds": round(server_seconds, 6),
+                "chunks": chunk_count,
+            },
+        )
+        for i in range(chunk_count):
+            await self._send(
+                writer,
+                {"chunk": embeddings[i * chunk_size : (i + 1) * chunk_size]},
+            )
+        await self._send(writer, {"end": True})
+
+    def _stats_payload(self) -> Dict:
+        with self._counters_lock:
+            server = dict(self.counters)
+            caches = {name: c.stats() for name, c in self._caches.items()}
+        server["active"] = self._active
+        server["max_inflight"] = self.max_inflight
+        server["max_pending"] = self.max_pending
+        qcache = {
+            "per_data": caches,
+            "hits": sum(c["hits"] for c in caches.values()),
+            "misses": sum(c["misses"] for c in caches.values()),
+        }
+        return {
+            "ok": True,
+            "server": server,
+            "catalog": self.catalog.stats(),
+            "qcache": qcache,
+            "artifact_builds_in_process": DataArtifacts.builds_performed,
+        }
+
+
+class ServerThread:
+    """Run a :class:`MatchingServer` on a daemon thread.
+
+    The in-process harness used by the tests and the throughput
+    benchmark: ``start()`` blocks until the socket is bound and returns
+    ``(host, port)``; ``stop()`` shuts the server down and joins.  Also
+    usable as a context manager.
+    """
+
+    def __init__(
+        self, catalog: GraphCatalog, host: str = "127.0.0.1", port: int = 0,
+        **server_kwargs,
+    ) -> None:
+        self.server = MatchingServer(catalog, **server_kwargs)
+        self.address: Optional[Tuple[str, int]] = None
+        self.error: Optional[BaseException] = None
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._bound = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .error
+            self.error = exc
+            self._bound.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            self.address = await self.server.start(self._host, self._port)
+        finally:
+            self._bound.set()
+        await self.server.wait_closed()
+
+    def start(self, timeout: float = 30.0) -> Tuple[str, int]:
+        self._thread.start()
+        if not self._bound.wait(timeout):
+            raise RuntimeError("server did not bind in time")
+        if self.error is not None:
+            raise RuntimeError(f"server failed to start: {self.error!r}")
+        assert self.address is not None
+        return self.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -93,6 +93,64 @@ class TestQuerygen:
         assert load_graph(prefix + "0.graph").num_vertices >= 4
 
 
+class TestBatch:
+    def test_empty_glob_fails_loudly(self, graph_files, tmp_path, capsys):
+        """A workload glob matching nothing must not silently succeed."""
+        _, d = graph_files
+        rc = main(["batch", str(tmp_path / "nope*.graph"), d])
+        assert rc != 0
+        assert "no query files match" in capsys.readouterr().err
+
+    def test_missing_literal_path_fails(self, graph_files, tmp_path, capsys):
+        _, d = graph_files
+        rc = main(["batch", str(tmp_path / "absent.graph"), d])
+        assert rc != 0
+        assert "no query files match" in capsys.readouterr().err
+
+    def test_single_file_still_works(self, graph_files, capsys):
+        q, d = graph_files
+        assert main(["batch", q, d]) == 0
+        assert "total embeddings: 1" in capsys.readouterr().out
+
+    def test_literal_path_with_glob_metachars(self, graph_files, tmp_path,
+                                              capsys):
+        """A file literally named like a glob must still load."""
+        import shutil
+
+        q, d = graph_files
+        odd = tmp_path / "q[1].graph"
+        shutil.copy(q, odd)
+        assert main(["batch", str(odd), d]) == 0
+        assert "total embeddings: 1" in capsys.readouterr().out
+
+
+class TestCatalogCli:
+    def test_add_list_warm(self, graph_files, tmp_path, capsys):
+        _, d = graph_files
+        root = str(tmp_path / "cat")
+        assert main(["catalog", "add", "paper", d, "--root", root]) == 0
+        assert main(["catalog", "list", "--root", root]) == 0
+        assert main(["catalog", "warm", "paper", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "added paper" in out
+        assert "paper: ok" in out
+
+    def test_add_missing_file_fails(self, tmp_path, capsys):
+        rc = main([
+            "catalog", "add", "x", str(tmp_path / "absent.graph"),
+            "--root", str(tmp_path / "cat"),
+        ])
+        assert rc != 0
+        assert "error:" in capsys.readouterr().err
+
+    def test_warm_unknown_entry_fails(self, tmp_path, capsys):
+        rc = main([
+            "catalog", "warm", "ghost", "--root", str(tmp_path / "cat")
+        ])
+        assert rc != 0
+        assert "error:" in capsys.readouterr().err
+
+
 class TestInspect:
     def test_reports_gcs(self, graph_files, capsys):
         q, d = graph_files

@@ -1,0 +1,242 @@
+"""Query canonicalization and result-cache semantics.
+
+Two contracts under test:
+
+* :func:`repro.service.qcache.canonical_form` keys are equal *iff* the
+  graphs are isomorphic (respecting labels) — including pairs that 1-WL
+  color refinement alone cannot separate — and the witness permutation
+  really is an isomorphism onto the canonical form.
+* :class:`repro.service.qcache.QueryCache` serves capped requests
+  byte-identically to a fresh engine run (the engine's truncation is
+  prefix-exact, DESIGN.md §6): a complete entry serves any cap, a
+  truncated entry serves only caps ≤ its own.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import GuPEngine
+from repro.graph.builder import GraphBuilder, complete_graph, cycle_graph
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.matching.limits import SearchLimits
+from repro.matching.result import TerminationStatus
+from repro.matching.verify import is_embedding
+from repro.service.qcache import QueryCache, canonical_form, refine_colors
+from repro.workload.querygen import generate_query
+
+
+def shuffled(graph, seed=0):
+    perm = list(range(graph.num_vertices))
+    random.Random(seed).shuffle(perm)
+    return graph.relabeled(perm), perm
+
+
+class TestCanonicalForm:
+    def test_isomorphic_same_key(self):
+        data = powerlaw_cluster_graph(60, 3, 0.3, num_labels=3, seed=5)
+        query = generate_query(data, 8, "sparse", seed=6)
+        for seed in range(5):
+            relabeled, _ = shuffled(query, seed)
+            assert canonical_form(relabeled).key == canonical_form(query).key
+
+    def test_key_is_exact_for_small_queries(self):
+        form = canonical_form(cycle_graph(["A"] * 6))
+        assert form.exact
+
+    def test_perm_is_isomorphism_witness(self):
+        query = generate_query(
+            powerlaw_cluster_graph(50, 3, 0.3, num_labels=2, seed=9),
+            7, "dense", seed=10,
+        )
+        relabeled, _ = shuffled(query, 3)
+        f1, f2 = canonical_form(query), canonical_form(relabeled)
+        # Map query vertex -> canonical position -> relabeled vertex.
+        pos = {u: p for p, u in enumerate(f1.perm)}
+        iso = {u: f2.perm[pos[u]] for u in query.vertices()}
+        assert sorted(iso.values()) == list(relabeled.vertices())
+        for u in query.vertices():
+            assert query.label(u) == relabeled.label(iso[u])
+        for u, v in query.edges():
+            assert relabeled.has_edge(iso[u], iso[v])
+
+    def test_wl_indistinguishable_pair_separated(self):
+        """C6 vs 2xC3 (uniform labels): same refinement coloring, not
+        isomorphic — the backtracking step must separate them."""
+        c6 = cycle_graph(["A"] * 6)
+        b = GraphBuilder()
+        b.add_vertices(["A"] * 6)
+        b.add_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+        two_triangles = b.build()
+        assert len(set(refine_colors(c6))) == 1
+        assert len(set(refine_colors(two_triangles))) == 1
+        assert canonical_form(c6).key != canonical_form(two_triangles).key
+
+    def test_labels_distinguish(self):
+        assert (
+            canonical_form(cycle_graph(["A", "A", "B"])).key
+            != canonical_form(cycle_graph(["A", "B", "B"])).key
+        )
+
+    def test_extra_edge_distinguishes(self):
+        path = GraphBuilder()
+        path.add_vertices(["A"] * 4)
+        path.add_edges([(0, 1), (1, 2), (2, 3)])
+        cycle = cycle_graph(["A"] * 4)
+        assert canonical_form(path.build()).key != canonical_form(cycle).key
+
+    def test_budget_fallback_is_sound(self):
+        """Past the node budget the key degrades to the exact encoding:
+        identical graphs still share it, rotations may not — never a
+        false positive."""
+        ring = cycle_graph(["A"] * 8)
+        form = canonical_form(ring, leaf_budget=1)
+        assert not form.exact
+        assert form.perm == tuple(range(8))
+        assert canonical_form(ring, leaf_budget=1).key == form.key
+        k7 = complete_graph(["A"] * 7)
+        assert not canonical_form(k7, leaf_budget=10).exact
+
+    def test_empty_and_singleton(self):
+        empty = GraphBuilder().build()
+        assert canonical_form(empty).perm == ()
+        one = GraphBuilder()
+        one.add_vertices(["X"])
+        assert canonical_form(one.build()).exact
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = powerlaw_cluster_graph(70, 3, 0.35, num_labels=3, seed=41)
+    query = generate_query(data, 7, "sparse", seed=42)
+    engine = GuPEngine(data)
+    return data, query, engine
+
+
+class TestQueryCacheCapSemantics:
+    def store_full(self, engine, query):
+        cache = QueryCache()
+        limits = SearchLimits()
+        full = engine.match(query, limits=limits)
+        _, form = cache.lookup(query, limits)
+        assert cache.store(form, limits, full)
+        return cache, full
+
+    def test_full_entry_serves_any_cap_prefix_exact(self, workload):
+        _, query, engine = workload
+        cache, full = self.store_full(engine, query)
+        assert full.num_embeddings > 3
+        for cap in (None, 0, 1, 2, full.num_embeddings,
+                    full.num_embeddings + 5):
+            limits = SearchLimits(max_embeddings=cap)
+            direct = engine.match(query, limits=limits)
+            served, _ = cache.lookup(query, limits)
+            assert served is not None, f"cap {cap} should hit"
+            assert served.embeddings == direct.embeddings
+            assert served.num_embeddings == direct.num_embeddings
+            assert served.status == direct.status
+
+    def test_truncated_entry_serves_lower_caps_only(self, workload):
+        _, query, engine = workload
+        cache = QueryCache()
+        limits3 = SearchLimits(max_embeddings=3)
+        capped = engine.match(query, limits=limits3)
+        assert capped.status is TerminationStatus.EMBEDDING_LIMIT
+        _, form = cache.lookup(query, limits3)
+        assert cache.store(form, limits3, capped)
+        for cap in (0, 1, 2, 3):
+            limits = SearchLimits(max_embeddings=cap)
+            direct = engine.match(query, limits=limits)
+            served, _ = cache.lookup(query, limits)
+            assert served is not None
+            assert served.embeddings == direct.embeddings
+            assert served.num_embeddings == direct.num_embeddings
+            assert served.status == direct.status
+        for cap in (4, None):
+            served, _ = cache.lookup(
+                query, SearchLimits(max_embeddings=cap)
+            )
+            assert served is None, "higher caps must miss a truncated entry"
+
+    def test_full_entry_replaces_truncated(self, workload):
+        _, query, engine = workload
+        cache = QueryCache()
+        limits2 = SearchLimits(max_embeddings=2)
+        _, form = cache.lookup(query, limits2)
+        cache.store(form, limits2, engine.match(query, limits=limits2))
+        assert cache.lookup(query, SearchLimits())[0] is None
+        full_limits = SearchLimits()
+        cache.store(form, full_limits, engine.match(query, limits=full_limits))
+        served, _ = cache.lookup(query, SearchLimits())
+        assert served is not None
+        assert served.status is TerminationStatus.COMPLETE
+        # The reverse direction must NOT downgrade: re-offering a
+        # truncated run keeps the complete entry.
+        cache.store(form, limits2, engine.match(query, limits=limits2))
+        assert cache.lookup(query, SearchLimits())[0] is not None
+
+    def test_count_only_served_from_full_entry(self, workload):
+        _, query, engine = workload
+        cache, full = self.store_full(engine, query)
+        limits = SearchLimits(collect=False)
+        direct = engine.match(query, limits=limits)
+        served, _ = cache.lookup(query, limits)
+        assert served is not None
+        assert served.embeddings == []
+        assert served.num_embeddings == direct.num_embeddings
+        assert served.status == direct.status
+
+    def test_timeout_results_never_cached(self, workload):
+        _, query, engine = workload
+        cache = QueryCache()
+        limits = SearchLimits(max_recursions=1)
+        result = engine.match(query, limits=limits)
+        assert result.status is TerminationStatus.TIMEOUT
+        _, form = cache.lookup(query, limits)
+        assert not cache.store(form, limits, result)
+        assert cache.counters["uncacheable"] == 1
+
+    def test_isomorphic_query_served_translated(self, workload):
+        data, query, engine = workload
+        cache, full = self.store_full(engine, query)
+        relabeled, _ = shuffled(query, seed=11)
+        served, _ = cache.lookup(relabeled, SearchLimits())
+        assert served is not None
+        assert cache.counters["translated_hits"] == 1
+        direct = engine.match(relabeled)
+        assert served.num_embeddings == direct.num_embeddings
+        assert served.embedding_set() == direct.embedding_set()
+        for e in served.embeddings:
+            assert is_embedding(relabeled, data, e)
+
+    def test_isomorphic_capped_hit_is_valid_prefix(self, workload):
+        """A capped translated hit returns cap-many correct, distinct
+        embeddings drawn from the full set (the representative's prefix;
+        order-identity to a direct run only holds for same-numbering
+        repeats — DESIGN.md §7)."""
+        data, query, engine = workload
+        cache, full = self.store_full(engine, query)
+        relabeled, _ = shuffled(query, seed=12)
+        cap = 3
+        served, _ = cache.lookup(relabeled, SearchLimits(max_embeddings=cap))
+        assert served is not None
+        assert served.num_embeddings == cap
+        assert served.status is TerminationStatus.EMBEDDING_LIMIT
+        assert len(set(served.embeddings)) == cap
+        direct_full = engine.match(relabeled)
+        for e in served.embeddings:
+            assert is_embedding(relabeled, data, e)
+            assert tuple(e) in direct_full.embedding_set()
+
+    def test_lru_eviction(self, workload):
+        data, _, engine = workload
+        cache = QueryCache(max_entries=2)
+        limits = SearchLimits(max_embeddings=5)
+        queries = [
+            generate_query(data, 5, "sparse", seed=100 + i) for i in range(3)
+        ]
+        for q in queries:
+            _, form = cache.lookup(q, limits)
+            cache.store(form, limits, engine.match(q, limits=limits))
+        assert len(cache) == 2
+        assert cache.counters["evictions"] >= 1
