@@ -3,20 +3,41 @@
 Paper shape: per (dataset, query set), GuP almost always has the fewest
 queries above the highest threshold; the baselines accumulate kills on
 the harder sets (WordNet above all).
+
+Besides the threshold table, the run emits ``BENCH_breakdown.json`` at
+the repo root: per (dataset, query set, method) the *build vs. search*
+wall-second split (from ``QueryRunRecord.build_seconds`` /
+``search_seconds``) plus recursion totals, so the build/search balance
+is tracked across PRs like the other ``BENCH_*.json`` trajectories —
+the dense build path (DESIGN.md §8) moves the ``build_fraction``
+column, the search-side optimizations move the rest.
+
+Run: ``pytest benchmarks/bench_fig5_breakdown.py`` or
+``python benchmarks/bench_fig5_breakdown.py [--out PATH]``.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import (
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(ROOT / "src"), str(ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.conftest import (  # noqa: E402
     VIRTUAL_SCALE,
     dataset,
     mixed_query_set,
     publish,
 )
-from repro.baselines.registry import PAPER_METHODS, get_matcher
-from repro.bench.report import format_table
-from repro.bench.runner import run_query_set
-from repro.bench.stats import threshold_counts
+from repro.baselines.registry import PAPER_METHODS, get_matcher  # noqa: E402
+from repro.bench.report import format_table  # noqa: E402
+from repro.bench.runner import run_query_set  # noqa: E402
+from repro.bench.stats import threshold_counts  # noqa: E402
 
 BREAKDOWN = [
     ("yeast", "16S"),
@@ -26,6 +47,8 @@ BREAKDOWN = [
     ("wordnet", "16D"),
     ("patents", "16D"),
 ]
+
+DEFAULT_OUT = ROOT / "BENCH_breakdown.json"
 
 
 def run_breakdown():
@@ -43,6 +66,52 @@ def run_breakdown():
             )
             table[(ds, set_name, method)] = res.records
     return table
+
+
+def build_search_report(table) -> dict:
+    """The machine-readable build/search split, per set and overall."""
+    sets = {}
+    overall = {}
+    for (ds, set_name, method), records in table.items():
+        build = sum(r.build_seconds for r in records)
+        search = sum(r.search_seconds for r in records)
+        entry = {
+            "build_seconds": round(build, 6),
+            "search_seconds": round(search, 6),
+            "build_fraction": round(build / (build + search), 4)
+            if build + search > 0
+            else 0.0,
+            "recursions": sum(r.recursions for r in records),
+            "queries": len(records),
+        }
+        sets.setdefault(f"{ds}/{set_name}", {})[method] = entry
+        bucket = overall.setdefault(
+            method, {"build_seconds": 0.0, "search_seconds": 0.0}
+        )
+        bucket["build_seconds"] += build
+        bucket["search_seconds"] += search
+    for method, bucket in overall.items():
+        total = bucket["build_seconds"] + bucket["search_seconds"]
+        bucket["build_seconds"] = round(bucket["build_seconds"], 6)
+        bucket["search_seconds"] = round(bucket["search_seconds"], 6)
+        bucket["build_fraction"] = (
+            round(bucket["build_seconds"] / total, 4) if total > 0 else 0.0
+        )
+    return {
+        "harness": "virtual-time fig5 grid (mixed easy + mined-hard sets)",
+        "metric_notes": (
+            "wall seconds split into GCS/CS construction (build) and "
+            "enumeration (search); recursions are the virtual-time cost"
+        ),
+        "sets": sets,
+        "overall": overall,
+    }
+
+
+def emit_breakdown_json(table, out: Path = DEFAULT_OUT) -> dict:
+    report = build_search_report(table)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
 
 
 def test_fig5_breakdown(benchmark):
@@ -69,6 +138,7 @@ def test_fig5_breakdown(benchmark):
         "fig5_breakdown",
         format_table(header, rows, title="Fig. 5 (virtual time): per-set breakdown"),
     )
+    emit_breakdown_json(table)
 
     # Paper shape: on the hard WordNet sets, GuP is never beaten in the
     # top range (fewest killed queries).
@@ -79,3 +149,25 @@ def test_fig5_breakdown(benchmark):
         assert gup == min(
             top_counts[(ds, set_name, m)] for m in PAPER_METHODS
         ), (ds, set_name)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    table = run_breakdown()
+    report = emit_breakdown_json(table, args.out)
+    for set_key, methods in report["sets"].items():
+        gup = methods["GuP"]
+        print(
+            f"{set_key:16s} GuP build {gup['build_seconds']:.3f}s / "
+            f"search {gup['search_seconds']:.3f}s "
+            f"(build fraction {gup['build_fraction']:.0%})"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

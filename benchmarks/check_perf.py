@@ -1,14 +1,22 @@
-"""Hot-path perf smoke gate for CI.
+"""Perf smoke gates for CI: search hot path + GCS build path.
 
-Re-runs the *smoke* sub-grid of :mod:`benchmarks.bench_hotpath` (two
-small query sets, easy queries only — a few seconds of work) and
-compares the bitmap backend's recursions/sec against the committed
-baseline in ``BENCH_hotpath.json``.  Fails (exit 1) when throughput
-dropped more than the tolerance (default 30%), catching accidental
-de-optimization of the search hot path; also fails if the bitmap
-backend is no longer faster than the seed list backend at all.
+Two gates, each a few seconds of work:
 
-Run: ``python benchmarks/check_perf.py [--baseline PATH] [--tolerance F]``
+* **hotpath** — re-runs the *smoke* sub-grid of
+  :mod:`benchmarks.bench_hotpath` and compares the bitmap search
+  backend's recursions/sec against the committed baseline in
+  ``BENCH_hotpath.json``; also fails if the bitmap search is no longer
+  faster than the seed list backend at all.
+* **buildpath** — re-runs the smoke sub-grid of
+  :mod:`benchmarks.bench_buildpath` and compares the bitmap build
+  backend's builds/sec against ``BENCH_buildpath.json``; also fails if
+  the bitmap builder is no longer faster than the seed set builder.
+
+Either gate fails (exit 1) when throughput dropped more than the
+tolerance (default 30%), catching accidental de-optimization.
+
+Run: ``python benchmarks/check_perf.py [--gate hotpath|buildpath|all]
+[--baseline PATH] [--build-baseline PATH] [--tolerance F]``
 """
 
 from __future__ import annotations
@@ -23,47 +31,99 @@ for entry in (str(ROOT / "src"), str(ROOT)):
     if entry not in sys.path:
         sys.path.insert(0, entry)
 
-from benchmarks.bench_hotpath import SMOKE_SETS, run_grid  # noqa: E402
+from benchmarks.bench_buildpath import (  # noqa: E402
+    SMOKE_SETS as BUILD_SMOKE_SETS,
+    run_grid as run_build_grid,
+)
+from benchmarks.bench_hotpath import (  # noqa: E402
+    SMOKE_SETS as HOT_SMOKE_SETS,
+    run_grid as run_hot_grid,
+)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--baseline", type=Path, default=ROOT / "BENCH_hotpath.json"
-    )
-    parser.add_argument(
-        "--tolerance", type=float, default=0.30,
-        help="maximum allowed fractional drop in recursions/sec",
-    )
-    parser.add_argument("--repeats", type=int, default=3)
-    args = parser.parse_args(argv)
-
-    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+def check_hotpath(baseline_path: Path, tolerance: float, repeats: int) -> bool:
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     base_rps = baseline["smoke"]["overall"]["bitmap"]["recursions_per_sec"]
 
-    fresh = run_grid(SMOKE_SETS, repeats=args.repeats, smoke=True)
+    fresh = run_hot_grid(HOT_SMOKE_SETS, repeats=repeats, smoke=True)
     now_rps = fresh["overall"]["bitmap"]["recursions_per_sec"]
     speedup = fresh["overall"]["wall_speedup"]
 
-    floor = base_rps * (1.0 - args.tolerance)
+    floor = base_rps * (1.0 - tolerance)
     print(
-        f"bitmap smoke recursions/sec: {now_rps:,} "
+        f"[hotpath] bitmap smoke recursions/sec: {now_rps:,} "
         f"(baseline {base_rps:,}, floor {floor:,.0f})"
     )
-    print(f"bitmap vs seed list backend on the smoke grid: {speedup}x")
+    print(f"[hotpath] bitmap vs seed list backend on the smoke grid: {speedup}x")
 
     ok = True
     if now_rps < floor:
         print(
             f"FAIL: recursions/sec dropped more than "
-            f"{args.tolerance:.0%} vs the committed baseline"
+            f"{tolerance:.0%} vs the committed baseline"
         )
         ok = False
     if speedup < 1.0:
-        print("FAIL: bitmap backend is slower than the seed list backend")
+        print("FAIL: bitmap search backend is slower than the seed list backend")
         ok = False
-    if ok:
-        print("OK")
+    return ok
+
+
+def check_buildpath(baseline_path: Path, tolerance: float, repeats: int) -> bool:
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    base_bps = baseline["smoke"]["overall"]["bitmap"]["builds_per_sec"]
+
+    fresh = run_build_grid(BUILD_SMOKE_SETS, repeats=repeats, smoke=True)
+    now_bps = fresh["overall"]["bitmap"]["builds_per_sec"]
+    speedup = fresh["overall"]["wall_speedup"]
+
+    floor = base_bps * (1.0 - tolerance)
+    print(
+        f"[buildpath] bitmap smoke builds/sec: {now_bps:,} "
+        f"(baseline {base_bps:,}, floor {floor:,.1f})"
+    )
+    print(f"[buildpath] bitmap vs seed set builder on the smoke grid: {speedup}x")
+
+    ok = True
+    if now_bps < floor:
+        print(
+            f"FAIL: builds/sec dropped more than "
+            f"{tolerance:.0%} vs the committed baseline"
+        )
+        ok = False
+    if speedup < 1.0:
+        print("FAIL: bitmap build backend is slower than the seed set builder")
+        ok = False
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--gate", choices=("hotpath", "buildpath", "all"), default="all"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=ROOT / "BENCH_hotpath.json"
+    )
+    parser.add_argument(
+        "--build-baseline", type=Path, default=ROOT / "BENCH_buildpath.json"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="maximum allowed fractional drop in throughput",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    ok = True
+    if args.gate in ("hotpath", "all"):
+        ok = check_hotpath(args.baseline, args.tolerance, args.repeats) and ok
+    if args.gate in ("buildpath", "all"):
+        ok = (
+            check_buildpath(args.build_baseline, args.tolerance, args.repeats)
+            and ok
+        )
+    print("OK" if ok else "FAILED")
     return 0 if ok else 1
 
 

@@ -36,11 +36,20 @@ class Matcher(Protocol):
 
 
 class GuPMatcher:
-    """Adapter giving :class:`GuPEngine` the registry's interface."""
+    """Adapter giving :class:`GuPEngine` the registry's interface.
+
+    The engine (and with it the data-side filter artifacts and the
+    build-invariant cache) is kept as long as consecutive calls target
+    the *same* data graph — the benchmark harness feeds whole query
+    sets against one graph, and rebuilding :class:`DataArtifacts` per
+    query would charge the per-graph cost to every query.  Results are
+    identical either way.
+    """
 
     def __init__(self, config: Optional[GuPConfig] = None, name: str = "GuP") -> None:
         self.config = config or GuPConfig()
         self.name = name
+        self._engine: Optional[GuPEngine] = None
 
     def match(
         self,
@@ -48,7 +57,10 @@ class GuPMatcher:
         data: Graph,
         limits: Optional[SearchLimits] = None,
     ) -> MatchResult:
-        result = GuPEngine(data, self.config).match(query, limits=limits)
+        engine = self._engine
+        if engine is None or engine.data is not data:
+            engine = self._engine = GuPEngine(data, self.config)
+        result = engine.match(query, limits=limits)
         result.method = self.name
         return result
 

@@ -115,7 +115,12 @@ VIRTUAL_SCALE = BenchmarkScale(
 
 @dataclass
 class QueryRunRecord:
-    """One (method, query) execution."""
+    """One (method, query) execution.
+
+    ``build_seconds`` / ``search_seconds`` split ``seconds`` into the
+    preprocessing (GCS/CS construction) and enumeration phases, so the
+    breakdown benches can track the build/search balance across PRs.
+    """
 
     index: int
     seconds: float
@@ -123,6 +128,8 @@ class QueryRunRecord:
     embeddings: int
     recursions: int
     futile_recursions: int
+    build_seconds: float = 0.0
+    search_seconds: float = 0.0
 
     @property
     def timed_out(self) -> bool:
@@ -189,6 +196,8 @@ def run_query_set(
             embeddings=run.num_embeddings,
             recursions=run.stats.recursions,
             futile_recursions=run.stats.futile_recursions,
+            build_seconds=run.preprocessing_seconds,
+            search_seconds=run.elapsed_seconds,
         )
         result.records.append(record)
         result.queries_attempted = index + 1

@@ -51,6 +51,17 @@ class GuPConfig:
         (the seed per-element implementation kept as a differential /
         perf reference; :mod:`repro.core.backtrack_ref`).  Both explore
         identical search trees and produce identical results and stats.
+    build_backend:
+        GCS *construction* representation: ``"bitmap"`` (the default —
+        candidate sets are data-vertex-id int bitmaps end to end:
+        LDF/NLF seeding from precomputed label/degree masks, worklist
+        DAG-graph DP whose survival test is one AND, mask-native
+        candidate-edge materialization, mask-arithmetic reservation
+        matchability; :mod:`repro.filtering.masks`) or ``"set"`` (the
+        seed set/dict pipeline kept as a differential / perf
+        reference).  Both produce byte-identical guarded candidate
+        spaces — candidates, candidate edges, reservations — and hence
+        identical search results (``tests/test_build_masks.py``).
     """
 
     reservation_limit: Optional[int] = 3
@@ -64,12 +75,18 @@ class GuPConfig:
     ordering: str = "vc"
     break_symmetry: bool = False
     candidate_backend: str = "bitmap"
+    build_backend: str = "bitmap"
 
     def __post_init__(self) -> None:
         if self.candidate_backend not in ("bitmap", "list"):
             raise ValueError(
                 f"unknown candidate_backend {self.candidate_backend!r}; "
                 "expected 'bitmap' or 'list'"
+            )
+        if self.build_backend not in ("bitmap", "set"):
+            raise ValueError(
+                f"unknown build_backend {self.build_backend!r}; "
+                "expected 'bitmap' or 'set'"
             )
 
     @property

@@ -22,7 +22,7 @@ from typing import Iterable, List, Optional
 
 from repro.core.backtrack import GuPSearch
 from repro.core.config import GuPConfig
-from repro.core.gcs import GuardedCandidateSpace, build_gcs
+from repro.core.gcs import BuildInvariantCache, GuardedCandidateSpace, build_gcs
 from repro.filtering.artifacts import DataArtifacts
 from repro.graph.graph import Graph
 from repro.matching.limits import SearchLimits
@@ -33,9 +33,14 @@ class GuPEngine:
     """GuP subgraph matcher bound to one data graph.
 
     The engine is stateless across queries (each query gets a fresh GCS
-    and nogood store) apart from a cache of data-graph-side filter
-    artifacts (:class:`DataArtifacts`, built lazily on the first query
-    and reused by every later one), so one engine can be shared freely.
+    and nogood store) apart from two caches, so one engine can be
+    shared freely: data-graph-side filter artifacts
+    (:class:`DataArtifacts`, built lazily on the first query and reused
+    by every later one) and per-query build invariants
+    (:class:`BuildInvariantCache` — the reordered query's two-core edge
+    set and DAG, so repeated queries on a warm engine recompute
+    neither; ``engine.invariants.recomputes`` counts the from-scratch
+    computations).
 
     Long-running services can inject *prebuilt* artifacts — e.g. ones
     deserialized from the on-disk catalog
@@ -58,6 +63,7 @@ class GuPEngine:
                     "artifacts were built for a different data graph"
                 )
         self._artifacts: Optional[DataArtifacts] = artifacts
+        self.invariants = BuildInvariantCache()
 
     @property
     def artifacts(self) -> DataArtifacts:
@@ -68,7 +74,13 @@ class GuPEngine:
 
     def build(self, query: Graph) -> GuardedCandidateSpace:
         """Run GCS construction + reservation generation for ``query``."""
-        return build_gcs(query, self.data, self.config, artifacts=self.artifacts)
+        return build_gcs(
+            query,
+            self.data,
+            self.config,
+            artifacts=self.artifacts,
+            invariants=self.invariants,
+        )
 
     def match(
         self,

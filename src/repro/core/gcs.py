@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import GuPConfig
 from repro.core.nogood import NogoodStore
@@ -31,10 +31,139 @@ from repro.core.reservation import (
 )
 from repro.filtering.artifacts import DataArtifacts
 from repro.filtering.candidate_space import CandidateSpace, build_candidate_space
+from repro.filtering.dag import QueryDag, build_query_dag
+from repro.filtering.masks import MaskView, build_candidate_space_masks
 from repro.filtering.nlf import nlf_candidates
 from repro.graph.algorithms import two_core_edges
 from repro.graph.graph import Graph
 from repro.ordering.base import make_order
+
+
+class BuildInvariantCache:
+    """Memoized per-query build invariants (satellite of the dense build path).
+
+    ``two_core_edges(reordered)`` depends only on the reordered query
+    graph; the query DAG depends on the reordered query plus the initial
+    candidate-set sizes; the matching order depends on the query plus
+    the exact initial candidate sets (the cache key carries them in
+    full, so equal keys provably yield equal orders).  All three were
+    recomputed on every ``build_gcs`` call even for repeated queries; a
+    :class:`GuPEngine` owns one of these caches so the service warm
+    path (same query, same data) does zero recomputes — ``recomputes``
+    is the counter the tests pin.
+
+    Thread-safety note: engines are shared across server worker threads;
+    individual dict reads/writes are atomic under the GIL, so a race at
+    worst recomputes a value twice — never returns a wrong one.
+    """
+
+    __slots__ = (
+        "max_entries",
+        "_two_cores",
+        "_dags",
+        "_orders",
+        "hits",
+        "two_core_recomputes",
+        "dag_recomputes",
+        "order_recomputes",
+    )
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self._two_cores: Dict[Graph, FrozenSet[Tuple[int, int]]] = {}
+        self._dags: Dict[Tuple[Graph, Tuple[int, ...]], QueryDag] = {}
+        self._orders: Dict[Tuple, List[int]] = {}
+        self.hits = 0
+        self.two_core_recomputes = 0
+        self.dag_recomputes = 0
+        self.order_recomputes = 0
+
+    @property
+    def recomputes(self) -> int:
+        """Total from-scratch computations (zero on a warm repeat)."""
+        return self.two_core_recomputes + self.dag_recomputes + self.order_recomputes
+
+    @staticmethod
+    def _evict_oldest(cache: Dict, cap: int) -> None:
+        # list(cache) snapshots the keys in one C-level (GIL-atomic) call,
+        # so a concurrent insert cannot raise "changed size during
+        # iteration" the way next(iter(cache)) could.
+        excess = len(cache) - cap
+        if excess > 0:
+            for key in list(cache)[:excess]:
+                cache.pop(key, None)
+
+    def two_core(self, reordered: Graph) -> FrozenSet[Tuple[int, int]]:
+        got = self._two_cores.get(reordered)
+        if got is None:
+            self.two_core_recomputes += 1
+            got = frozenset(two_core_edges(reordered))
+            self._two_cores[reordered] = got
+            self._evict_oldest(self._two_cores, self.max_entries)
+        else:
+            self.hits += 1
+        return got
+
+    def dag(self, reordered: Graph, sizes: Sequence[int]) -> QueryDag:
+        key = (reordered, tuple(sizes))
+        got = self._dags.get(key)
+        if got is None:
+            self.dag_recomputes += 1
+            got = build_query_dag(reordered, sizes)
+            self._dags[key] = got
+            self._evict_oldest(self._dags, self.max_entries)
+        else:
+            self.hits += 1
+        return got
+
+    def order(
+        self,
+        ordering: str,
+        query: Graph,
+        initial: Sequence[Sequence[int]],
+        key_payload: Tuple,
+    ) -> List[int]:
+        """Memoized :func:`make_order`.
+
+        ``key_payload`` must determine ``initial`` exactly (the dense
+        build path passes the candidate-mask tuple, the set path the
+        tuple-ized candidate lists), so a hit is guaranteed to reproduce
+        the miss's order even for orderings that read candidate
+        *contents*, not just sizes.
+        """
+        key = (ordering, query, key_payload)
+        got = self._orders.get(key)
+        if got is None:
+            self.order_recomputes += 1
+            got = make_order(ordering, query, initial)
+            self._orders[key] = got
+            self._evict_oldest(self._orders, self.max_entries)
+        else:
+            self.hits += 1
+        return got
+
+
+_SELF_BUILT_ARTIFACTS: Optional[DataArtifacts] = None
+
+
+def _self_built_artifacts(data: Graph) -> DataArtifacts:
+    """Per-graph artifacts for artifact-less ``build_gcs`` callers.
+
+    The bitmap build path needs :class:`DataArtifacts`; engines own
+    theirs, but direct callers (CLI ``inspect``, the parallel
+    simulations, analysis helpers) loop queries against one data graph
+    without any.  A one-entry memo keyed by graph *identity* makes them
+    pay the per-graph cost once instead of per query.  The entry
+    strong-references the graph (bounded: one graph); callers juggling
+    several data graphs should pass explicit artifacts instead.
+    Thread-race worst case is a duplicate build, never a wrong result
+    (the ``data is`` check can't accept a foreign graph).
+    """
+    global _SELF_BUILT_ARTIFACTS
+    cached = _SELF_BUILT_ARTIFACTS
+    if cached is None or cached.data is not data:
+        cached = _SELF_BUILT_ARTIFACTS = DataArtifacts(data)
+    return cached
 
 
 @dataclass
@@ -102,6 +231,7 @@ def build_gcs(
     data: Graph,
     config: Optional[GuPConfig] = None,
     artifacts: Optional["DataArtifacts"] = None,
+    invariants: Optional[BuildInvariantCache] = None,
 ) -> GuardedCandidateSpace:
     """Steps (1) and (2) of GuP (§3.1): GCS construction.
 
@@ -112,28 +242,71 @@ def build_gcs(
        candidate-edge materialization over the reordered query;
     5. reservation-guard generation (Algorithm 1), unless disabled.
 
+    With ``config.build_backend == "bitmap"`` (the default) the whole
+    pipeline runs in the dense mask domain of
+    :mod:`repro.filtering.masks`; ``"set"`` keeps the seed set/dict
+    pipeline.  Both yield byte-identical GCSes.
+
     ``artifacts`` optionally supplies precomputed data-graph-side filter
     state (:class:`repro.filtering.artifacts.DataArtifacts`) so batch
-    engines skip the per-query LDF scan and NLF table build; results are
-    identical with or without it.
+    engines skip the per-query LDF scan and NLF table build; the bitmap
+    build path needs them and self-builds when none are passed.
+    ``invariants`` optionally memoizes the reordered query's two-core
+    edge set and DAG across repeated builds (engines own one).  Results
+    are identical with or without either.
     """
     config = config or GuPConfig()
     started = time.perf_counter()
 
-    if artifacts is not None:
-        if artifacts.data is not data:
-            raise ValueError("artifacts were built for a different data graph")
+    if artifacts is not None and artifacts.data is not data:
+        raise ValueError("artifacts were built for a different data graph")
+    use_masks = config.build_backend == "bitmap"
+    if use_masks and artifacts is None:
+        artifacts = _self_built_artifacts(data)
+
+    if use_masks:
+        initial_masks = artifacts.nlf_candidate_masks(query)
+        initial: List[Sequence[int]] = [MaskView(m) for m in initial_masks]
+    elif artifacts is not None:
         initial = artifacts.nlf_candidates(query)
     else:
         initial = nlf_candidates(query, data)
-    order = make_order(config.ordering, query, initial)
+    if invariants is not None:
+        key_payload = (
+            tuple(initial_masks)
+            if use_masks
+            else tuple(tuple(c) for c in initial)
+        )
+        order = invariants.order(config.ordering, query, initial, key_payload)
+    else:
+        order = make_order(config.ordering, query, initial)
     reordered = query.relabeled(order)
     # The initial candidates only depend on labels/degrees, which the
     # renumbering preserves: reuse them instead of refiltering.
-    reordered_base = [list(initial[old]) for old in order]
-    cs = build_candidate_space(
-        reordered, data, method=config.filter_method, base=reordered_base
-    )
+    if use_masks:
+        reordered_masks = [initial_masks[old] for old in order]
+        dag = None
+        if invariants is not None and config.filter_method == "dagdp":
+            sizes = [m.bit_count() for m in reordered_masks]
+            dag = invariants.dag(reordered, sizes)
+        cs = build_candidate_space_masks(
+            reordered,
+            data,
+            artifacts,
+            method=config.filter_method,
+            base_masks=reordered_masks,
+            dag=dag,
+        )
+    else:
+        reordered_base = [list(initial[old]) for old in order]
+        dag = None
+        if invariants is not None and config.filter_method == "dagdp":
+            sizes = [len(c) for c in reordered_base]
+            dag = invariants.dag(reordered, sizes)
+        cs = build_candidate_space(
+            reordered, data, method=config.filter_method,
+            base=reordered_base, dag=dag,
+        )
 
     if config.use_reservation:
         reservations = generate_reservation_guards(
@@ -142,11 +315,14 @@ def build_gcs(
     else:
         reservations = {}
 
-    core_edges = (
-        frozenset(two_core_edges(reordered))
-        if config.use_nogood_edge and config.ne_two_core_only
-        else frozenset(reordered.edges())
-    )
+    if config.use_nogood_edge and config.ne_two_core_only:
+        core_edges = (
+            invariants.two_core(reordered)
+            if invariants is not None
+            else frozenset(two_core_edges(reordered))
+        )
+    else:
+        core_edges = frozenset(reordered.edges())
 
     return GuardedCandidateSpace(
         original_query=query,

@@ -39,7 +39,37 @@ def is_matchable(cs: CandidateSpace, position: int, guard: FrozenSet[int]) -> bo
     (ii) some ``S' ⊆ S`` has ``|S'| > |C^{-1}(S')[:i]|`` — by Hall's
          theorem, equivalent to: ``S`` admits no matching into distinct
          earlier query vertices.
+
+    On a mask-built CS (dense build path), small guards — the common
+    case under the paper's default ``r = 3`` — are decided by checking
+    Hall's condition directly on the ``C^{-1}`` query-vertex bitmasks:
+    one AND per member plus popcounts over the subsets, no tuple
+    materialization and no augmenting-path search.  Larger guards (and
+    every guard on a set-built CS) take the matching-based path; both
+    paths compute the same predicate.
     """
+    inverse_masks = cs.inverse_masks
+    if inverse_masks is not None and len(guard) <= 3:
+        if not guard:
+            return True  # vacuous, as in the matching-based path below
+        below = (1 << position) - 1
+        masks = []
+        for w in guard:
+            m = inverse_masks.get(w, 0) & below
+            if not m:
+                return False
+            masks.append(m)
+        if len(masks) == 1:
+            return True
+        if len(masks) == 2:
+            return (masks[0] | masks[1]).bit_count() >= 2
+        a, b, c = masks
+        return (
+            (a | b).bit_count() >= 2
+            and (a | c).bit_count() >= 2
+            and (b | c).bit_count() >= 2
+            and (a | b | c).bit_count() >= 3
+        )
     for w in guard:
         if not cs.inverse_candidates_below(w, position):
             return False
@@ -74,7 +104,14 @@ def generate_reservation_guards(
     ``size_limit`` is the paper's ``r`` (``None`` = unbounded).  The
     returned guards satisfy Definition 3.3 — property tests verify this
     by enumerating rooted subembeddings on small instances.
+
+    On a mask-built CS (dense build path) the generation is dispatched
+    to :func:`_generate_reservation_guards_masks`, which produces the
+    *same* guards through two exact shortcuts; the seed generation loop
+    below is kept verbatim for the set-based builder.
     """
+    if cs.inverse_masks is not None:
+        return _generate_reservation_guards_masks(cs, size_limit)
     query = cs.query
     n = query.num_vertices
     guards: ReservationGuards = {}
@@ -98,6 +135,75 @@ def generate_reservation_guards(
                 # maximally strong) reservation — every rooted
                 # subembedding via u_j is impossible (see Lemma 3.10
                 # with all R(u_j, v') \ {v} empty).
+                if trivial or len(candidate) < len(best):
+                    best = candidate
+                    trivial = False
+            guards[(i, v)] = best
+    return guards
+
+
+def _generate_reservation_guards_masks(
+    cs: CandidateSpace,
+    size_limit: Optional[int] = 3,
+) -> ReservationGuards:
+    """Mask twin of the seed generation loop — identical guards, faster.
+
+    Two shortcuts, both *exact* (proven equal output by
+    ``tests/test_build_masks.py``):
+
+    * **All-trivial covers.**  When every forward-adjacent candidate
+      ``v'`` still carries its trivial guard ``{v'}``, every edge of
+      ``E_R`` is the self-loop ``(v', v')`` (``v' != v``), so the *only*
+      vertex cover is the full endpoint set — no greedy needed.  Since
+      matchability is anti-monotone (subsets of matchable sets are
+      matchable), the greedy's incremental admissibility checks succeed
+      iff the full set is matchable: one test replaces the whole walk.
+      An empty endpoint set mirrors the seed's empty-``E_R`` case — the
+      empty cover is accepted without a matchability test.
+    * **Memoized matchability.**  ``is_matchable(cs, i, S)`` is a pure
+      function of ``(i, S)``; candidates of the same ``u_i`` probe
+      heavily overlapping sets, so results are cached per ``i``.
+    """
+    query = cs.query
+    n = query.num_vertices
+    guards: ReservationGuards = {}
+
+    for i in range(n - 1, -1, -1):
+        forward = [j for j in query.neighbors(i) if j > i]
+        cache: Dict[FrozenSet[int], bool] = {}
+
+        def admissible(s: FrozenSet[int], _i: int = i, _cache=cache) -> bool:
+            hit = _cache.get(s)
+            if hit is None:
+                hit = _cache[s] = is_matchable(cs, _i, s)
+            return hit
+
+        for v in cs.candidates[i]:
+            best: FrozenSet[int] = frozenset((v,))  # trivial reservation
+            trivial = True
+            for j in forward:
+                adjacent = cs.adjacent_candidates(i, v, j)
+                all_trivial = True
+                for v2 in adjacent:
+                    g = guards[(j, v2)]
+                    if len(g) != 1 or v2 not in g:
+                        all_trivial = False
+                        break
+                if all_trivial:
+                    members = [v2 for v2 in adjacent if v2 != v]
+                    if size_limit is not None and len(members) > size_limit:
+                        continue
+                    candidate = frozenset(members)
+                    if members and not admissible(candidate):
+                        continue
+                else:
+                    edges = _reservation_graph_edges(cs, guards, i, v, j)
+                    cover = constrained_vertex_cover(
+                        edges, size_limit, admissible
+                    )
+                    if cover is None:
+                        continue
+                    candidate = frozenset(cover)
                 if trivial or len(candidate) < len(best):
                     best = candidate
                     trivial = False

@@ -18,6 +18,10 @@ paper builds on (§2.1, §3.1):
 * :class:`~repro.filtering.candidate_space.CandidateSpace` — the frozen
   result: candidate sets, candidate edges, and inverse index, shared by
   GuP and every baseline.
+* :mod:`~repro.filtering.masks` — the dense mask-domain twin of the
+  whole pipeline (DESIGN.md §8): candidate sets as data-vertex-id int
+  bitmaps, worklist DAG-DP, mask-native CS materialization.  GuP's
+  default build backend; decodes byte-identically to the set pipeline.
 """
 
 from repro.filtering.candidate_space import CandidateSpace, build_candidate_space
@@ -25,6 +29,7 @@ from repro.filtering.dag import QueryDag, build_query_dag
 from repro.filtering.dagdp import dag_graph_dp
 from repro.filtering.gql_filter import gql_candidates
 from repro.filtering.ldf import ldf_candidates
+from repro.filtering.masks import build_candidate_space_masks, dag_graph_dp_masks
 from repro.filtering.nlf import nlf_candidates
 from repro.filtering.nlf2 import nlf2_candidates
 
@@ -32,8 +37,10 @@ __all__ = [
     "CandidateSpace",
     "QueryDag",
     "build_candidate_space",
+    "build_candidate_space_masks",
     "build_query_dag",
     "dag_graph_dp",
+    "dag_graph_dp_masks",
     "gql_candidates",
     "ldf_candidates",
     "nlf2_candidates",

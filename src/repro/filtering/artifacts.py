@@ -15,9 +15,20 @@ worker process instead of once per query:
   tables, so forked/pickled workers inherit them instead of each
   recomputing them on first use.
 
+Since format v2 the artifacts also carry the **dense build-path
+bitmaps** (DESIGN.md §8): per-label data-vertex bitmaps and per-vertex
+adjacency bitmaps, both Python ints with bit ``v`` standing for data
+vertex ``v``.  On top of them the artifacts derive (lazily, cached
+forever per instance) the LDF degree-prefix masks and the NLF/NLF2
+count-threshold masks, so the whole seeding stage of GCS construction
+collapses into a handful of cached-mask ANDs per query vertex
+(:meth:`nlf_candidate_masks`), and DAG-graph DP's survival test becomes
+``adjacency_bitmaps[v] & candidate_mask`` (:mod:`repro.filtering.masks`).
+
 Outputs are exactly those of :func:`repro.filtering.ldf.ldf_candidates`
 and :func:`repro.filtering.nlf.nlf_candidates` (asserted by
-``tests/test_filtering.py``).
+``tests/test_filtering.py``); the mask variants decode to the same
+lists (``tests/test_build_masks.py``).
 
 The artifacts are also *persistable*: :func:`dumps_artifacts` /
 :func:`loads_artifacts` serialize everything derived (degrees, label
@@ -34,14 +45,19 @@ from __future__ import annotations
 
 import pickle
 from bisect import bisect_right
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.filtering.nlf import _nlf_ok
 from repro.graph.graph import Graph
+from repro.utils.bitset import mask_of
 
-ARTIFACTS_FORMAT_VERSION = 1
+ARTIFACTS_FORMAT_VERSION = 2
 """Bump when the serialized payload layout changes; loaders treat any
-other version as stale and rebuild from the graph."""
+other version as stale and rebuild from the graph.
+
+v1: degrees + label buckets + NLF tables.
+v2: v1 plus the dense build-path bitmaps (per-label data-vertex
+bitmaps, per-vertex adjacency bitmaps)."""
 
 
 class ArtifactsFormatError(ValueError):
@@ -51,7 +67,17 @@ class ArtifactsFormatError(ValueError):
 class DataArtifacts:
     """Per-data-graph filter state, shared across a whole query set."""
 
-    __slots__ = ("data", "degrees", "label_buckets")
+    __slots__ = (
+        "data",
+        "degrees",
+        "label_buckets",
+        "label_bitmaps",
+        "adjacency_bitmaps",
+        "_ldf_masks",
+        "_nlf_count_masks",
+        "_nlf2_tables",
+        "_nlf2_count_masks",
+    )
 
     builds_performed = 0
     """Process-wide count of from-scratch constructions (class attribute).
@@ -80,8 +106,24 @@ class DataArtifacts:
                 tuple(-self.degrees[v] for v in vs),
             )
         self.label_buckets = buckets
+        # Dense build-path bitmaps (DESIGN.md §8): bit v == data vertex v.
+        self.label_bitmaps: Dict[object, int] = {
+            label: mask_of(data.vertices_with_label(label))
+            for label in data.label_set
+        }
+        self.adjacency_bitmaps: Tuple[int, ...] = tuple(
+            mask_of(data.neighbors(v)) for v in data.vertices()
+        )
+        self._init_mask_caches()
         if data.num_vertices > 0:
             data.neighbor_label_frequency(0)  # materialize the NLF cache
+
+    def _init_mask_caches(self) -> None:
+        """Empty lazy caches derived from the persisted bitmaps."""
+        self._ldf_masks: Dict[Tuple[object, int], int] = {}
+        self._nlf_count_masks: Dict[Tuple[object, int], int] = {}
+        self._nlf2_tables: Optional[List[Dict[object, int]]] = None
+        self._nlf2_count_masks: Dict[Tuple[object, int], int] = {}
 
     def ldf_candidates(self, query: Graph) -> List[List[int]]:
         """LDF candidate lists (== :func:`repro.filtering.ldf.ldf_candidates`)."""
@@ -111,6 +153,89 @@ class DataArtifacts:
             )
         return refined
 
+    # ------------------------------------------------------------------
+    # Dense build path: candidate masks over data-vertex ids
+    # ------------------------------------------------------------------
+
+    def ldf_mask(self, label: object, min_degree: int) -> int:
+        """LDF candidate *mask*: vertices with ``label`` and degree >= bound.
+
+        The label bucket is degree-descending, so the mask is a bucket
+        prefix located by one bisect; each distinct ``(label, prefix)``
+        is assembled once and cached for the artifacts' lifetime —
+        repeated queries pay one dict hit.
+        """
+        bucket = self.label_buckets.get(label)
+        if bucket is None:
+            return 0
+        vs, neg_degrees = bucket
+        end = bisect_right(neg_degrees, -min_degree)
+        if end == len(vs):
+            return self.label_bitmaps[label]
+        key = (label, end)
+        cached = self._ldf_masks.get(key)
+        if cached is None:
+            cached = self._ldf_masks[key] = mask_of(vs[:end])
+        return cached
+
+    def nlf_count_mask(self, label: object, count: int) -> int:
+        """Mask of data vertices with >= ``count`` label-``label`` neighbors.
+
+        NLF's per-candidate frequency-table comparison factors into one
+        AND per (label, needed-count) pair against these thresholds;
+        each distinct pair is computed once (one O(|V|) scan) and cached.
+        """
+        key = (label, count)
+        cached = self._nlf_count_masks.get(key)
+        if cached is None:
+            data = self.data
+            mask = 0
+            for v in data.vertices():
+                if data.neighbor_label_frequency(v).get(label, 0) >= count:
+                    mask |= 1 << v
+            self._nlf_count_masks[key] = cached = mask
+        return cached
+
+    def nlf2_count_mask(self, label: object, count: int) -> int:
+        """Like :meth:`nlf_count_mask` over the distance-<=2 ball counts."""
+        key = (label, count)
+        cached = self._nlf2_count_masks.get(key)
+        if cached is None:
+            tables = self.nlf2_tables()
+            mask = 0
+            for v, counts in enumerate(tables):
+                if counts.get(label, 0) >= count:
+                    mask |= 1 << v
+            self._nlf2_count_masks[key] = cached = mask
+        return cached
+
+    def nlf2_tables(self) -> List[Dict[object, int]]:
+        """Data-side distance-<=2 label-count tables (lazy, cached)."""
+        if self._nlf2_tables is None:
+            from repro.filtering.nlf2 import _two_hop_label_counts
+
+            self._nlf2_tables = _two_hop_label_counts(self.data)
+        return self._nlf2_tables
+
+    def ldf_candidate_masks(self, query: Graph) -> List[int]:
+        """Per-query-vertex LDF masks (decode == :meth:`ldf_candidates`)."""
+        return [
+            self.ldf_mask(query.label(u), query.degree(u))
+            for u in query.vertices()
+        ]
+
+    def nlf_candidate_masks(self, query: Graph) -> List[int]:
+        """Per-query-vertex LDF+NLF masks (decode == :meth:`nlf_candidates`)."""
+        masks: List[int] = []
+        for u in query.vertices():
+            mask = self.ldf_mask(query.label(u), query.degree(u))
+            for label, needed in query.neighbor_label_frequency(u).items():
+                if not mask:
+                    break
+                mask &= self.nlf_count_mask(label, needed)
+            masks.append(mask)
+        return masks
+
 
 # ----------------------------------------------------------------------
 # Serialization (graph-free payload; the graph is stored separately)
@@ -138,6 +263,8 @@ def dumps_artifacts(artifacts: DataArtifacts) -> bytes:
         [data.neighbor_label_frequency(v) for v in data.vertices()]
         if data.num_vertices > 0
         else [],
+        artifacts.label_bitmaps,
+        artifacts.adjacency_bitmaps,
     )
     return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -155,13 +282,26 @@ def loads_artifacts(blob: bytes, data: Graph) -> DataArtifacts:
         payload = pickle.loads(blob)
     except Exception as exc:  # noqa: BLE001 - any decode failure is "corrupt"
         raise ArtifactsFormatError(f"artifacts blob does not decode: {exc}")
-    if not (isinstance(payload, tuple) and len(payload) == 6):
+    if not (isinstance(payload, tuple) and len(payload) >= 1):
         raise ArtifactsFormatError("artifacts payload has unexpected shape")
-    version, num_vertices, num_edges, degrees, label_buckets, nlf = payload
-    if version != ARTIFACTS_FORMAT_VERSION:
+    if payload[0] != ARTIFACTS_FORMAT_VERSION:
+        # Stale format (e.g. a v1 blob without the build-path bitmaps):
+        # a clean rebuild signal, never an attempt to upgrade in place.
         raise ArtifactsFormatError(
-            f"artifacts format version {version!r} != {ARTIFACTS_FORMAT_VERSION}"
+            f"artifacts format version {payload[0]!r} != {ARTIFACTS_FORMAT_VERSION}"
         )
+    if len(payload) != 8:
+        raise ArtifactsFormatError("artifacts payload has unexpected shape")
+    (
+        _version,
+        num_vertices,
+        num_edges,
+        degrees,
+        label_buckets,
+        nlf,
+        label_bitmaps,
+        adjacency_bitmaps,
+    ) = payload
     if num_vertices != data.num_vertices or num_edges != data.num_edges:
         raise ArtifactsFormatError(
             "artifacts were built for a different graph "
@@ -178,11 +318,23 @@ def loads_artifacts(blob: bytes, data: Graph) -> DataArtifacts:
         raise ArtifactsFormatError("label buckets do not match the graph")
     if not isinstance(nlf, list) or len(nlf) != data.num_vertices:
         raise ArtifactsFormatError("NLF tables have wrong length")
+    if not isinstance(label_bitmaps, dict) or set(label_bitmaps) != set(
+        data.label_set
+    ):
+        raise ArtifactsFormatError("label bitmaps do not match the graph")
+    if (
+        not isinstance(adjacency_bitmaps, tuple)
+        or len(adjacency_bitmaps) != data.num_vertices
+    ):
+        raise ArtifactsFormatError("adjacency bitmaps have wrong length")
 
     artifacts = DataArtifacts.__new__(DataArtifacts)
     artifacts.data = data
     artifacts.degrees = degrees
     artifacts.label_buckets = label_buckets
+    artifacts.label_bitmaps = label_bitmaps
+    artifacts.adjacency_bitmaps = adjacency_bitmaps
+    artifacts._init_mask_caches()
     if data.num_vertices > 0 and not data._nlf:
         data._nlf = nlf  # install the warm NLF cache
     return artifacts

@@ -50,6 +50,7 @@ class CandidateSpace:
         "_edge_bitmaps",
         "_full_masks",
         "_inverse",
+        "_inverse_masks",
         "_inverse_below",
         "num_candidate_edges",
     )
@@ -59,7 +60,19 @@ class CandidateSpace:
         query: Graph,
         data: Graph,
         candidates: Sequence[Sequence[int]],
+        *,
+        candidate_masks: Optional[Sequence[int]] = None,
+        adjacency_bitmaps: Optional[Sequence[int]] = None,
     ) -> None:
+        """Freeze ``candidates`` and materialize the candidate edges.
+
+        ``candidate_masks`` / ``adjacency_bitmaps`` optionally supply the
+        dense build path's data-vertex-id bitmaps (``candidates`` decoded
+        as masks, and per-data-vertex adjacency masks): candidate-edge
+        materialization then replaces the per-neighbor membership probes
+        with one AND per candidate and decodes only the survivors.  The
+        resulting structures are byte-identical either way.
+        """
         if len(candidates) != query.num_vertices:
             raise ValueError("one candidate list per query vertex required")
         self.query = query
@@ -80,6 +93,7 @@ class CandidateSpace:
 
         # Candidate edges, both directions: (i, j) -> v -> adjacent C(u_j),
         # as sorted tuples and as bitmaps over positions of C(u_j).
+        use_masks = candidate_masks is not None and adjacency_bitmaps is not None
         edge_lists: Dict[Tuple[int, int], Dict[int, Tuple[int, ...]]] = {}
         edge_bitmaps: Dict[Tuple[int, int], Dict[int, int]] = {}
         edge_count = 0
@@ -87,19 +101,36 @@ class CandidateSpace:
             forward: Dict[int, Tuple[int, ...]] = {}
             forward_bm: Dict[int, int] = {}
             backward: Dict[int, List[int]] = {}
-            c_j = self.candidate_sets[j]
             pos_j = self.positions[j]
-            for v in self.candidates[i]:
-                adjacent = tuple(
-                    w for w in data.neighbors(v) if w in c_j
-                )
-                if adjacent:
-                    forward[v] = adjacent
-                    bm = 0
-                    for w in adjacent:
-                        bm |= 1 << pos_j[w]
-                        backward.setdefault(w, []).append(v)
-                    forward_bm[v] = bm
+            if use_masks:
+                mask_j = candidate_masks[j]
+                for v in self.candidates[i]:
+                    rem = adjacency_bitmaps[v] & mask_j
+                    if rem:
+                        adjacent: List[int] = []
+                        bm = 0
+                        while rem:
+                            low = rem & -rem
+                            rem ^= low
+                            w = low.bit_length() - 1
+                            adjacent.append(w)
+                            bm |= 1 << pos_j[w]
+                            backward.setdefault(w, []).append(v)
+                        forward[v] = tuple(adjacent)
+                        forward_bm[v] = bm
+            else:
+                c_j = self.candidate_sets[j]
+                for v in self.candidates[i]:
+                    adjacent_t = tuple(
+                        w for w in data.neighbors(v) if w in c_j
+                    )
+                    if adjacent_t:
+                        forward[v] = adjacent_t
+                        bm = 0
+                        for w in adjacent_t:
+                            bm |= 1 << pos_j[w]
+                            backward.setdefault(w, []).append(v)
+                        forward_bm[v] = bm
             edge_lists[(i, j)] = forward
             edge_bitmaps[(i, j)] = forward_bm
             pos_i = self.positions[i]
@@ -125,6 +156,18 @@ class CandidateSpace:
         self._inverse: Dict[int, Tuple[int, ...]] = {
             v: tuple(us) for v, us in inverse.items()
         }
+        # C^{-1}(v) as query-vertex bitmasks — reservation generation's
+        # matchability tests become mask arithmetic (dense build path
+        # only, so the seed set-based builder stays reference-verbatim).
+        self._inverse_masks: Optional[Dict[int, int]] = None
+        if use_masks:
+            inverse_masks: Dict[int, int] = {}
+            for v, us in self._inverse.items():
+                m = 0
+                for i in us:
+                    m |= 1 << i
+                inverse_masks[v] = m
+            self._inverse_masks = inverse_masks
         self._inverse_below: Dict[Tuple[int, int], Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
@@ -168,18 +211,38 @@ class CandidateSpace:
         """``C^{-1}(v)``: query vertices having ``v`` as candidate (sorted)."""
         return self._inverse.get(v, _EMPTY)
 
+    @property
+    def inverse_masks(self) -> Optional[Dict[int, int]]:
+        """``C^{-1}`` as query-vertex bitmasks (``v -> mask``).
+
+        ``None`` when the CS was built by the seed set pipeline; the
+        dense build path always populates it, and reservation-guard
+        generation then tests Lemma 3.7 with mask arithmetic.
+        """
+        return self._inverse_masks
+
     def inverse_candidates_below(self, v: int, i: int) -> Tuple[int, ...]:
         """``C^{-1}(v)[:i]`` of Lemma 3.7 (query ids < ``i``).
 
         Cached per ``(v, i)``: Lemma 3.7 matchability checks probe the
-        same slices repeatedly during reservation generation, and the
-        inverse tuple is sorted, so each miss is one ``bisect``.
+        same slices repeatedly during reservation generation.  A miss is
+        one ``bisect`` on the sorted inverse tuple — or, on a mask-built
+        CS, one AND against the below-``i`` mask plus a bit decode.
         """
         key = (v, i)
         cached = self._inverse_below.get(key)
         if cached is None:
-            inv = self._inverse.get(v, _EMPTY)
-            cached = self._inverse_below[key] = inv[: bisect_left(inv, i)]
+            if self._inverse_masks is not None:
+                m = self._inverse_masks.get(v, 0) & ((1 << i) - 1)
+                bits: List[int] = []
+                while m:
+                    low = m & -m
+                    m ^= low
+                    bits.append(low.bit_length() - 1)
+                cached = self._inverse_below[key] = tuple(bits)
+            else:
+                inv = self._inverse.get(v, _EMPTY)
+                cached = self._inverse_below[key] = inv[: bisect_left(inv, i)]
         return cached
 
     def total_candidates(self) -> int:
@@ -271,13 +334,15 @@ def build_candidate_space(
     data: Graph,
     method: str = "dagdp",
     base: Optional[List[List[int]]] = None,
+    dag: Optional["QueryDag"] = None,
 ) -> CandidateSpace:
     """Run a filtering pipeline and freeze the result into a CS.
 
     ``method`` is one of ``"ldf"``, ``"nlf"``, ``"dagdp"`` (default —
     what GuP uses, §3.1), or ``"gql"`` (what the GQL baselines use).
     ``base`` optionally supplies precomputed LDF+NLF candidate lists
-    (callers that already filtered for order selection avoid refiltering).
+    (callers that already filtered for order selection avoid refiltering);
+    ``dag`` optionally reuses a memoized query DAG (``"dagdp"`` only).
     All pipelines end with a consistency prune so candidate edges are
     closed under adjacency.
     """
@@ -288,7 +353,7 @@ def build_candidate_space(
     elif method == "nlf2":
         candidates = nlf2_candidates(query, data, base=base)
     elif method == "dagdp":
-        candidates = dag_graph_dp(query, data, base=base)
+        candidates = dag_graph_dp(query, data, base=base, dag=dag)
     elif method == "gql":
         candidates = gql_candidates(query, data, base=base)
     else:

@@ -261,6 +261,10 @@ class GraphCatalog:
         if (
             meta is not None
             and meta.get("format_version") == CATALOG_FORMAT_VERSION
+            # A sidecar from before an artifact-format bump is *stale*,
+            # not corrupt: skip the blob entirely and rebuild cleanly
+            # (loads_artifacts would reject its version anyway).
+            and meta.get("artifacts_format_version") == ARTIFACTS_FORMAT_VERSION
             and meta.get("graph_file_sha256")
             == _sha256(graph_text.encode("utf-8"))
         ):

@@ -189,3 +189,46 @@ class TestDataArtifacts:
         artifacts = DataArtifacts(cycle_graph("AAA"))
         with pytest.raises(ValueError):
             build_gcs(path_graph("AA"), cycle_graph("AAB"), artifacts=artifacts)
+
+    def test_candidate_masks_decode_to_ldf_and_nlf(self, rng):
+        """Dense seeding masks == the list filters, bit for bit."""
+        from repro.filtering.artifacts import DataArtifacts
+        from repro.utils.bitset import bits_of
+
+        for _ in range(25):
+            query, data = make_random_pair(rng)
+            artifacts = DataArtifacts(data)
+            assert [
+                bits_of(m) for m in artifacts.ldf_candidate_masks(query)
+            ] == ldf_candidates(query, data)
+            assert [
+                bits_of(m) for m in artifacts.nlf_candidate_masks(query)
+            ] == nlf_candidates(query, data)
+
+    def test_nlf2_count_masks_match_filter(self, rng):
+        from repro.filtering.artifacts import DataArtifacts
+        from repro.filtering.masks import nlf2_candidate_masks
+        from repro.filtering.nlf2 import nlf2_candidates
+        from repro.utils.bitset import bits_of
+
+        for _ in range(15):
+            query, data = make_random_pair(rng)
+            artifacts = DataArtifacts(data)
+            base = artifacts.nlf_candidate_masks(query)
+            got = nlf2_candidate_masks(query, artifacts, base)
+            assert [bits_of(m) for m in got] == nlf2_candidates(query, data)
+
+    def test_adjacency_and_label_bitmaps(self):
+        from repro.filtering.artifacts import DataArtifacts
+        from repro.utils.bitset import bits_of
+
+        data = cycle_graph("ABA")
+        artifacts = DataArtifacts(data)
+        for v in data.vertices():
+            assert bits_of(artifacts.adjacency_bitmaps[v]) == list(
+                data.neighbors(v)
+            )
+        for label in data.label_set:
+            assert bits_of(artifacts.label_bitmaps[label]) == list(
+                data.vertices_with_label(label)
+            )

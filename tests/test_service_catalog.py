@@ -242,6 +242,56 @@ print(json.dumps({
         assert after.counters["artifact_loads"] == 1
         assert after.counters["artifact_rebuilds"] == 0
 
+    def test_old_artifact_format_version_rebuilds_cleanly(
+        self, instance, tmp_path
+    ):
+        """A sidecar + blob written at the *previous* artifact format
+        version (v1: no build-path bitmaps) is stale, not corrupt: the
+        load rebuilds from the graph (counter increments), never
+        crashes, never silently reuses the old payload."""
+        import hashlib
+        import pickle
+
+        data, queries = instance
+        root = tmp_path / "cat"
+        GraphCatalog(root).add("g", data)
+        entry = root / "g"
+
+        # Forge a faithful v1-era store: the pre-bitmap payload shape
+        # with a consistent sidecar (correct sha256, old version tags).
+        fresh = DataArtifacts(data)
+        v1_payload = (
+            1,
+            data.num_vertices,
+            data.num_edges,
+            fresh.degrees,
+            fresh.label_buckets,
+            [data.neighbor_label_frequency(v) for v in data.vertices()],
+        )
+        blob = pickle.dumps(v1_payload, protocol=pickle.HIGHEST_PROTOCOL)
+        (entry / ARTIFACTS_FILE).write_bytes(blob)
+        meta = json.loads((entry / META_FILE).read_text(encoding="utf-8"))
+        meta["artifacts_format_version"] = 1
+        meta["artifacts_sha256"] = hashlib.sha256(blob).hexdigest()
+        (entry / META_FILE).write_text(json.dumps(meta), encoding="utf-8")
+
+        # The direct loader rejects the stale version outright ...
+        with pytest.raises(ArtifactsFormatError, match="version"):
+            loads_artifacts(blob, data)
+
+        # ... and the catalog turns that into one clean rebuild.
+        catalog = GraphCatalog(root)
+        engine = catalog.engine("g")
+        assert catalog.counters["artifact_rebuilds"] == 1
+        assert catalog.counters["artifact_loads"] == 0
+        assert_matches_direct(engine, data, queries)
+        # The rebuild rewrote blob + sidecar at the current version: a
+        # fresh catalog now loads cleanly with zero rebuilds.
+        after = GraphCatalog(root)
+        after.engine("g")
+        assert after.counters["artifact_loads"] == 1
+        assert after.counters["artifact_rebuilds"] == 0
+
     def test_unparseable_graph_is_an_error(self, instance, tmp_path):
         data, _ = instance
         root = tmp_path / "cat"
