@@ -1,6 +1,7 @@
-"""Perf smoke gates for CI: search hot path + GCS build path.
+"""Perf smoke gates for CI: search hot path, GCS build path, dynamic
+maintenance.
 
-Two gates, each a few seconds of work:
+Three gates, each a few seconds of work:
 
 * **hotpath** — re-runs the *smoke* sub-grid of
   :mod:`benchmarks.bench_hotpath` and compares the bitmap search
@@ -11,12 +12,18 @@ Two gates, each a few seconds of work:
   :mod:`benchmarks.bench_buildpath` and compares the bitmap build
   backend's builds/sec against ``BENCH_buildpath.json``; also fails if
   the bitmap builder is no longer faster than the seed set builder.
+* **dynamic** — re-runs the small-delta smoke grid of
+  :mod:`benchmarks.bench_dynamic` and compares the incremental
+  ``DataArtifacts.apply_delta`` geomean speedup over a cold rebuild
+  against ``BENCH_dynamic.json``; also fails if the speedup drops
+  below the 2x acceptance floor for small deltas.
 
-Either gate fails (exit 1) when throughput dropped more than the
-tolerance (default 30%), catching accidental de-optimization.
+A gate fails (exit 1) when throughput dropped more than the tolerance
+(default 30%), catching accidental de-optimization.
 
-Run: ``python benchmarks/check_perf.py [--gate hotpath|buildpath|all]
-[--baseline PATH] [--build-baseline PATH] [--tolerance F]``
+Run: ``python benchmarks/check_perf.py
+[--gate hotpath|buildpath|dynamic|all] [--baseline PATH]
+[--build-baseline PATH] [--dynamic-baseline PATH] [--tolerance F]``
 """
 
 from __future__ import annotations
@@ -35,10 +42,16 @@ from benchmarks.bench_buildpath import (  # noqa: E402
     SMOKE_SETS as BUILD_SMOKE_SETS,
     run_grid as run_build_grid,
 )
+from benchmarks.bench_dynamic import (  # noqa: E402
+    SMOKE_DELTA_SIZES,
+    run_maintenance_grid,
+)
 from benchmarks.bench_hotpath import (  # noqa: E402
     SMOKE_SETS as HOT_SMOKE_SETS,
     run_grid as run_hot_grid,
 )
+
+DYNAMIC_SPEEDUP_FLOOR = 2.0  # the ISSUE's small-delta acceptance floor
 
 
 def check_hotpath(baseline_path: Path, tolerance: float, repeats: int) -> bool:
@@ -97,16 +110,50 @@ def check_buildpath(baseline_path: Path, tolerance: float, repeats: int) -> bool
     return ok
 
 
+def check_dynamic(baseline_path: Path, tolerance: float, repeats: int) -> bool:
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    base = baseline["smoke"]["overall"]["geomean_speedup_small_deltas"]
+
+    fresh = run_maintenance_grid(SMOKE_DELTA_SIZES, repeats=repeats)
+    now = fresh["overall"]["geomean_speedup_small_deltas"]
+
+    floor = base * (1.0 - tolerance)
+    print(
+        f"[dynamic] small-delta incremental-vs-rebuild geomean: {now}x "
+        f"(baseline {base}x, floor {floor:.2f}x)"
+    )
+
+    ok = True
+    if now < floor:
+        print(
+            f"FAIL: incremental-maintenance speedup dropped more than "
+            f"{tolerance:.0%} vs the committed baseline"
+        )
+        ok = False
+    if now < DYNAMIC_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: incremental maintenance is below the "
+            f"{DYNAMIC_SPEEDUP_FLOOR}x small-delta acceptance floor"
+        )
+        ok = False
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--gate", choices=("hotpath", "buildpath", "all"), default="all"
+        "--gate",
+        choices=("hotpath", "buildpath", "dynamic", "all"),
+        default="all",
     )
     parser.add_argument(
         "--baseline", type=Path, default=ROOT / "BENCH_hotpath.json"
     )
     parser.add_argument(
         "--build-baseline", type=Path, default=ROOT / "BENCH_buildpath.json"
+    )
+    parser.add_argument(
+        "--dynamic-baseline", type=Path, default=ROOT / "BENCH_dynamic.json"
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -121,6 +168,11 @@ def main(argv=None) -> int:
     if args.gate in ("buildpath", "all"):
         ok = (
             check_buildpath(args.build_baseline, args.tolerance, args.repeats)
+            and ok
+        )
+    if args.gate in ("dynamic", "all"):
+        ok = (
+            check_dynamic(args.dynamic_baseline, args.tolerance, args.repeats)
             and ok
         )
     print("OK" if ok else "FAILED")

@@ -25,6 +25,7 @@ from repro.core.config import GuPConfig
 from repro.core.engine import GuPEngine, count_embeddings, match
 from repro.core.gcs import GuardedCandidateSpace, build_gcs
 from repro.core.procpool import match_parallel
+from repro.dynamic import ContinuousMatcher, GraphDelta, apply_delta
 from repro.filtering.artifacts import DataArtifacts
 from repro.graph.builder import GraphBuilder
 from repro.graph.graph import Graph
@@ -36,10 +37,13 @@ from repro.matching.verify import is_embedding
 __version__ = "1.0.0"
 
 __all__ = [
+    "ContinuousMatcher",
     "DataArtifacts",
     "Graph",
     "GraphBuilder",
+    "GraphDelta",
     "GuPConfig",
+    "apply_delta",
     "GuPEngine",
     "GuardedCandidateSpace",
     "MatchResult",

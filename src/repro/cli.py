@@ -8,9 +8,11 @@ Commands
 ``querygen``   extract queries from a data graph (random walk / cycles / mined)
 ``inspect``    print candidate-space and guard statistics for a query
 ``methods``    list registered matchers
-``catalog``    manage the persistent graph catalog (``add``/``list``/``warm``)
+``catalog``    manage the persistent graph catalog
+               (``add``/``list``/``info``/``warm``/``remove``)
 ``serve``      run the long-running matching server over a catalog
 ``query``      send queries to a running server (blocking client)
+``update``     apply a graph delta to an entry on a running server
 
 Examples
 --------
@@ -25,6 +27,7 @@ Examples
     python -m repro catalog add yeast yeast.graph --root ./catalog
     python -m repro serve --root ./catalog --port 7464
     python -m repro query 'q*.graph' yeast --port 7464 --limit 10
+    python -m repro update yeast edits.delta --port 7464
 """
 
 from __future__ import annotations
@@ -146,6 +149,12 @@ def _add_catalog_parser(subparsers) -> None:
     )
     warm.add_argument("names", nargs="+", help="entries to warm")
     warm.add_argument("--root", default="catalog", help="catalog directory")
+    info = sp.add_parser("info", help="show one entry's metadata")
+    info.add_argument("name", help="catalog entry name")
+    info.add_argument("--root", default="catalog", help="catalog directory")
+    remove = sp.add_parser("remove", help="delete an entry from the catalog")
+    remove.add_argument("names", nargs="+", help="entries to remove")
+    remove.add_argument("--root", default="catalog", help="catalog directory")
 
 
 def _add_serve_parser(subparsers) -> None:
@@ -199,6 +208,20 @@ def _add_query_parser(subparsers) -> None:
                    help="print at most this many embeddings per query")
 
 
+def _add_update_parser(subparsers) -> None:
+    from repro.service.server import DEFAULT_PORT
+
+    p = subparsers.add_parser(
+        "update",
+        help="apply a graph delta to an entry on a running server",
+    )
+    p.add_argument("data", help="catalog entry name on the server")
+    p.add_argument("delta",
+                   help="delta file (av <label> / ae <u> <v> / re <u> <v>)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_catalog_parser(subparsers)
     _add_serve_parser(subparsers)
     _add_query_parser(subparsers)
+    _add_update_parser(subparsers)
     subparsers.add_parser("methods", help="list registered matchers")
     return parser
 
@@ -453,6 +477,18 @@ def _cmd_catalog(args) -> int:
                 print(f"{name}: {info['num_vertices']} vertices, "
                       f"{info['num_edges']} edges "
                       f"(checksum {str(info['graph_checksum'])[:12]})")
+        elif args.catalog_command == "info":
+            info = catalog.info(args.name)
+            print(f"name:       {info['name']}")
+            print(f"vertices:   {info['num_vertices']}")
+            print(f"edges:      {info['num_edges']}")
+            print(f"epoch:      {info['epoch']}")
+            print(f"checksum:   {info['graph_checksum']}")
+            print(f"resident:   {'yes' if info['resident'] else 'no'}")
+        elif args.catalog_command == "remove":
+            for name in args.names:
+                catalog.remove(name)
+                print(f"removed {name}")
         else:  # warm
             for name in args.names:
                 rebuilt = catalog.warm(name)
@@ -538,6 +574,37 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_update(args) -> int:
+    from repro.dynamic.delta import DeltaError, load_delta
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        delta = load_delta(args.delta)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except DeltaError as exc:
+        print(f"error: {args.delta}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            reply = client.update(args.data, delta)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = reply.summary
+    print(f"{args.data}: epoch {reply.epoch} "
+          f"({reply.entry.get('num_vertices')} vertices, "
+          f"{reply.entry.get('num_edges')} edges)")
+    print(f"delta:        +{summary.get('added_vertices', 0)} vertices, "
+          f"+{summary.get('added_edges', 0)}/-{summary.get('removed_edges', 0)}"
+          f" edges, {summary.get('touched_vertices', 0)} vertices touched")
+    print(f"query cache:  {reply.qcache_kept} kept, "
+          f"{reply.qcache_evicted} evicted")
+    print(f"subscribers:  {reply.subscribers_notified} notified")
+    return 0
+
+
 COMMANDS = {
     "match": _cmd_match,
     "batch": _cmd_batch,
@@ -548,6 +615,7 @@ COMMANDS = {
     "catalog": _cmd_catalog,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "update": _cmd_update,
     "methods": _cmd_methods,
 }
 

@@ -54,6 +54,7 @@ class GuPEngine:
         data: Graph,
         config: Optional[GuPConfig] = None,
         artifacts: Optional[DataArtifacts] = None,
+        invariants: Optional[BuildInvariantCache] = None,
     ) -> None:
         self.data = data
         self.config = config or GuPConfig()
@@ -63,7 +64,14 @@ class GuPEngine:
                     "artifacts were built for a different data graph"
                 )
         self._artifacts: Optional[DataArtifacts] = artifacts
-        self.invariants = BuildInvariantCache()
+        # An inherited invariant cache stays valid across data-graph
+        # changes: every cache key fully determines its value (orders
+        # are keyed by the exact candidate masks, DAGs by the exact
+        # sizes, two-cores by the query alone), so entries computed
+        # against an older graph epoch are either re-hit correctly or
+        # simply never hit again.  The service catalog threads one cache
+        # through a graph's successive epochs this way.
+        self.invariants = invariants if invariants is not None else BuildInvariantCache()
 
     @property
     def artifacts(self) -> DataArtifacts:
@@ -72,15 +80,43 @@ class GuPEngine:
             self._artifacts = DataArtifacts(self.data)
         return self._artifacts
 
-    def build(self, query: Graph) -> GuardedCandidateSpace:
-        """Run GCS construction + reservation generation for ``query``."""
+    def build(
+        self, query: Graph, seed_masks: Optional[List[int]] = None
+    ) -> GuardedCandidateSpace:
+        """Run GCS construction + reservation generation for ``query``.
+
+        ``seed_masks`` optionally replaces the LDF+NLF seeding with
+        caller-restricted candidate masks (see :func:`build_gcs`)."""
         return build_gcs(
             query,
             self.data,
             self.config,
             artifacts=self.artifacts,
             invariants=self.invariants,
+            seed_masks=seed_masks,
         )
+
+    def apply_delta(self, delta):
+        """Apply a :class:`repro.dynamic.delta.GraphDelta` in place.
+
+        Swaps in the delta-applied graph and incrementally-patched
+        artifacts (:meth:`DataArtifacts.apply_delta`); the build
+        invariant cache is kept — its keys fully determine its values,
+        so entries never go stale across graph epochs.  Returns the
+        :class:`repro.dynamic.delta.DeltaSummary`.
+
+        Not atomic with respect to concurrent :meth:`match` calls on
+        other threads; services should install a fresh engine around
+        the new state instead (:meth:`repro.service.catalog.GraphCatalog.update`
+        does, reusing this engine's invariant cache).
+        """
+        from repro.dynamic.delta import apply_delta as _apply
+
+        new_graph, summary = _apply(self.data, delta)
+        if self._artifacts is not None:
+            self._artifacts = self._artifacts.apply_delta(new_graph, summary)
+        self.data = new_graph
+        return summary
 
     def match(
         self,

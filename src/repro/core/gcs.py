@@ -232,6 +232,7 @@ def build_gcs(
     config: Optional[GuPConfig] = None,
     artifacts: Optional["DataArtifacts"] = None,
     invariants: Optional[BuildInvariantCache] = None,
+    seed_masks: Optional[Sequence[int]] = None,
 ) -> GuardedCandidateSpace:
     """Steps (1) and (2) of GuP (§3.1): GCS construction.
 
@@ -254,6 +255,14 @@ def build_gcs(
     ``invariants`` optionally memoizes the reordered query's two-core
     edge set and DAG across repeated builds (engines own one).  Results
     are identical with or without either.
+
+    ``seed_masks`` (bitmap backend only) replaces the LDF+NLF seeding
+    with caller-supplied per-query-vertex candidate masks.  The
+    continuous-matching engine (:mod:`repro.dynamic.continuous`) passes
+    delta-restricted masks here: restricting ``C(u)`` before filtering
+    is sound and complete for the restricted enumeration problem, so the
+    search finds exactly the embeddings mapping ``u`` into the
+    restriction.
     """
     config = config or GuPConfig()
     started = time.perf_counter()
@@ -261,11 +270,23 @@ def build_gcs(
     if artifacts is not None and artifacts.data is not data:
         raise ValueError("artifacts were built for a different data graph")
     use_masks = config.build_backend == "bitmap"
+    if seed_masks is not None:
+        if not use_masks:
+            raise ValueError("seed_masks requires build_backend='bitmap'")
+        if len(seed_masks) != query.num_vertices:
+            raise ValueError(
+                f"seed_masks has {len(seed_masks)} entries for a "
+                f"{query.num_vertices}-vertex query"
+            )
     if use_masks and artifacts is None:
         artifacts = _self_built_artifacts(data)
 
     if use_masks:
-        initial_masks = artifacts.nlf_candidate_masks(query)
+        initial_masks = (
+            list(seed_masks)
+            if seed_masks is not None
+            else artifacts.nlf_candidate_masks(query)
+        )
         initial: List[Sequence[int]] = [MaskView(m) for m in initial_masks]
     elif artifacts is not None:
         initial = artifacts.nlf_candidates(query)

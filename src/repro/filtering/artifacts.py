@@ -64,6 +64,21 @@ class ArtifactsFormatError(ValueError):
     """A serialized artifacts blob is corrupt, stale, or mismatched."""
 
 
+def _label_sort_key(label: object) -> Tuple[str, str]:
+    """Deterministic cross-type ordering for labels.
+
+    Label-keyed dicts (buckets, bitmaps) are built in this order so a
+    cold build and a delta patch produce byte-identical serialized
+    payloads — set iteration order would differ once a delta introduces
+    a new label.
+    """
+    return (type(label).__name__, repr(label))
+
+
+def _sorted_labels(labels) -> List[object]:
+    return sorted(labels, key=_label_sort_key)
+
+
 class DataArtifacts:
     """Per-data-graph filter state, shared across a whole query set."""
 
@@ -73,6 +88,7 @@ class DataArtifacts:
         "label_buckets",
         "label_bitmaps",
         "adjacency_bitmaps",
+        "reuse_report",
         "_ldf_masks",
         "_nlf_count_masks",
         "_nlf2_tables",
@@ -86,14 +102,24 @@ class DataArtifacts:
     which is what lets the service tests assert that a warm catalog
     performs zero rebuilds."""
 
+    patches_performed = 0
+    """Process-wide count of incremental delta patches (class attribute).
+
+    :meth:`apply_delta` increments this instead of ``builds_performed``,
+    so the service tests can assert that graph updates never fall back
+    to a from-scratch rebuild."""
+
     def __init__(self, data: Graph) -> None:
         DataArtifacts.builds_performed += 1
         self.data = data
+        self.reuse_report: Dict[str, int] = {}
         self.degrees: Tuple[int, ...] = tuple(
             data.degree(v) for v in data.vertices()
         )
+        # Label-keyed dicts are built in canonical label order (see
+        # _label_sort_key) so delta patches can reproduce them exactly.
         buckets: Dict[object, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
-        for label in data.label_set:
+        for label in _sorted_labels(data.label_set):
             vs = sorted(
                 data.vertices_with_label(label),
                 key=lambda v: self.degrees[v],
@@ -109,7 +135,7 @@ class DataArtifacts:
         # Dense build-path bitmaps (DESIGN.md §8): bit v == data vertex v.
         self.label_bitmaps: Dict[object, int] = {
             label: mask_of(data.vertices_with_label(label))
-            for label in data.label_set
+            for label in _sorted_labels(data.label_set)
         }
         self.adjacency_bitmaps: Tuple[int, ...] = tuple(
             mask_of(data.neighbors(v)) for v in data.vertices()
@@ -236,6 +262,112 @@ class DataArtifacts:
             masks.append(mask)
         return masks
 
+    # ------------------------------------------------------------------
+    # Incremental maintenance (DESIGN.md §9)
+    # ------------------------------------------------------------------
+
+    def apply_delta(self, new_graph: Graph, summary) -> "DataArtifacts":
+        """Patched artifacts for ``new_graph`` (the delta-applied graph).
+
+        ``summary`` is the :class:`repro.dynamic.delta.DeltaSummary`
+        returned by ``apply_delta(self.data, delta)`` and ``new_graph``
+        the graph it produced.  Only structures covering the summary's
+        touched vertices/labels are re-derived; everything else is
+        reused from this instance (buckets and bitmap rows by
+        reference, adjacency rows by a couple of bit flips).  The
+        result serializes byte-identically to ``DataArtifacts(new_graph)``
+        — ``tests/test_dynamic.py`` proves it differentially — while
+        performing no per-untouched-vertex work.
+
+        The lazy mask ladders carry over patched: LDF prefix masks of
+        untouched labels stay (their buckets are unchanged), touched
+        labels' entries are dropped; NLF count-threshold masks have
+        exactly the touched vertices' bits recomputed.  The NLF2
+        two-hop tables are invalidated wholesale — a delta's influence
+        there has radius 2, so patching them would touch the whole
+        neighborhood of the neighborhood for marginal reuse.
+
+        ``reuse_report`` on the returned instance quantifies the reuse;
+        the class-level ``patches_performed`` counter increments instead
+        of ``builds_performed``.
+        """
+        DataArtifacts.patches_performed += 1
+        touched = summary.touched_vertices
+        touched_labels = summary.touched_labels
+        n_new = summary.num_vertices_after
+
+        patched = DataArtifacts.__new__(DataArtifacts)
+        patched.data = new_graph
+
+        degrees = list(self.degrees)
+        degrees.extend(0 for _ in summary.added_vertices)
+        for v in touched:
+            degrees[v] = new_graph.degree(v)
+        patched.degrees = tuple(degrees)
+
+        buckets: Dict[object, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+        bitmaps: Dict[object, int] = {}
+        buckets_reused = buckets_rebuilt = 0
+        for label in _sorted_labels(new_graph.label_set):
+            if label in touched_labels or label not in self.label_buckets:
+                vs = sorted(
+                    new_graph.vertices_with_label(label),
+                    key=lambda v: degrees[v],
+                    reverse=True,
+                )
+                buckets[label] = (
+                    tuple(vs),
+                    tuple(-degrees[v] for v in vs),
+                )
+                bitmaps[label] = mask_of(new_graph.vertices_with_label(label))
+                buckets_rebuilt += 1
+            else:
+                buckets[label] = self.label_buckets[label]
+                bitmaps[label] = self.label_bitmaps[label]
+                buckets_reused += 1
+        patched.label_buckets = buckets
+        patched.label_bitmaps = bitmaps
+
+        adjacency = list(self.adjacency_bitmaps)
+        adjacency.extend(0 for _ in summary.added_vertices)
+        for u, v in summary.added_edges:
+            adjacency[u] |= 1 << v
+            adjacency[v] |= 1 << u
+        for u, v in summary.removed_edges:
+            adjacency[u] &= ~(1 << v)
+            adjacency[v] &= ~(1 << u)
+        patched.adjacency_bitmaps = tuple(adjacency)
+
+        # Lazy ladders: keep what provably survived, patch the rest.
+        ldf_kept = 0
+        patched._ldf_masks = {}
+        for (label, end), mask in self._ldf_masks.items():
+            if label not in touched_labels:
+                patched._ldf_masks[(label, end)] = mask
+                ldf_kept += 1
+        patched._nlf_count_masks = {}
+        for (label, count), mask in self._nlf_count_masks.items():
+            for v in touched:
+                if new_graph.neighbor_label_frequency(v).get(label, 0) >= count:
+                    mask |= 1 << v
+                else:
+                    mask &= ~(1 << v)
+            patched._nlf_count_masks[(label, count)] = mask
+        patched._nlf2_tables = None
+        patched._nlf2_count_masks = {}
+
+        patched.reuse_report = {
+            "vertices": n_new,
+            "vertices_touched": len(touched),
+            "adjacency_rows_reused": n_new - len(touched),
+            "label_buckets_reused": buckets_reused,
+            "label_buckets_rebuilt": buckets_rebuilt,
+            "ldf_masks_kept": ldf_kept,
+            "ldf_masks_dropped": len(self._ldf_masks) - ldf_kept,
+            "nlf_masks_patched": len(self._nlf_count_masks),
+        }
+        return patched
+
 
 # ----------------------------------------------------------------------
 # Serialization (graph-free payload; the graph is stored separately)
@@ -330,6 +462,7 @@ def loads_artifacts(blob: bytes, data: Graph) -> DataArtifacts:
 
     artifacts = DataArtifacts.__new__(DataArtifacts)
     artifacts.data = data
+    artifacts.reuse_report = {}
     artifacts.degrees = degrees
     artifacts.label_buckets = label_buckets
     artifacts.label_bitmaps = label_bitmaps

@@ -19,7 +19,16 @@ self-loops, no duplicate edges, labels hashable) and then freezes.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 
 class Graph:
@@ -51,6 +60,7 @@ class Graph:
         "_label_index",
         "_num_edges",
         "_nlf",
+        "_checksum",
     )
 
     def __init__(
@@ -94,6 +104,48 @@ class Graph:
 
         # Neighbor label frequency (NLF) tables, computed lazily.
         self._nlf: List[Dict[object, int]] = []
+        # Content checksum, computed lazily by repro.graph.io.graph_checksum
+        # (instances are immutable, so one hash serves every caller).
+        self._checksum: Optional[str] = None
+
+    @classmethod
+    def _from_sorted_rows(
+        cls,
+        labels: Sequence[object],
+        rows: Sequence[Tuple[int, ...]],
+        neighbor_sets: Sequence[FrozenSet[int]],
+        nlf: Optional[List[Dict[object, int]]] = None,
+    ) -> "Graph":
+        """Assemble a graph from already-validated per-vertex rows.
+
+        The delta-application path (:mod:`repro.dynamic.delta`) reuses
+        the untouched rows of an existing graph verbatim — ``rows[v]``
+        and ``neighbor_sets[v]`` may be the *same objects* as the source
+        graph's — so this constructor performs no per-row sorting,
+        deduplication, or loop checks.  Callers guarantee every row is
+        sorted, loop-free, and symmetric.  ``nlf``, when given, installs
+        a prebuilt neighbor-label-frequency cache (all rows or none).
+        """
+        graph = cls.__new__(cls)
+        graph._labels = tuple(labels)
+        offsets: List[int] = [0]
+        flat: List[int] = []
+        for row in rows:
+            flat.extend(row)
+            offsets.append(len(flat))
+        graph._offsets = tuple(offsets)
+        graph._neighbors_flat = tuple(flat)
+        graph._neighbor_sets = tuple(neighbor_sets)
+        graph._num_edges = len(flat) // 2
+        label_index: Dict[object, List[int]] = {}
+        for v, label in enumerate(graph._labels):
+            label_index.setdefault(label, []).append(v)
+        graph._label_index = {
+            label: tuple(vs) for label, vs in label_index.items()
+        }
+        graph._nlf = nlf if nlf is not None else []
+        graph._checksum = None
+        return graph
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -143,8 +143,19 @@ def graph_checksum(graph: Graph) -> str:
     vertices in id order, neighbor lists sorted).  The service catalog
     stores this in each entry's sidecar to detect stale artifacts after
     the graph file changes.
+
+    Computed once per instance and cached on it (graphs are immutable),
+    so the service paths that hash the same graph repeatedly — catalog
+    ``add``/``info``, epoch metadata on ``update`` — re-serialize
+    nothing after the first call.
     """
-    return hashlib.sha256(saves_graph(graph).encode("utf-8")).hexdigest()
+    cached = graph._checksum
+    if cached is None:
+        cached = hashlib.sha256(
+            saves_graph(graph).encode("utf-8")
+        ).hexdigest()
+        graph._checksum = cached
+    return cached
 
 
 def graph_from_edge_list(

@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import shutil
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -84,13 +85,20 @@ class GraphCatalog:
         self.max_resident = max_resident
         self._resident: "OrderedDict[str, GuPEngine]" = OrderedDict()
         self._lock = threading.RLock()
+        # Serializes update() calls against each other (epoch
+        # read-modify-write) without holding the main lock across the
+        # patch/serialization work, which must not stall engine() calls.
+        self._update_mutex = threading.Lock()
         self.counters: Dict[str, int] = {
             "artifact_builds": 0,
             "artifact_loads": 0,
             "artifact_rebuilds": 0,
+            "artifact_patches": 0,
             "engine_hits": 0,
             "engine_misses": 0,
             "engine_evictions": 0,
+            "updates": 0,
+            "removes": 0,
         }
 
     # -- registration --------------------------------------------------
@@ -171,8 +179,70 @@ class GraphCatalog:
             "num_edges": meta.get("num_edges"),
             "graph_checksum": meta.get("graph_checksum"),
             "format_version": meta.get("format_version"),
+            "epoch": meta.get("epoch"),
             "resident": resident,
         }
+
+    def update(self, name: str, delta) -> Tuple[Dict[str, object], object]:
+        """Apply a :class:`repro.dynamic.delta.GraphDelta` to an entry.
+
+        The entry's graph is replaced by the delta-applied graph, its
+        on-disk artifacts by the **incrementally patched** ones
+        (:meth:`DataArtifacts.apply_delta` — counted under
+        ``artifact_patches``, never a rebuild), its sidecar epoch is
+        bumped, and a fresh warm engine is installed that inherits the
+        old engine's build-invariant cache (those entries never go
+        stale).  Returns ``(info, summary)``.
+
+        Updates serialize against each other on a dedicated mutex; the
+        catalog lock is held only to fetch the engine and to swap in
+        the new state, so the patch and the O(graph) serialization
+        never stall concurrent ``engine()`` calls (the same contract
+        :meth:`add` keeps for its artifact build).  Engines handed out
+        earlier keep serving the pre-update graph snapshot.  As with
+        two racing ``add`` calls, an ``add(overwrite=True)`` racing an
+        update of the same name resolves by last-write-wins.
+        """
+        from repro.dynamic.delta import apply_delta
+
+        with self._update_mutex:
+            with self._lock:
+                engine = self.engine(name)  # raises CatalogError when unknown
+            new_graph, summary = apply_delta(engine.data, delta)
+            artifacts = engine.artifacts.apply_delta(new_graph, summary)
+            graph_text = saves_graph(new_graph)
+            with self._lock:
+                self.counters["artifact_patches"] += 1
+                self.counters["updates"] += 1
+                directory = self._entry_dir(name)
+                meta = self._read_meta(directory) or {}
+                epoch = int(meta.get("epoch") or 1) + 1
+                (directory / GRAPH_FILE).write_text(
+                    graph_text, encoding="utf-8"
+                )
+                self._write_artifacts(
+                    directory, new_graph, graph_text, artifacts, epoch=epoch
+                )
+                self._install(
+                    name,
+                    GuPEngine(
+                        new_graph,
+                        self.config,
+                        artifacts=artifacts,
+                        invariants=engine.invariants,
+                    ),
+                )
+        return self.info(name), summary
+
+    def remove(self, name: str) -> None:
+        """Delete an entry (its directory and any resident engine)."""
+        directory = self._entry_dir(name)
+        with self._lock:
+            if not (directory / GRAPH_FILE).exists():
+                raise CatalogError(f"unknown catalog entry {name!r}")
+            self._resident.pop(name, None)
+            shutil.rmtree(directory)
+            self.counters["removes"] += 1
 
     # -- engines -------------------------------------------------------
 
@@ -227,6 +297,7 @@ class GraphCatalog:
         graph: Graph,
         graph_text: str,
         artifacts: DataArtifacts,
+        epoch: int = 1,
     ) -> None:
         blob = dumps_artifacts(artifacts)
         (directory / ARTIFACTS_FILE).write_bytes(blob)
@@ -236,6 +307,7 @@ class GraphCatalog:
             "name": directory.name,
             "num_vertices": graph.num_vertices,
             "num_edges": graph.num_edges,
+            "epoch": epoch,
             "graph_checksum": graph_checksum(graph),
             "graph_file_sha256": _sha256(graph_text.encode("utf-8")),
             "artifacts_sha256": _sha256(blob),
@@ -286,7 +358,17 @@ class GraphCatalog:
                 pass  # fall through to rebuild
         artifacts = DataArtifacts(graph)
         self.counters["artifact_rebuilds"] += 1
-        self._write_artifacts(directory, graph, graph_text, artifacts)
+        # A rebuild recovers the artifacts, not the entry's history:
+        # keep whatever epoch the (possibly corrupt) sidecar still had.
+        epoch = 1
+        if meta is not None:
+            try:
+                epoch = max(1, int(meta.get("epoch") or 1))
+            except (TypeError, ValueError):
+                epoch = 1
+        self._write_artifacts(
+            directory, graph, graph_text, artifacts, epoch=epoch
+        )
         return graph, artifacts, True
 
     def _install(self, name: str, engine: GuPEngine) -> None:

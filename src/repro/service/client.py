@@ -33,6 +33,31 @@ class QueryReply:
     embeddings: List[Tuple[int, ...]] = field(default_factory=list)
 
 
+@dataclass
+class SubscribeReply:
+    """An accepted subscription: id, epoch, and the current matches."""
+
+    subscription: int
+    num_embeddings: int
+    epoch: Optional[int]
+    embeddings: List[Tuple[int, ...]] = field(default_factory=list)
+
+
+@dataclass
+class UpdateReply:
+    """One applied delta: new entry info plus invalidation accounting."""
+
+    entry: Dict
+    summary: Dict
+    qcache_kept: int
+    qcache_evicted: int
+    subscribers_notified: int
+
+    @property
+    def epoch(self) -> Optional[int]:
+        return self.entry.get("epoch")
+
+
 class ServiceClient:
     """Synchronous client; usable as a context manager."""
 
@@ -106,6 +131,79 @@ class ServiceClient:
 
     def shutdown(self) -> None:
         self.request({"op": "shutdown"})
+
+    def update(self, name: str, delta) -> UpdateReply:
+        """Apply a delta to the catalog entry ``name`` on the server.
+
+        ``delta`` is a :class:`repro.dynamic.delta.GraphDelta` or an
+        already-encoded payload dict.
+        """
+        from repro.dynamic.delta import GraphDelta, delta_to_payload
+
+        payload = (
+            delta_to_payload(delta) if isinstance(delta, GraphDelta)
+            else dict(delta)
+        )
+        reply = self.request({"op": "update", "name": name, "delta": payload})
+        return UpdateReply(
+            entry=dict(reply.get("entry", {})),
+            summary=dict(reply.get("summary", {})),
+            qcache_kept=int(reply.get("qcache_kept", 0)),
+            qcache_evicted=int(reply.get("qcache_evicted", 0)),
+            subscribers_notified=int(reply.get("subscribers_notified", 0)),
+        )
+
+    def subscribe(self, graph: Union[Graph, str], data: str) -> SubscribeReply:
+        """Register a standing query on catalog entry ``data``.
+
+        Returns the current (complete) embedding set; afterwards every
+        server-side ``update`` of that graph pushes one event line per
+        subscription, read with :meth:`next_event`.  Use a dedicated
+        client/connection for subscriptions — events interleave with any
+        reply stream on the same socket.
+        """
+        text = saves_graph(graph) if isinstance(graph, Graph) else str(graph)
+        header = self.request(
+            {"op": "subscribe", "data": data, "graph": text}
+        )
+        embeddings: List[Tuple[int, ...]] = []
+        for _ in range(int(header.get("chunks", 0))):
+            message = self._recv()
+            if "chunk" not in message:
+                raise ServiceError("missing chunk in streamed response")
+            embeddings.extend(tuple(e) for e in message["chunk"])
+        trailer = self._recv()
+        if not trailer.get("end"):
+            raise ServiceError("missing end-of-stream marker")
+        epoch = header.get("epoch")
+        return SubscribeReply(
+            subscription=int(header["subscription"]),
+            num_embeddings=int(header["num_embeddings"]),
+            epoch=int(epoch) if epoch is not None else None,
+            embeddings=embeddings,
+        )
+
+    def next_event(self, timeout: Optional[float] = None) -> Dict:
+        """Block until the server pushes the next event line.
+
+        ``timeout`` temporarily overrides the socket timeout.  The
+        returned dict carries ``event`` (``"delta"`` or ``"error"``)
+        plus the event payload; embedding lists are tuple-ized.
+        """
+        previous = self._sock.gettimeout()
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            event = self._recv()
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(previous)
+        if "event" not in event:
+            raise ServiceError(f"expected an event line, got {event!r}")
+        for key in ("added", "removed"):
+            if key in event:
+                event[key] = [tuple(e) for e in event[key]]
+        return event
 
     def query(
         self,

@@ -271,6 +271,9 @@ class QueryCache:
             "uncacheable": 0,
             "translated_hits": 0,
             "inexact_keys": 0,
+            "delta_kept": 0,
+            "delta_evicted": 0,
+            "delta_invalidations": 0,
         }
 
     # -- public API ----------------------------------------------------
@@ -333,6 +336,33 @@ class QueryCache:
                 self._entries.popitem(last=False)
                 self.counters["evictions"] += 1
             return True
+
+    def invalidate_labels(self, touched_labels) -> Tuple[int, int]:
+        """Selective invalidation after a data-graph delta.
+
+        Evicts exactly the entries whose query label set intersects
+        ``touched_labels``; every other entry provably survives the
+        delta: an embedding gains or loses validity only through a
+        changed data edge or an added vertex, whose (touched) label
+        some query vertex would have to carry.  Both canonical and
+        exact-encoding cache keys store the query's label tuple at a
+        fixed position, so the test reads no graphs.  Returns
+        ``(kept, evicted)``.
+        """
+        touched = frozenset(touched_labels)
+        kept = evicted = 0
+        with self._lock:
+            self.counters["delta_invalidations"] += 1
+            for key in list(self._entries):
+                # key == ("canon" | "exact", n, labels, edges)
+                if touched.intersection(key[2]):
+                    del self._entries[key]
+                    evicted += 1
+                else:
+                    kept += 1
+            self.counters["delta_kept"] += kept
+            self.counters["delta_evicted"] += evicted
+        return kept, evicted
 
     def stats(self) -> Dict[str, int]:
         with self._lock:

@@ -16,6 +16,26 @@ object with an ``"op"`` field; each response is one or more lines:
       lines ``{"chunk": [[...], ...]}``, then ``{"end": true}`` —
       large embedding sets stream in bounded chunks instead of one
       giant line.
+``{"op": "update", "name": n, "delta": {"add_vertices": [...],
+   "add_edges": [[u, v], ...], "remove_edges": [[u, v], ...]}}``
+    → ``{"ok": true, "entry": info, "summary": {...},
+      "qcache_kept": k, "qcache_evicted": e, "subscribers_notified": m}``
+      — applies the delta to the catalog entry (epoch bump, artifacts
+      patched incrementally), selectively invalidates the entry's query
+      cache (only entries whose label set meets the delta's touched
+      labels), and pushes an embedding-diff event to every standing
+      subscriber of that graph.
+``{"op": "subscribe", "data": name, "graph": text}``
+    → header ``{"ok": true, "subscription": id, "num_embeddings": N,
+      "epoch": E, "chunks": k}``, then the current embeddings in ``k``
+      chunk lines and ``{"end": true}``.  Afterwards every ``update``
+      of that graph pushes one line
+      ``{"event": "delta", "subscription": id, "data": name,
+      "epoch": E, "added": [...], "removed": [...]}`` with the exact
+      embedding diff.  Subscriptions end with the connection.  Use a
+      dedicated connection per subscriber: events are pushed
+      asynchronously and would interleave with reply streams of
+      requests issued on the same socket.
 ``{"op": "shutdown"}``
     → ``{"ok": true, "stopping": true}`` and the server stops.
 
@@ -42,17 +62,39 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.dynamic.continuous import embedding_diff
+from repro.dynamic.delta import DeltaError, delta_from_payload
 from repro.filtering.artifacts import DataArtifacts
 from repro.graph.graph import Graph
 from repro.graph.io import loads_graph
 from repro.matching.limits import SearchLimits
-from repro.matching.result import MatchResult
+from repro.matching.result import MatchResult, TerminationStatus
 from repro.service.catalog import CatalogError, GraphCatalog
 from repro.service.qcache import DEFAULT_LEAF_BUDGET, QueryCache
 
 DEFAULT_PORT = 7464
+
+
+class _Subscription:
+    """One standing query registered by a connected client."""
+
+    __slots__ = ("id", "name", "query", "matches", "writer")
+
+    def __init__(
+        self,
+        sub_id: int,
+        name: str,
+        query: Graph,
+        matches: Set[Tuple[int, ...]],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.id = sub_id
+        self.name = name
+        self.query = query
+        self.matches = matches
+        self.writer = writer
 
 
 class MatchingServer:
@@ -97,6 +139,10 @@ class MatchingServer:
             "errors": 0,
             "cache_bypass": 0,
             "procpool_dispatches": 0,
+            "updates": 0,
+            "subscriptions": 0,
+            "events_pushed": 0,
+            "subscribers_dropped": 0,
         }
         self._active = 0
         self._sem: Optional[asyncio.Semaphore] = None
@@ -104,6 +150,9 @@ class MatchingServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._conn_tasks: set = set()
+        self._subs: Dict[str, Dict[int, _Subscription]] = {}
+        self._next_sub_id = 1
+        self._update_lock: Optional[asyncio.Lock] = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -114,6 +163,7 @@ class MatchingServer:
         (useful with ``port=0``)."""
         self._sem = asyncio.Semaphore(self.max_inflight)
         self._shutdown = asyncio.Event()
+        self._update_lock = asyncio.Lock()
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_inflight, thread_name_prefix="repro-match"
         )
@@ -164,6 +214,7 @@ class MatchingServer:
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
+        conn_subs: List[_Subscription] = []
         try:
             while True:
                 line = await reader.readline()
@@ -196,6 +247,10 @@ class MatchingServer:
                     await self._op_catalog_add(request, writer)
                 elif op == "query":
                     await self._op_query(request, writer)
+                elif op == "update":
+                    await self._op_update(request, writer)
+                elif op == "subscribe":
+                    await self._op_subscribe(request, writer, conn_subs)
                 elif op == "shutdown":
                     await self._send(writer, {"ok": True, "stopping": True})
                     if self._shutdown is not None:
@@ -214,6 +269,8 @@ class MatchingServer:
         finally:
             if task is not None:
                 self._conn_tasks.discard(task)
+            for sub in conn_subs:
+                self._drop_subscription(sub)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -252,7 +309,7 @@ class MatchingServer:
 
         try:
             info = await loop.run_in_executor(self._executor, work)
-        except (CatalogError, ValueError) as exc:
+        except (CatalogError, ValueError, OSError) as exc:
             self._bump("errors")
             await self._send(writer, {"ok": False, "error": str(exc)})
             return
@@ -261,6 +318,215 @@ class MatchingServer:
         with self._counters_lock:
             self._caches.pop(name, None)
         await self._send(writer, {"ok": True, "entry": info})
+
+    # -- dynamic ops (DESIGN.md §9) ------------------------------------
+
+    def _drop_subscription(self, sub: _Subscription) -> None:
+        with self._counters_lock:
+            per_name = self._subs.get(sub.name)
+            if per_name is not None and per_name.pop(sub.id, None) is not None:
+                if not per_name:
+                    del self._subs[sub.name]
+
+    async def _op_update(
+        self, request: Dict, writer: asyncio.StreamWriter
+    ) -> None:
+        name = request.get("name")
+        payload = request.get("delta")
+        if not isinstance(name, str) or payload is None:
+            await self._send(
+                writer, {"ok": False, "error": "update needs 'name' and 'delta'"}
+            )
+            return
+        loop = asyncio.get_running_loop()
+        assert self._update_lock is not None
+
+        def apply() -> Tuple[Dict, object]:
+            delta = delta_from_payload(payload)
+            return self.catalog.update(name, delta)
+
+        # One update at a time: the summary -> qcache-invalidation ->
+        # subscriber-diff sequence must observe graph epochs in order.
+        async with self._update_lock:
+            try:
+                info, summary = await loop.run_in_executor(
+                    self._executor, apply
+                )
+            except (CatalogError, DeltaError, ValueError, OSError) as exc:
+                # OSError: the catalog could not persist (disk full,
+                # read-only root) — report it, keep the connection.
+                self._bump("errors")
+                await self._send(writer, {"ok": False, "error": str(exc)})
+                return
+
+            with self._counters_lock:
+                cache = self._caches.get(name)
+            kept = evicted = 0
+            if cache is not None:
+                kept, evicted = cache.invalidate_labels(summary.touched_labels)
+
+            notified = await self._notify_subscribers(name, info, summary)
+
+        self._bump("updates")
+        await self._send(
+            writer,
+            {
+                "ok": True,
+                "entry": info,
+                "summary": summary.counts(),
+                "qcache_kept": kept,
+                "qcache_evicted": evicted,
+                "subscribers_notified": notified,
+            },
+        )
+
+    async def _notify_subscribers(
+        self, name: str, info: Dict, summary
+    ) -> int:
+        """Push the exact embedding diff to every subscriber of ``name``."""
+        with self._counters_lock:
+            subs = list(self._subs.get(name, {}).values())
+        if not subs:
+            return 0
+        loop = asyncio.get_running_loop()
+        engine = await loop.run_in_executor(
+            self._executor, self.catalog.engine, name
+        )
+        notified = 0
+        for sub in subs:
+            try:
+                diff = await loop.run_in_executor(
+                    self._executor,
+                    embedding_diff,
+                    engine,
+                    sub.query,
+                    sub.matches,
+                    summary,
+                )
+            except Exception as exc:  # noqa: BLE001 - drop, keep serving
+                self._bump("subscribers_dropped")
+                self._drop_subscription(sub)
+                try:
+                    await self._send(
+                        sub.writer,
+                        {"event": "error", "subscription": sub.id,
+                         "error": f"diff failed: {exc!r}"},
+                    )
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+                continue
+            sub.matches.difference_update(diff.removed)
+            sub.matches.update(diff.added)
+            try:
+                await self._send(
+                    sub.writer,
+                    {
+                        "event": "delta",
+                        "subscription": sub.id,
+                        "data": name,
+                        "epoch": info.get("epoch"),
+                        "added": [list(e) for e in diff.added],
+                        "removed": [list(e) for e in diff.removed],
+                    },
+                )
+                notified += 1
+                self._bump("events_pushed")
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                self._bump("subscribers_dropped")
+                self._drop_subscription(sub)
+        return notified
+
+    async def _op_subscribe(
+        self,
+        request: Dict,
+        writer: asyncio.StreamWriter,
+        conn_subs: List[_Subscription],
+    ) -> None:
+        name = request.get("data")
+        text = request.get("graph")
+        if not isinstance(name, str) or not isinstance(text, str):
+            await self._send(
+                writer,
+                {"ok": False, "error": "subscribe needs 'data' and 'graph'"},
+            )
+            return
+        try:
+            query = loads_graph(text)
+        except ValueError as exc:
+            self._bump("errors")
+            await self._send(writer, {"ok": False, "error": str(exc)})
+            return
+        loop = asyncio.get_running_loop()
+
+        def initial() -> MatchResult:
+            engine = self.catalog.engine(name)
+            return engine.match(query, limits=SearchLimits())
+
+        assert self._sem is not None
+        assert self._update_lock is not None
+        # Serialized against updates end to end: the baseline must be
+        # enumerated on the same epoch the subscription registers under
+        # (an update landing in between would make every later diff
+        # start from a stale set), and no event line may be pushed
+        # between the header and its chunk stream.
+        async with self._update_lock:
+            try:
+                async with self._sem:
+                    result = await loop.run_in_executor(
+                        self._executor, initial
+                    )
+            except CatalogError as exc:
+                self._bump("errors")
+                await self._send(writer, {"ok": False, "error": str(exc)})
+                return
+            if result.status is not TerminationStatus.COMPLETE:
+                self._bump("errors")
+                await self._send(
+                    writer,
+                    {"ok": False,
+                     "error": "subscribe needs a complete initial "
+                              f"enumeration (got {result.status.value})"},
+                )
+                return
+
+            matches = {tuple(e) for e in result.embeddings}
+            with self._counters_lock:
+                sub_id = self._next_sub_id
+                self._next_sub_id += 1
+                sub = _Subscription(sub_id, name, query, matches, writer)
+                self._subs.setdefault(name, {})[sub_id] = sub
+                self.counters["subscriptions"] += 1
+            conn_subs.append(sub)
+
+            try:
+                epoch = self.catalog.info(name).get("epoch")
+            except CatalogError:
+                epoch = None
+            embeddings = sorted(matches)
+            chunk_count = (
+                len(embeddings) + self.chunk_size - 1
+            ) // self.chunk_size
+            await self._send(
+                writer,
+                {
+                    "ok": True,
+                    "subscription": sub_id,
+                    "num_embeddings": len(embeddings),
+                    "epoch": epoch,
+                    "chunks": chunk_count,
+                },
+            )
+            for i in range(chunk_count):
+                await self._send(
+                    writer,
+                    {"chunk": [
+                        list(e)
+                        for e in embeddings[
+                            i * self.chunk_size : (i + 1) * self.chunk_size
+                        ]
+                    ]},
+                )
+            await self._send(writer, {"end": True})
 
     async def _op_query(
         self, request: Dict, writer: asyncio.StreamWriter

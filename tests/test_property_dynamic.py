@@ -1,0 +1,181 @@
+"""Property tests (hypothesis) for the dynamic-graph subsystem.
+
+Drives random *interleaved* edit sequences — edge inserts, edge
+deletes, vertex additions, including empty deltas — against a random
+base graph and asserts, after **every** step:
+
+* the incrementally-maintained graph equals a from-scratch rebuild;
+* ``DataArtifacts.apply_delta`` is byte-identical (serialized) to a
+  cold ``DataArtifacts`` build on the new graph, with warm mask
+  ladders answering exactly what a fresh instance computes;
+* the continuous matcher's cumulative diff stream replays to exactly
+  the full re-match embedding set.
+
+The deterministic edge cases the ISSUE calls out — the empty delta and
+a delta that deletes the last edge of the only vertex carrying a label
+(emptying an NLF row and zeroing a bucket degree) — are pinned as
+explicit examples below the fuzz.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import GuPEngine
+from repro.dynamic.continuous import ContinuousMatcher
+from repro.dynamic.delta import GraphDelta, apply_delta
+from repro.filtering.artifacts import DataArtifacts, dumps_artifacts
+from repro.graph.builder import GraphBuilder, graph_from_adjacency
+from repro.graph.generators import erdos_renyi_graph, random_connected_graph
+
+LABELS = ("A", "B", "C")
+
+
+def random_delta(rng, graph, allow_empty=True):
+    """A valid random delta against ``graph`` (possibly empty)."""
+    n = graph.num_vertices
+    add_vertices = tuple(
+        rng.choice(LABELS) for _ in range(rng.randint(0, 2))
+    )
+    n_new = n + len(add_vertices)
+    edges = list(graph.edges())
+    remove = tuple(rng.sample(edges, min(rng.randint(0, 2), len(edges))))
+    removed = set(remove)
+    add = []
+    for _ in range(rng.randint(0, 3)):
+        u = rng.randrange(n_new)
+        v = rng.randrange(n_new)
+        edge = (min(u, v), max(u, v))
+        if (
+            u != v
+            and edge not in add
+            and edge not in removed
+            and not (edge[1] < n and graph.has_edge(*edge))
+        ):
+            add.append(edge)
+    delta = GraphDelta(
+        add_vertices=add_vertices,
+        add_edges=tuple(add),
+        remove_edges=remove,
+    )
+    if delta.is_empty() and not allow_empty:
+        return random_delta(rng, graph, allow_empty=False) if n > 1 else delta
+    return delta
+
+
+def builder_rebuild(graph, delta):
+    b = GraphBuilder()
+    b.add_vertices(graph.labels)
+    b.add_vertices(delta.add_vertices)
+    removed = set(delta.remove_edges)
+    for u, v in graph.edges():
+        if (u, v) not in removed:
+            b.add_edge(u, v)
+    b.add_edges(delta.add_edges)
+    return b.build()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    nd=st.integers(min_value=2, max_value=12),
+    edge_factor=st.floats(min_value=0.0, max_value=2.0),
+    steps=st.integers(min_value=1, max_value=4),
+)
+def test_artifact_patches_equal_cold_rebuild_along_edit_sequences(
+    seed, nd, edge_factor, steps
+):
+    rng = random.Random(seed)
+    graph = erdos_renyi_graph(
+        nd, int(nd * edge_factor), num_labels=len(LABELS), seed=seed
+    )
+    artifacts = DataArtifacts(graph)
+    probe = random_connected_graph(3, 3, num_labels=len(LABELS), seed=seed + 1)
+    for _ in range(steps):
+        artifacts.nlf_candidate_masks(probe)  # keep ladders warm
+        delta = random_delta(rng, graph)
+        new_graph, summary = apply_delta(graph, delta)
+        assert new_graph == builder_rebuild(graph, delta)
+        patched = artifacts.apply_delta(new_graph, summary)
+        cold = DataArtifacts(new_graph)
+        assert dumps_artifacts(patched) == dumps_artifacts(cold)
+        for label, count in list(patched._nlf_count_masks):
+            assert patched.nlf_count_mask(label, count) == cold.nlf_count_mask(
+                label, count
+            )
+        assert patched.nlf_candidate_masks(probe) == cold.nlf_candidate_masks(
+            probe
+        )
+        graph, artifacts = new_graph, patched
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**30),
+    nd=st.integers(min_value=3, max_value=10),
+    nq=st.integers(min_value=2, max_value=4),
+    steps=st.integers(min_value=1, max_value=3),
+)
+def test_continuous_diffs_replay_to_full_rematch(seed, nd, nq, steps):
+    rng = random.Random(seed)
+    data = erdos_renyi_graph(nd, nd * 2, num_labels=len(LABELS), seed=seed)
+    query = random_connected_graph(
+        nq, nq - 1 + rng.randint(0, 2), num_labels=len(LABELS), seed=seed + 1
+    )
+    matcher = ContinuousMatcher(data)
+    matcher.register("q", query)
+    for _ in range(steps):
+        delta = random_delta(rng, matcher.graph)
+        matcher.apply(delta)
+        full = {
+            tuple(e) for e in GuPEngine(matcher.graph).match(query).embeddings
+        }
+        assert set(matcher.matches("q")) == full
+
+
+def test_empty_delta_edge_case():
+    graph = erdos_renyi_graph(6, 8, num_labels=2, seed=5)
+    artifacts = DataArtifacts(graph)
+    new_graph, summary = apply_delta(graph, GraphDelta())
+    assert new_graph == graph
+    patched = artifacts.apply_delta(new_graph, summary)
+    assert dumps_artifacts(patched) == dumps_artifacts(DataArtifacts(new_graph))
+    assert patched.reuse_report["vertices_touched"] == 0
+    matcher = ContinuousMatcher(graph)
+    query = random_connected_graph(2, 1, num_labels=2, seed=6)
+    before = matcher.register("q", query)
+    diffs = matcher.apply(GraphDelta())
+    assert diffs["q"].is_empty()
+    assert matcher.matches("q") == before
+
+
+def test_delete_last_edges_of_a_labels_only_vertex():
+    # Vertex 3 is the only C carrier; the delta removes its every edge,
+    # emptying its NLF row and dropping its bucket degree to zero.  The
+    # patched artifacts must match a cold rebuild exactly, and a query
+    # needing a connected C loses all its matches.
+    data = graph_from_adjacency(
+        ["A", "B", "A", "C"], [(0, 1), (1, 2), (1, 3), (2, 3)]
+    )
+    query = graph_from_adjacency(["B", "C"], [(0, 1)])
+    artifacts = DataArtifacts(data)
+    artifacts.nlf_candidate_masks(query)
+    matcher = ContinuousMatcher(data)
+    assert matcher.register("bc", query) == [(1, 3)]
+
+    delta = GraphDelta(remove_edges=((1, 3), (2, 3)))
+    new_graph, summary = apply_delta(data, delta)
+    assert new_graph.degree(3) == 0
+    assert new_graph.neighbor_label_frequency(3) == {}
+    patched = artifacts.apply_delta(new_graph, summary)
+    assert dumps_artifacts(patched) == dumps_artifacts(DataArtifacts(new_graph))
+    # The C bucket survives with a zero-degree member, and its LDF mask
+    # for any positive degree bound is now empty.
+    assert patched.label_buckets["C"] == ((3,), (0,))
+    assert patched.ldf_mask("C", 1) == 0
+
+    diffs = matcher.apply(delta)
+    assert diffs["bc"].removed == [(1, 3)]
+    assert diffs["bc"].added == []
+    assert matcher.matches("bc") == []
