@@ -1,0 +1,193 @@
+"""Service saturation: latency and shed-rate vs. offered load.
+
+Drives a small-capacity live server (on-disk catalog, TCP socket,
+blocking clients) with closed-loop client threads at increasing
+concurrency and records, per level:
+
+* **p50/p99 latency** of the *served* requests (ms);
+* **shed rate** — the fraction of offered requests the server rejected
+  instantly with ``overloaded: true`` instead of queueing them.
+
+The degradation contract this measures (DESIGN.md §10): below capacity
+nothing is shed and latency is flat; past capacity the server keeps
+serving at its own pace and sheds the excess immediately — offered ==
+served + shed always, and shed replies return in microseconds instead
+of stacking up as queue delay.
+
+Queries run with the cache bypassed so every admitted request costs
+real engine work (a cache-hit workload would never saturate the
+executor).  Results are written **additively** into
+``BENCH_service.json`` under the new ``"saturation"`` key — the
+throughput benchmark owns the rest of the file.
+
+Run: ``python benchmarks/bench_service_saturation.py [--levels 1,4,16]
+[--per-client N] [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(ROOT / "src"), str(ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.service.catalog import GraphCatalog  # noqa: E402
+from repro.service.client import (  # noqa: E402
+    ServiceClient,
+    ServiceOverloaded,
+)
+from repro.service.server import ServerThread  # noqa: E402
+from repro.workload.datasets import load_dataset  # noqa: E402
+from repro.workload.querygen import QuerySetSpec, generate_query_set  # noqa: E402
+
+DATASET = "wordnet"
+SCALE = 0.25
+SEED = 2023
+LIMIT = 1_000
+MAX_INFLIGHT = 2
+MAX_PENDING = 2
+DEFAULT_LEVELS = (1, 4, 16)
+SMOKE_LEVELS = (1, 12)
+DEFAULT_OUT = ROOT / "BENCH_service.json"
+RESULTS = ROOT / "benchmarks" / "results" / "service_saturation.txt"
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def drive_level(address, queries, clients: int, per_client: int):
+    """``clients`` closed-loop threads, ``per_client`` requests each."""
+    served_latencies = []
+    shed = [0]
+    lock = threading.Lock()
+
+    def worker(offset: int) -> None:
+        with ServiceClient(*address) as client:
+            for i in range(per_client):
+                query = queries[(offset + i) % len(queries)]
+                started = time.perf_counter()
+                try:
+                    client.query(query, DATASET, limit=LIMIT, cache=False)
+                except ServiceOverloaded:
+                    with lock:
+                        shed[0] += 1
+                    continue
+                elapsed = time.perf_counter() - started
+                with lock:
+                    served_latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    offered = clients * per_client
+    latencies = sorted(served_latencies)
+    return {
+        "clients": clients,
+        "offered": offered,
+        "served": len(latencies),
+        "shed": shed[0],
+        "shed_rate": round(shed[0] / offered, 4),
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+def run_saturation(levels, per_client: int):
+    data = load_dataset(DATASET, scale=SCALE, seed=SEED)
+    queries = list(
+        generate_query_set(data, QuerySetSpec(8, "sparse"), count=4,
+                           seed=SEED)
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-catalog-") as tmp:
+        GraphCatalog(tmp).add(DATASET, data)
+        catalog = GraphCatalog(tmp)
+        with ServerThread(
+            catalog, max_inflight=MAX_INFLIGHT, max_pending=MAX_PENDING
+        ) as thread:
+            with ServiceClient(*thread.address) as warmup:
+                # One pass outside the measurement so artifact loading
+                # never pollutes the first level's latencies.
+                for query in queries:
+                    warmup.query(query, DATASET, limit=LIMIT, cache=False)
+            results = [
+                drive_level(thread.address, queries, clients, per_client)
+                for clients in levels
+            ]
+            with ServiceClient(*thread.address) as client:
+                stats = client.stats()["server"]
+
+    for level in results:
+        assert level["served"] + level["shed"] == level["offered"], level
+    total_shed = sum(level["shed"] for level in results)
+    assert stats["rejected"] == total_shed, (stats["rejected"], total_shed)
+
+    return {
+        "capacity": {
+            "max_inflight": MAX_INFLIGHT,
+            "max_pending": MAX_PENDING,
+        },
+        "per_client_requests": per_client,
+        "limit": LIMIT,
+        "levels": results,
+        "invariant": "offered == served + shed at every level",
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--levels", default=",".join(map(str, DEFAULT_LEVELS)),
+                        help="comma-separated concurrent-client counts")
+    parser.add_argument("--per-client", type=int, default=12,
+                        help="requests each client issues")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    levels = tuple(int(x) for x in args.levels.split(","))
+    report = run_saturation(levels, args.per_client)
+
+    # Additive: the throughput benchmark owns every other key.
+    merged = {}
+    if args.out.exists():
+        merged = json.loads(args.out.read_text(encoding="utf-8"))
+    merged["saturation"] = report
+    args.out.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        f"service saturation ({DATASET} x{SCALE}, capacity "
+        f"{MAX_INFLIGHT}+{MAX_PENDING}, {args.per_client} req/client):",
+    ]
+    for level in report["levels"]:
+        lines.append(
+            f"  {level['clients']:3d} clients: p50 {level['p50_ms']:8.3f}ms "
+            f"p99 {level['p99_ms']:8.3f}ms  shed {level['shed']:4d}/"
+            f"{level['offered']:4d} ({level['shed_rate']:.1%})"
+        )
+    text = "\n".join(lines)
+    print(text)
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(text + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,7 @@
 """Perf smoke gates for CI: search hot path, GCS build path, dynamic
-maintenance.
+maintenance, service degradation.
 
-Three gates, each a few seconds of work:
+Four gates, each a few seconds of work:
 
 * **hotpath** — re-runs the *smoke* sub-grid of
   :mod:`benchmarks.bench_hotpath` and compares the bitmap search
@@ -17,13 +17,20 @@ Three gates, each a few seconds of work:
   ``DataArtifacts.apply_delta`` geomean speedup over a cold rebuild
   against ``BENCH_dynamic.json``; also fails if the speedup drops
   below the 2x acceptance floor for small deltas.
+* **service** — re-runs the two-level smoke of
+  :mod:`benchmarks.bench_service_saturation` against a live server and
+  checks the degradation contract: zero shedding below capacity,
+  nonzero shedding past it, ``offered == served + shed``, and the
+  below-capacity p50 latency within a widened (latency-noise) tolerance
+  of the ``BENCH_service.json`` baseline.
 
 A gate fails (exit 1) when throughput dropped more than the tolerance
 (default 30%), catching accidental de-optimization.
 
 Run: ``python benchmarks/check_perf.py
-[--gate hotpath|buildpath|dynamic|all] [--baseline PATH]
-[--build-baseline PATH] [--dynamic-baseline PATH] [--tolerance F]``
+[--gate hotpath|buildpath|dynamic|service|all] [--baseline PATH]
+[--build-baseline PATH] [--dynamic-baseline PATH]
+[--service-baseline PATH] [--tolerance F]``
 """
 
 from __future__ import annotations
@@ -49,6 +56,10 @@ from benchmarks.bench_dynamic import (  # noqa: E402
 from benchmarks.bench_hotpath import (  # noqa: E402
     SMOKE_SETS as HOT_SMOKE_SETS,
     run_grid as run_hot_grid,
+)
+from benchmarks.bench_service_saturation import (  # noqa: E402
+    SMOKE_LEVELS,
+    run_saturation,
 )
 
 DYNAMIC_SPEEDUP_FLOOR = 2.0  # the ISSUE's small-delta acceptance floor
@@ -139,11 +150,51 @@ def check_dynamic(baseline_path: Path, tolerance: float, repeats: int) -> bool:
     return ok
 
 
+def check_service(baseline_path: Path, tolerance: float) -> bool:
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    base_p50 = baseline["saturation"]["levels"][0]["p50_ms"]
+
+    fresh = run_saturation(SMOKE_LEVELS, per_client=8)
+    low, high = fresh["levels"][0], fresh["levels"][-1]
+
+    # Socket-level latency on a shared CI box is far noisier than the
+    # in-process throughput counters the other gates use, so this
+    # ceiling quadruples the tolerance (30% -> allow up to 2.2x).
+    ceiling = base_p50 * (1.0 + 4.0 * tolerance)
+    print(
+        f"[service] below-capacity p50: {low['p50_ms']}ms "
+        f"(baseline {base_p50}ms, ceiling {ceiling:.3f}ms)"
+    )
+    print(
+        f"[service] overload shed rate at {high['clients']} clients: "
+        f"{high['shed_rate']:.1%} ({high['shed']}/{high['offered']})"
+    )
+
+    ok = True
+    if low["shed"] != 0:
+        print("FAIL: server shed requests below capacity")
+        ok = False
+    if high["shed"] == 0:
+        print("FAIL: server queued unboundedly instead of shedding overload")
+        ok = False
+    for level in fresh["levels"]:
+        if level["served"] + level["shed"] != level["offered"]:
+            print(f"FAIL: lost requests at {level['clients']} clients")
+            ok = False
+    if low["p50_ms"] > ceiling:
+        print(
+            f"FAIL: below-capacity p50 latency regressed more than "
+            f"{2 * tolerance:.0%} vs the committed baseline"
+        )
+        ok = False
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--gate",
-        choices=("hotpath", "buildpath", "dynamic", "all"),
+        choices=("hotpath", "buildpath", "dynamic", "service", "all"),
         default="all",
     )
     parser.add_argument(
@@ -154,6 +205,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--dynamic-baseline", type=Path, default=ROOT / "BENCH_dynamic.json"
+    )
+    parser.add_argument(
+        "--service-baseline", type=Path, default=ROOT / "BENCH_service.json"
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.30,
@@ -175,6 +229,8 @@ def main(argv=None) -> int:
             check_dynamic(args.dynamic_baseline, args.tolerance, args.repeats)
             and ok
         )
+    if args.gate in ("service", "all"):
+        ok = check_service(args.service_baseline, args.tolerance) and ok
     print("OK" if ok else "FAILED")
     return 0 if ok else 1
 

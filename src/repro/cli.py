@@ -179,6 +179,13 @@ def _add_serve_parser(subparsers) -> None:
                    help="default per-query wall-clock budget (seconds)")
     p.add_argument("--recursion-limit", type=int, default=None,
                    help="default per-query recursion budget")
+    p.add_argument("--high-headroom", type=int, default=1,
+                   help="reserve slots only high-priority queries may use")
+    p.add_argument("--subscriber-queue", type=int, default=64,
+                   help="buffered diff events per subscriber")
+    p.add_argument("--subscriber-policy", default="disconnect",
+                   choices=("disconnect", "drop"),
+                   help="what to do when a subscriber's queue overflows")
 
 
 def _add_query_parser(subparsers) -> None:
@@ -206,6 +213,13 @@ def _add_query_parser(subparsers) -> None:
                    help="bypass the server's query cache")
     p.add_argument("--max-print", type=int, default=5,
                    help="print at most this many embeddings per query")
+    p.add_argument("--priority", default=None,
+                   choices=("high", "normal", "low"),
+                   help="load-shedding class on an overloaded server")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="total wall-clock budget per query incl. retries")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry attempts for shed/broken requests")
 
 
 def _add_update_parser(subparsers) -> None:
@@ -501,6 +515,7 @@ def _cmd_catalog(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import signal
 
     from repro.service.catalog import GraphCatalog
     from repro.service.server import MatchingServer
@@ -513,9 +528,22 @@ def _cmd_serve(args) -> int:
         cache_entries=args.cache_entries,
         default_time_limit=args.time_limit,
         default_recursion_limit=args.recursion_limit,
+        high_headroom=args.high_headroom,
+        subscriber_queue=args.subscriber_queue,
+        subscriber_policy=args.subscriber_policy,
     )
 
     async def run() -> None:
+        # SIGINT/SIGTERM request an orderly shutdown through the same
+        # path as the "shutdown" op: stop accepting, cancel handlers,
+        # drain the executor — instead of unwinding a KeyboardInterrupt
+        # through whatever the event loop happened to be doing.
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix event loop: fall back to KeyboardInterrupt
         host, port = await server.start(args.host, args.port)
         print(f"serving catalog {args.root} on {host}:{port}", flush=True)
         await server.wait_closed()
@@ -524,11 +552,16 @@ def _cmd_serve(args) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         pass
+    print("server stopped", flush=True)
     return 0
 
 
 def _cmd_query(args) -> int:
-    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.client import (
+        RetryPolicy,
+        ServiceClient,
+        ServiceError,
+    )
 
     paths = _expand_queries(args.queries)
     if not paths:
@@ -544,8 +577,11 @@ def _cmd_query(args) -> int:
         return 1
 
     total = 0
+    retry = (
+        RetryPolicy(attempts=args.retries + 1) if args.retries > 0 else None
+    )
     try:
-        with ServiceClient(args.host, args.port) as client:
+        with ServiceClient(args.host, args.port, retry=retry) as client:
             for path, text in zip(paths, texts):
                 reply = client.query(
                     text,
@@ -556,6 +592,8 @@ def _cmd_query(args) -> int:
                     workers=args.workers,
                     count_only=args.count_only,
                     cache=not args.no_cache,
+                    priority=args.priority,
+                    deadline=args.deadline,
                 )
                 total += reply.num_embeddings
                 print(f"{path}: {reply.num_embeddings} embeddings, "

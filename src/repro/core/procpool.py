@@ -43,9 +43,10 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from dataclasses import fields as dataclass_fields
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.backtrack import GuPSearch
 from repro.core.config import GuPConfig
@@ -241,6 +242,15 @@ class _CancellableLimits(SearchLimits):
 _WORKER_CTX: Optional[tuple] = None
 """Per-worker search context, installed once by the pool initializer."""
 
+POOL_COUNTERS: Dict[str, int] = {"respawns": 0, "tasks_rerun": 0}
+"""Worker-crash recovery accounting (read by the service ``healthz`` op;
+reset with :func:`reset_pool_counters` in tests)."""
+
+
+def reset_pool_counters() -> None:
+    for key in POOL_COUNTERS:
+        POOL_COUNTERS[key] = 0
+
 
 def _procpool_init(
     gcs: GuardedCandidateSpace,
@@ -248,6 +258,7 @@ def _procpool_init(
     limits: SearchLimits,
     symmetry_prev: Optional[Tuple[int, ...]],
     cancel_event,
+    faults=None,
 ) -> None:
     global _WORKER_CTX
     if cancel_event is not None:
@@ -259,11 +270,16 @@ def _procpool_init(
         if base["time_limit"] is None:
             base["time_limit"] = _FOREVER
         limits = _CancellableLimits(**base, cancel_event=cancel_event)
-    _WORKER_CTX = (gcs, config, limits, symmetry_prev)
+    _WORKER_CTX = (gcs, config, limits, symmetry_prev, faults)
 
 
 def _procpool_task(index: int) -> RootTaskResult:
-    gcs, config, limits, symmetry_prev = _WORKER_CTX
+    gcs, config, limits, symmetry_prev, faults = _WORKER_CTX
+    if faults is not None:
+        # Fault-injection hook (``procpool.task.<index>``): a ``die``
+        # rule here makes this worker vanish mid-batch, producing the
+        # real BrokenProcessPool that run_partitioned must survive.
+        faults.reach(f"procpool.task.{index}")
     task = RootTask(index, gcs.cs.candidates[0][index])
     return run_root_task(gcs, task, config, limits, symmetry_prev)
 
@@ -274,6 +290,7 @@ def run_partitioned(
     limits: SearchLimits,
     workers: int,
     symmetry_prev: Optional[Sequence[int]] = None,
+    faults=None,
 ) -> Tuple[List[Tuple[int, ...]], TerminationStatus, SearchStats]:
     """Root-partitioned search over a process pool.
 
@@ -282,6 +299,20 @@ def run_partitioned(
     :meth:`repro.core.engine.GuPEngine.match` can treat the pool as a
     drop-in search step (symmetry expansion and embedding translation
     stay in one place).  Results are independent of ``workers``.
+
+    **Worker-crash recovery** (DESIGN.md §10): a worker process dying
+    mid-batch (segfault, OOM kill, injected ``die`` fault) surfaces as
+    :class:`BrokenProcessPool`.  The pool is respawned **once**, results
+    already returned by healthy workers are kept, and only the
+    unfinished root partitions are re-run — the merged outcome is
+    provably identical to an uninterrupted run because
+    :func:`merge_root_results` is a pure function of the per-task
+    results, whichever pool produced them.  A second breakage
+    propagates (the failure is then systematic, not transient).
+
+    ``faults`` is an optional :class:`repro.service.faults.FaultPlan`
+    shipped to the first pool's workers (hook ``procpool.task.<i>``);
+    the respawned pool runs fault-free, modeling a transient crash.
     """
     tasks = root_partition(gcs)
     if not tasks or gcs.cs.is_empty():
@@ -305,9 +336,9 @@ def run_partitioned(
             stop is not None and found >= stop
         ) or result.status is TerminationStatus.TIMEOUT
 
-    results: List[RootTaskResult] = []
-    found = 0
     if workers <= 1 or len(tasks) == 1:
+        results: List[RootTaskResult] = []
+        found = 0
         for task in tasks:
             result = run_root_task(gcs, task, config, limits, symmetry_prev)
             results.append(result)
@@ -316,29 +347,85 @@ def run_partitioned(
                 break
         return merge_root_results(results, gcs, limits)
 
-    cancel_event = multiprocessing.Event()
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(tasks)),
-        initializer=_procpool_init,
-        initargs=(gcs, config, limits, symmetry_prev, cancel_event),
-    ) as pool:
-        # One future per task: idle workers drain the shared queue in
-        # submission order — dynamic dispatch, no static assignment.
-        futures = [pool.submit(_procpool_task, task.index) for task in tasks]
-        # Consume in root (= submission) order so the early stop fires as
-        # soon as the merge's prefix is decided; queued speculative tasks
-        # are cancelled and running ones are signalled to abort via the
-        # cancel event — results stay deterministic because the merge
-        # never reads past the break point.
-        for future in futures:
-            result = future.result()
-            results.append(result)
+    completed: Dict[int, RootTaskResult] = {}
+
+    def prefix_decided() -> bool:
+        """Whether the contiguous completed prefix already satisfies the
+        merge's stopping condition (cap reached / timeout surfaced) —
+        everything past it is speculative work the merge discards.
+        Walking the *contiguous* prefix keeps the early stop exact even
+        when a respawn harvested results out of root order."""
+        found = 0
+        for task in tasks:
+            result = completed.get(task.index)
+            if result is None:
+                return False
             found += result.stats.embeddings_found
             if merge_would_break(found, result):
-                cancel_event.set()
-                pool.shutdown(cancel_futures=True)
-                break
-    return merge_root_results(results, gcs, limits)
+                return True
+        return True  # every task completed
+
+    respawned = False
+    round_faults = faults
+    while True:
+        round_tasks = [t for t in tasks if t.index not in completed]
+        if not round_tasks or prefix_decided():
+            break
+        cancel_event = multiprocessing.Event()
+        broke = False
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(round_tasks)),
+            initializer=_procpool_init,
+            initargs=(
+                gcs, config, limits, symmetry_prev, cancel_event,
+                round_faults,
+            ),
+        ) as pool:
+            # One future per task: idle workers drain the shared queue in
+            # submission order — dynamic dispatch, no static assignment.
+            futures = {
+                task.index: pool.submit(_procpool_task, task.index)
+                for task in round_tasks
+            }
+            # Consume in root (= submission) order so the early stop
+            # fires as soon as the merge's prefix is decided; queued
+            # speculative tasks are cancelled and running ones are
+            # signalled to abort via the cancel event — results stay
+            # deterministic because the merge never reads past the
+            # break point.
+            try:
+                for index in sorted(futures):
+                    completed[index] = futures[index].result()
+                    if prefix_decided():
+                        cancel_event.set()
+                        pool.shutdown(cancel_futures=True)
+                        break
+            except BrokenProcessPool:
+                if respawned:
+                    raise
+                broke = True
+                # Keep every result a healthy worker already returned;
+                # only the genuinely unfinished partitions re-run.
+                for index, future in futures.items():
+                    if (
+                        index in completed
+                        or not future.done()
+                        or future.cancelled()
+                    ):
+                        continue
+                    try:
+                        completed[index] = future.result()
+                    except BaseException:  # noqa: BLE001 - the breakage
+                        pass
+        if not broke:
+            break
+        respawned = True
+        round_faults = None  # the injected crash models a one-shot failure
+        POOL_COUNTERS["respawns"] += 1
+        POOL_COUNTERS["tasks_rerun"] += sum(
+            1 for t in tasks if t.index not in completed
+        )
+    return merge_root_results(list(completed.values()), gcs, limits)
 
 
 def match_parallel(

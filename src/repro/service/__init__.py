@@ -17,24 +17,40 @@ This package exploits both:
   chunked streaming of large embedding sets, and procpool dispatch for
   heavy requests;
 * :mod:`repro.service.client` — a small blocking client (used by the
-  ``repro query`` CLI command and the tests).
+  ``repro query`` CLI command and the tests) with opt-in retry/backoff
+  and end-to-end deadlines;
+* :mod:`repro.service.faults` — the deterministic fault-injection
+  plans threaded through catalog, server, and procpool.
 
-See DESIGN.md §7 for the architecture and README.md ("Serving") for a
-quickstart.
+See DESIGN.md §7 for the architecture, §10 for the failure model, and
+README.md ("Serving", "Fault tolerance") for a quickstart.
 """
 
 from repro.service.catalog import CatalogError, GraphCatalog
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+from repro.service.faults import FaultPlan, FaultRule, InjectedCrash
 from repro.service.qcache import QueryCache, canonical_form
 from repro.service.server import MatchingServer, ServerThread
 
 __all__ = [
     "CatalogError",
+    "FaultPlan",
+    "FaultRule",
     "GraphCatalog",
+    "InjectedCrash",
     "MatchingServer",
     "QueryCache",
+    "RetryPolicy",
     "ServerThread",
     "ServiceClient",
     "ServiceError",
+    "ServiceOverloaded",
+    "ServiceUnavailable",
     "canonical_form",
 ]

@@ -5,6 +5,8 @@ Layout (one directory per registered graph under the catalog root)::
     <root>/<name>/graph.graph      the graph, portable ``.graph`` text
     <root>/<name>/artifacts.bin    serialized DataArtifacts payload
     <root>/<name>/meta.json        sidecar: format version + checksums
+    <root>/<name>/journal.json     transient: an in-flight transaction
+    <root>/<name>/*.tmp            transient: staged new file versions
 
 The sidecar records the catalog format version, the SHA-256 of each
 file's bytes, and the graph's semantic checksum
@@ -16,6 +18,20 @@ rewritten*, never trusted.  The graph file itself is the single source
 of truth; if it does not parse, the entry is unusable and a
 :class:`CatalogError` is raised.
 
+Crash safety (DESIGN.md §10): every multi-file mutation (``add``,
+``update``, ``remove``, and the rebuild-on-load) is a **journaled
+transaction**.  New file versions are staged as fsynced ``*.tmp``
+files, then a journal records the transaction's target state (epoch +
+per-file SHA-256), then each file is atomically renamed into place,
+then the journal is deleted (the commit point).  Recovery on the next
+load rolls the transaction *forward* when the journal is durable (all
+staged bytes are then durable too, by write ordering) and *discards*
+it otherwise — a kill at **any** point leaves the entry either fully
+at epoch N or fully at epoch N+1, never torn.  The named persistence
+points (:func:`txn_points`) double as fault-injection hooks; the
+crash-point sweep in ``tests/test_service_faults.py`` kills at every
+one of them and proves the old-or-new invariant byte for byte.
+
 In memory the catalog keeps an LRU of warm :class:`GuPEngine` instances
 (graph + artifacts resident), so a long-running server reuses engines
 across requests instead of re-reading the store.  All counters needed
@@ -23,13 +39,16 @@ by the service ``stats`` endpoint are kept on the catalog:
 ``artifact_builds`` (from-scratch builds, e.g. on ``add``),
 ``artifact_loads`` (clean loads from disk), ``artifact_rebuilds``
 (corruption/staleness recoveries), ``engine_hits`` / ``engine_misses``
-(LRU), and ``engine_evictions``.
+(LRU), ``engine_evictions``, and the transaction recovery counters
+``txn_rollforwards`` / ``txn_rollbacks``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
 import re
 import shutil
 import threading
@@ -48,14 +67,19 @@ from repro.filtering.artifacts import (
 )
 from repro.graph.graph import Graph
 from repro.graph.io import graph_checksum, load_graph, loads_graph, saves_graph
+from repro.service.faults import NO_FAULTS, FaultPlan
 
 CATALOG_FORMAT_VERSION = 1
 
 GRAPH_FILE = "graph.graph"
 ARTIFACTS_FILE = "artifacts.bin"
 META_FILE = "meta.json"
+JOURNAL_FILE = "journal.json"
+TMP_SUFFIX = ".tmp"
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+logger = logging.getLogger("repro.service.catalog")
 
 
 class CatalogError(Exception):
@@ -66,11 +90,73 @@ def _sha256(blob: bytes) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
+def _file_sha256(path: Path) -> Optional[str]:
+    try:
+        return _sha256(path.read_bytes())
+    except OSError:
+        return None
+
+
+def _write_durable(path: Path, blob: bytes) -> None:
+    """Write ``blob`` and fsync it: the bytes survive a crash after this."""
+    with open(path, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make renames/unlinks in ``directory`` durable (no-op where
+    directory fsync is unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def txn_points(op: str) -> Tuple[str, ...]:
+    """Every declared persistence point of one catalog operation, in
+    execution order.  ``op`` is ``"add"``/``"update"`` (full three-file
+    transaction), ``"rebuild"`` (artifacts + sidecar only), or
+    ``"remove"``.  The fault-injection sweep enumerates these, so the
+    list *is* the contract: add a hook, and the sweep covers it.
+    """
+    if op == "remove":
+        return (
+            "catalog.remove.begin",
+            "catalog.remove.journal",
+            f"catalog.remove.unlink.{GRAPH_FILE}",
+            f"catalog.remove.unlink.{ARTIFACTS_FILE}",
+            f"catalog.remove.unlink.{META_FILE}",
+            "catalog.remove.commit",
+        )
+    if op in ("add", "update"):
+        files: Tuple[str, ...] = (GRAPH_FILE, ARTIFACTS_FILE, META_FILE)
+    elif op == "rebuild":
+        files = (ARTIFACTS_FILE, META_FILE)
+    else:
+        raise ValueError(f"unknown catalog operation {op!r}")
+    points = ["catalog.txn.begin"]
+    points += [f"catalog.txn.tmp.{name}" for name in files]
+    points += ["catalog.txn.journal"]
+    points += [f"catalog.txn.rename.{name}" for name in files]
+    points += ["catalog.txn.commit"]
+    return tuple(points)
+
+
 class GraphCatalog:
     """Named data graphs with persisted artifacts and warm engines.
 
     Thread-safe: a single lock serializes store access and LRU updates
     (engine *searches* run outside the catalog and share freely).
+    ``faults`` is the injection plan threaded through every persistence
+    point; production leaves it at :data:`repro.service.faults.NO_FAULTS`.
     """
 
     def __init__(
@@ -78,11 +164,13 @@ class GraphCatalog:
         root: Union[str, Path],
         config: Optional[GuPConfig] = None,
         max_resident: int = 4,
+        faults: FaultPlan = NO_FAULTS,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.config = config or GuPConfig()
         self.max_resident = max_resident
+        self.faults = faults
         self._resident: "OrderedDict[str, GuPEngine]" = OrderedDict()
         self._lock = threading.RLock()
         # Serializes update() calls against each other (epoch
@@ -99,6 +187,8 @@ class GraphCatalog:
             "engine_evictions": 0,
             "updates": 0,
             "removes": 0,
+            "txn_rollforwards": 0,
+            "txn_rollbacks": 0,
         }
 
     # -- registration --------------------------------------------------
@@ -111,16 +201,18 @@ class GraphCatalog:
     ) -> Dict[str, object]:
         """Register ``graph`` (a :class:`Graph` or a ``.graph`` path).
 
-        Builds the artifacts, persists everything, and leaves a warm
-        engine resident.  Re-adding an identical graph under the same
-        name is a no-op; a different graph requires ``overwrite=True``.
-        Returns the entry's info dict.
+        Builds the artifacts, persists everything in one journaled
+        transaction, and leaves a warm engine resident.  Re-adding an
+        identical graph under the same name is a no-op; a different
+        graph requires ``overwrite=True``.  Returns the entry's info
+        dict.
         """
         directory = self._entry_dir(name)
         if not isinstance(graph, Graph):
             graph = load_graph(graph)
         checksum = graph_checksum(graph)
         with self._lock:
+            self._recover(directory)
             if directory.exists() and (directory / GRAPH_FILE).exists():
                 existing = self._read_meta(directory)
                 if (
@@ -144,8 +236,7 @@ class GraphCatalog:
         with self._lock:
             self.counters["artifact_builds"] += 1
             directory.mkdir(parents=True, exist_ok=True)
-            (directory / GRAPH_FILE).write_text(graph_text, encoding="utf-8")
-            self._write_artifacts(directory, graph, graph_text, artifacts)
+            self._persist_entry(directory, graph, graph_text, artifacts)
             self._install(name, GuPEngine(graph, self.config, artifacts=artifacts))
         return self.info(name)
 
@@ -154,13 +245,15 @@ class GraphCatalog:
 
         Directories whose names this catalog could not have created
         (failing the name rules) are ignored rather than poisoning
-        listings."""
+        listings; so are entries whose pending transaction is a
+        removal (they are already logically gone)."""
         out = []
         for child in sorted(self.root.iterdir()) if self.root.exists() else []:
             if (
                 child.is_dir()
                 and _NAME_RE.match(child.name)
                 and (child / GRAPH_FILE).exists()
+                and not self._pending_remove(child)
             ):
                 out.append(child.name)
         return out
@@ -168,10 +261,11 @@ class GraphCatalog:
     def info(self, name: str) -> Dict[str, object]:
         """The entry's sidecar metadata plus residency."""
         directory = self._entry_dir(name)
-        if not (directory / GRAPH_FILE).exists():
-            raise CatalogError(f"unknown catalog entry {name!r}")
-        meta = self._read_meta(directory) or {}
         with self._lock:
+            self._recover(directory)
+            if not (directory / GRAPH_FILE).exists():
+                raise CatalogError(f"unknown catalog entry {name!r}")
+            meta = self._read_meta(directory) or {}
             resident = name in self._resident
         return {
             "name": name,
@@ -192,7 +286,10 @@ class GraphCatalog:
         ``artifact_patches``, never a rebuild), its sidecar epoch is
         bumped, and a fresh warm engine is installed that inherits the
         old engine's build-invariant cache (those entries never go
-        stale).  Returns ``(info, summary)``.
+        stale).  The three files move to the new epoch in one journaled
+        transaction: a crash at any point leaves the entry wholly at
+        the old epoch or wholly at the new one.  Returns
+        ``(info, summary)``.
 
         Updates serialize against each other on a dedicated mutex; the
         catalog lock is held only to fetch the engine and to swap in
@@ -212,17 +309,14 @@ class GraphCatalog:
             artifacts = engine.artifacts.apply_delta(new_graph, summary)
             graph_text = saves_graph(new_graph)
             with self._lock:
-                self.counters["artifact_patches"] += 1
-                self.counters["updates"] += 1
                 directory = self._entry_dir(name)
                 meta = self._read_meta(directory) or {}
                 epoch = int(meta.get("epoch") or 1) + 1
-                (directory / GRAPH_FILE).write_text(
-                    graph_text, encoding="utf-8"
-                )
-                self._write_artifacts(
+                self._persist_entry(
                     directory, new_graph, graph_text, artifacts, epoch=epoch
                 )
+                self.counters["artifact_patches"] += 1
+                self.counters["updates"] += 1
                 self._install(
                     name,
                     GuPEngine(
@@ -235,14 +329,36 @@ class GraphCatalog:
         return self.info(name), summary
 
     def remove(self, name: str) -> None:
-        """Delete an entry (its directory and any resident engine)."""
+        """Delete an entry (its directory and any resident engine).
+
+        Journaled like every other mutation: a remove-intent record is
+        made durable first, so a crash mid-deletion is rolled *forward*
+        on the next load — the entry is never resurrected half-deleted.
+        """
         directory = self._entry_dir(name)
         with self._lock:
+            self._recover(directory)
             if not (directory / GRAPH_FILE).exists():
                 raise CatalogError(f"unknown catalog entry {name!r}")
             self._resident.pop(name, None)
+            self.faults.reach("catalog.remove.begin")
+            journal = {"op": "remove", "name": directory.name}
+            _write_durable(
+                directory / JOURNAL_FILE,
+                (json.dumps(journal) + "\n").encode("utf-8"),
+            )
+            _fsync_dir(directory)
+            self.faults.reach("catalog.remove.journal")
+            for filename in (GRAPH_FILE, ARTIFACTS_FILE, META_FILE):
+                try:
+                    (directory / filename).unlink()
+                except FileNotFoundError:
+                    pass
+                self.faults.reach(f"catalog.remove.unlink.{filename}")
             shutil.rmtree(directory)
+            _fsync_dir(self.root)
             self.counters["removes"] += 1
+            self.faults.reach("catalog.remove.commit")
 
     # -- engines -------------------------------------------------------
 
@@ -274,6 +390,164 @@ class GraphCatalog:
             self.engine(name)
             return self.counters["artifact_rebuilds"] > before
 
+    # -- transactions (DESIGN.md §10) ----------------------------------
+
+    def _txn_commit(
+        self, directory: Path, files: Dict[str, bytes], epoch: int
+    ) -> None:
+        """Replace ``files`` in ``directory`` all-or-nothing.
+
+        Write ordering is the whole proof: (1) stage every new version
+        as an fsynced ``*.tmp``; (2) make the journal — target epoch +
+        per-file SHA-256 — durable; (3) rename each file into place;
+        (4) delete the journal.  The journal's existence therefore
+        implies every staged byte is durable, so recovery can always
+        roll forward once it finds a journal, and must always discard
+        when it does not.  ``self.faults`` fires after each step — the
+        points listed by :func:`txn_points`.
+        """
+        faults = self.faults
+        faults.reach("catalog.txn.begin")
+        for filename, blob in files.items():
+            _write_durable(directory / (filename + TMP_SUFFIX), blob)
+            faults.reach(f"catalog.txn.tmp.{filename}")
+        journal = {
+            "op": "write",
+            "epoch": epoch,
+            "files": {
+                filename: _sha256(blob) for filename, blob in files.items()
+            },
+        }
+        _write_durable(
+            directory / JOURNAL_FILE,
+            (json.dumps(journal, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        _fsync_dir(directory)
+        faults.reach("catalog.txn.journal")
+        for filename in files:
+            os.replace(
+                directory / (filename + TMP_SUFFIX), directory / filename
+            )
+            faults.reach(f"catalog.txn.rename.{filename}")
+        _fsync_dir(directory)
+        (directory / JOURNAL_FILE).unlink()
+        _fsync_dir(directory)
+        faults.reach("catalog.txn.commit")
+
+    def _recover(self, directory: Path) -> Optional[int]:
+        """Finish or discard an interrupted transaction in ``directory``.
+
+        Returns an epoch hint for the caller's rebuild path: when a
+        *forged* torn state left the new graph renamed into place but
+        the journal unable to roll forward (impossible under our own
+        write ordering, but the tests forge it), the graph content
+        belongs to the journal's target epoch and the rebuilt sidecar
+        should say so.  ``None`` otherwise.  Call with ``self._lock``
+        held.
+        """
+        journal_path = directory / JOURNAL_FILE
+        try:
+            raw = journal_path.read_text(encoding="utf-8")
+        except OSError:
+            # No journal: any leftover tmps predate the commit record
+            # and are garbage from a pre-journal crash.
+            self._discard_tmps(directory)
+            return None
+        try:
+            journal = json.loads(raw)
+        except ValueError:
+            journal = None
+        if not isinstance(journal, dict):
+            logger.warning("catalog %s: corrupt journal, discarding", directory)
+            self._discard_tmps(directory)
+            journal_path.unlink(missing_ok=True)
+            self.counters["txn_rollbacks"] += 1
+            return None
+
+        if journal.get("op") == "remove":
+            # The remove intent was durable: the entry is logically
+            # gone — complete the deletion.
+            logger.info("catalog %s: rolling forward remove", directory)
+            shutil.rmtree(directory, ignore_errors=True)
+            _fsync_dir(self.root)
+            self.counters["txn_rollforwards"] += 1
+            return None
+
+        files = journal.get("files")
+        if not isinstance(files, dict):
+            self._discard_tmps(directory)
+            journal_path.unlink(missing_ok=True)
+            self.counters["txn_rollbacks"] += 1
+            return None
+
+        # A file is recoverable at its new version if either the rename
+        # already happened (final bytes match the journal) or the staged
+        # tmp is intact.
+        state: Dict[str, Optional[str]] = {}
+        for filename, sha in files.items():
+            if _file_sha256(directory / filename) == sha:
+                state[filename] = "done"
+            elif _file_sha256(directory / (filename + TMP_SUFFIX)) == sha:
+                state[filename] = "staged"
+            else:
+                state[filename] = None
+
+        if all(state.values()):
+            logger.info(
+                "catalog %s: rolling forward to epoch %s",
+                directory, journal.get("epoch"),
+            )
+            for filename, how in state.items():
+                if how == "staged":
+                    os.replace(
+                        directory / (filename + TMP_SUFFIX),
+                        directory / filename,
+                    )
+            self._discard_tmps(directory)
+            _fsync_dir(directory)
+            journal_path.unlink(missing_ok=True)
+            _fsync_dir(directory)
+            self.counters["txn_rollforwards"] += 1
+            return None
+
+        # Roll back: some staged version is torn or missing.  Under our
+        # own write ordering this only happens *before* the journal was
+        # written, i.e. before any rename — the final files are still
+        # wholly the old epoch.  Forged states (renames done, tmps torn)
+        # degrade gracefully: the graph file is the source of truth and
+        # the ordinary load path rebuilds everything derived from it.
+        logger.info("catalog %s: discarding unrecoverable txn", directory)
+        self._discard_tmps(directory)
+        journal_path.unlink(missing_ok=True)
+        _fsync_dir(directory)
+        self.counters["txn_rollbacks"] += 1
+        graph_sha = files.get(GRAPH_FILE)
+        if (
+            graph_sha is not None
+            and _file_sha256(directory / GRAPH_FILE) == graph_sha
+        ):
+            try:
+                return max(1, int(journal.get("epoch") or 1))
+            except (TypeError, ValueError):
+                return None
+        return None
+
+    @staticmethod
+    def _discard_tmps(directory: Path) -> None:
+        for tmp in directory.glob("*" + TMP_SUFFIX):
+            tmp.unlink(missing_ok=True)
+
+    @staticmethod
+    def _pending_remove(directory: Path) -> bool:
+        """Whether ``directory`` holds a durable remove intent."""
+        try:
+            journal = json.loads(
+                (directory / JOURNAL_FILE).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return False
+        return isinstance(journal, dict) and journal.get("op") == "remove"
+
     # -- internals -----------------------------------------------------
 
     def _entry_dir(self, name: str) -> Path:
@@ -291,16 +565,22 @@ class GraphCatalog:
             return None
         return meta if isinstance(meta, dict) else None
 
-    def _write_artifacts(
+    def _persist_entry(
         self,
         directory: Path,
         graph: Graph,
         graph_text: str,
         artifacts: DataArtifacts,
         epoch: int = 1,
+        include_graph: bool = True,
     ) -> None:
+        """Persist one entry state as a single journaled transaction.
+
+        ``include_graph=False`` is the rebuild-on-load path: the graph
+        file on disk *is* the source being recovered from and must not
+        be rewritten.
+        """
         blob = dumps_artifacts(artifacts)
-        (directory / ARTIFACTS_FILE).write_bytes(blob)
         meta = {
             "format_version": CATALOG_FORMAT_VERSION,
             "artifacts_format_version": ARTIFACTS_FORMAT_VERSION,
@@ -312,13 +592,22 @@ class GraphCatalog:
             "graph_file_sha256": _sha256(graph_text.encode("utf-8")),
             "artifacts_sha256": _sha256(blob),
         }
-        (directory / META_FILE).write_text(
-            json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-        )
+        files: Dict[str, bytes] = {}
+        if include_graph:
+            files[GRAPH_FILE] = graph_text.encode("utf-8")
+        files[ARTIFACTS_FILE] = blob
+        files[META_FILE] = (
+            json.dumps(meta, indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        self._txn_commit(directory, files, epoch)
 
     def _load(self, name: str) -> Tuple[Graph, DataArtifacts, bool]:
-        """Load an entry from disk, rebuilding artifacts when needed."""
+        """Load an entry from disk, recovering any interrupted
+        transaction first and rebuilding artifacts when needed."""
         directory = self._entry_dir(name)
+        epoch_hint: Optional[int] = None
+        if directory.exists():
+            epoch_hint = self._recover(directory)
         try:
             graph_text = (directory / GRAPH_FILE).read_text(encoding="utf-8")
         except OSError:
@@ -359,15 +648,18 @@ class GraphCatalog:
         artifacts = DataArtifacts(graph)
         self.counters["artifact_rebuilds"] += 1
         # A rebuild recovers the artifacts, not the entry's history:
-        # keep whatever epoch the (possibly corrupt) sidecar still had.
-        epoch = 1
-        if meta is not None:
+        # keep whatever epoch the (possibly corrupt) sidecar still had,
+        # unless recovery determined the graph content already belongs
+        # to an aborted transaction's target epoch.
+        epoch = epoch_hint or 1
+        if epoch_hint is None and meta is not None:
             try:
                 epoch = max(1, int(meta.get("epoch") or 1))
             except (TypeError, ValueError):
                 epoch = 1
-        self._write_artifacts(
-            directory, graph, graph_text, artifacts, epoch=epoch
+        self._persist_entry(
+            directory, graph, graph_text, artifacts, epoch=epoch,
+            include_graph=False,
         )
         return graph, artifacts, True
 

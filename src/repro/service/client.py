@@ -3,22 +3,87 @@
 Small by design: one socket, synchronous requests, used by the
 ``repro query`` CLI command, the tests, and the throughput benchmark.
 For the wire protocol see :mod:`repro.service.server`.
+
+Resilience (DESIGN.md §10)
+--------------------------
+Pass a :class:`RetryPolicy` to make the **idempotent** operations
+(``ping``/``healthz``/``stats``/``catalog_list``/``query``/
+``subscribe``) survive transient failures: a dropped or refused
+connection (:class:`ServiceUnavailable`) triggers a reconnect, a shed
+request (:class:`ServiceOverloaded`) a plain re-send, both after an
+exponential backoff with jitter.  Mutating operations (``catalog_add``,
+``update``, ``shutdown``) are never retried — the caller must decide
+whether re-applying is safe.
+
+``query(..., deadline=...)`` propagates a wall-clock budget end to end:
+the remaining budget is re-computed per attempt and sent as the
+server-side ``time_limit`` (which becomes a ``SearchLimits`` bound), so
+a retried query can never overrun the caller's deadline by stacking
+full-length attempts.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar, Union
 
 from repro.graph.graph import Graph
 from repro.graph.io import saves_graph
 from repro.service.server import DEFAULT_PORT
 
+T = TypeVar("T")
+
 
 class ServiceError(Exception):
     """The server reported an error or the connection broke."""
+
+
+class ServiceUnavailable(ServiceError):
+    """Transport-level failure: connection refused, reset, or closed.
+
+    Retryable — the request may never have reached the server, and for
+    idempotent operations re-sending is always safe.
+    """
+
+
+class ServiceOverloaded(ServiceError):
+    """The server shed this request (``overloaded: true`` in the reply).
+
+    Retryable after backoff — by design the server rejects instantly
+    instead of queueing, so the client owns the waiting.
+    """
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with jitter for idempotent operations.
+
+    Attempt ``i`` (0-based) failing sleeps
+    ``min(base_delay * multiplier**i, max_delay)`` scaled by a random
+    factor in ``[1, 1 + jitter]``; after ``attempts`` total attempts the
+    last error propagates.  ``sleep`` and ``rng`` are injectable so
+    tests can record the exact schedule instead of actually waiting.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    sleep: Callable[[float], None] = time.sleep
+    rng: random.Random = field(default_factory=random.Random)
+
+    def backoff(self, attempt: int) -> float:
+        delay = min(
+            self.base_delay * self.multiplier ** attempt, self.max_delay
+        )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * self.rng.random()
+        return delay
 
 
 @dataclass
@@ -66,15 +131,34 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: float = 300.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retry = retry
+        self.counters = {"retries": 0, "reconnects": 0}
+        self._connect()
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        except OSError as exc:
+            raise ServiceUnavailable(f"cannot connect: {exc}") from exc
         self._file = self._sock.makefile("rwb")
 
     def close(self) -> None:
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -85,13 +169,19 @@ class ServiceClient:
     # -- transport -----------------------------------------------------
 
     def _send(self, payload: Dict) -> None:
-        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
-        self._file.flush()
+        try:
+            self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._file.flush()
+        except OSError as exc:
+            raise ServiceUnavailable(f"connection broke: {exc}") from exc
 
     def _recv(self) -> Dict:
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceUnavailable(f"connection broke: {exc}") from exc
         if not line:
-            raise ServiceError("connection closed by server")
+            raise ServiceUnavailable("connection closed by server")
         try:
             reply = json.loads(line)
         except ValueError as exc:
@@ -105,19 +195,69 @@ class ServiceClient:
         self._send(payload)
         reply = self._recv()
         if not reply.get("ok", False):
-            raise ServiceError(reply.get("error", "unknown server error"))
+            message = reply.get("error", "unknown server error")
+            if reply.get("overloaded"):
+                raise ServiceOverloaded(message)
+            raise ServiceError(message)
         return reply
+
+    def _with_retry(
+        self,
+        op: Callable[[], T],
+        deadline_at: Optional[float] = None,
+    ) -> T:
+        """Run an **idempotent** operation under the retry policy.
+
+        Transport failures reconnect before the next attempt (the old
+        socket may hold half a streamed reply); overload rejections
+        re-send on the live connection.  A retry never starts past
+        ``deadline_at`` (monotonic) — the current error propagates.
+        """
+        attempt = 0
+        while True:
+            try:
+                if self._file.closed:
+                    self.counters["reconnects"] += 1
+                    self._connect()
+                return op()
+            except (ServiceUnavailable, ServiceOverloaded) as exc:
+                retry = self.retry
+                if retry is None or attempt >= retry.attempts - 1:
+                    raise
+                delay = retry.backoff(attempt)
+                if (
+                    deadline_at is not None
+                    and time.monotonic() + delay >= deadline_at
+                ):
+                    raise
+                if isinstance(exc, ServiceUnavailable):
+                    # The dead socket may hold half a streamed reply;
+                    # drop it and reconnect at the top of the loop.
+                    self.close()
+                self.counters["retries"] += 1
+                retry.sleep(delay)
+                attempt += 1
 
     # -- operations ----------------------------------------------------
 
     def ping(self) -> bool:
-        return bool(self.request({"op": "ping"}).get("pong"))
+        return bool(
+            self._with_retry(lambda: self.request({"op": "ping"})).get("pong")
+        )
+
+    def healthz(self) -> Dict:
+        """The server's cheap health probe (status, load, epochs, pool)."""
+        return self._with_retry(lambda: self.request({"op": "healthz"}))
 
     def stats(self) -> Dict:
-        return self.request({"op": "stats"})
+        return self._with_retry(lambda: self.request({"op": "stats"}))
 
     def catalog_list(self) -> List[Dict]:
-        return list(self.request({"op": "catalog_list"})["entries"])
+        return list(
+            self._with_retry(
+                lambda: self.request({"op": "catalog_list"})
+            )["entries"]
+        )
 
     def catalog_add(
         self, name: str, graph: Union[Graph, str], overwrite: bool = False
@@ -163,25 +303,32 @@ class ServiceClient:
         reply stream on the same socket.
         """
         text = saves_graph(graph) if isinstance(graph, Graph) else str(graph)
-        header = self.request(
-            {"op": "subscribe", "data": data, "graph": text}
-        )
-        embeddings: List[Tuple[int, ...]] = []
-        for _ in range(int(header.get("chunks", 0))):
-            message = self._recv()
-            if "chunk" not in message:
-                raise ServiceError("missing chunk in streamed response")
-            embeddings.extend(tuple(e) for e in message["chunk"])
-        trailer = self._recv()
-        if not trailer.get("end"):
-            raise ServiceError("missing end-of-stream marker")
-        epoch = header.get("epoch")
-        return SubscribeReply(
-            subscription=int(header["subscription"]),
-            num_embeddings=int(header["num_embeddings"]),
-            epoch=int(epoch) if epoch is not None else None,
-            embeddings=embeddings,
-        )
+
+        def attempt() -> SubscribeReply:
+            # Idempotent re-attach: each attempt registers a *fresh*
+            # subscription and snapshots the current epoch, so a retry
+            # after a torn stream never resumes a stale one.
+            header = self.request(
+                {"op": "subscribe", "data": data, "graph": text}
+            )
+            embeddings: List[Tuple[int, ...]] = []
+            for _ in range(int(header.get("chunks", 0))):
+                message = self._recv()
+                if "chunk" not in message:
+                    raise ServiceError("missing chunk in streamed response")
+                embeddings.extend(tuple(e) for e in message["chunk"])
+            trailer = self._recv()
+            if not trailer.get("end"):
+                raise ServiceError("missing end-of-stream marker")
+            epoch = header.get("epoch")
+            return SubscribeReply(
+                subscription=int(header["subscription"]),
+                num_embeddings=int(header["num_embeddings"]),
+                epoch=int(epoch) if epoch is not None else None,
+                embeddings=embeddings,
+            )
+
+        return self._with_retry(attempt)
 
     def next_event(self, timeout: Optional[float] = None) -> Dict:
         """Block until the server pushes the next event line.
@@ -216,15 +363,23 @@ class ServiceClient:
         count_only: bool = False,
         cache: bool = True,
         chunk_size: Optional[int] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> QueryReply:
         """Match ``graph`` (a :class:`Graph` or ``.graph`` text) against
-        the catalog entry ``data``; collects the streamed chunks."""
+        the catalog entry ``data``; collects the streamed chunks.
+
+        ``priority`` (``"high"``/``"normal"``/``"low"``) selects the
+        server's load-shedding class.  ``deadline`` is a wall-clock
+        budget in seconds for the *whole call including retries*: every
+        attempt sends the remaining budget as the server-side
+        ``time_limit`` (tightened against an explicit ``time_limit``),
+        and no retry starts once the budget is spent.
+        """
         text = saves_graph(graph) if isinstance(graph, Graph) else str(graph)
         payload: Dict = {"op": "query", "data": data, "graph": text}
         if limit is not None:
             payload["limit"] = limit
-        if time_limit is not None:
-            payload["time_limit"] = time_limit
         if recursion_limit is not None:
             payload["recursion_limit"] = recursion_limit
         if workers != 1:
@@ -235,21 +390,40 @@ class ServiceClient:
             payload["cache"] = False
         if chunk_size is not None:
             payload["chunk_size"] = chunk_size
-        header = self.request(payload)
-        embeddings: List[Tuple[int, ...]] = []
-        for _ in range(int(header.get("chunks", 0))):
-            message = self._recv()
-            if "chunk" not in message:
-                raise ServiceError("missing chunk in streamed response")
-            embeddings.extend(tuple(e) for e in message["chunk"])
-        trailer = self._recv()
-        if not trailer.get("end"):
-            raise ServiceError("missing end-of-stream marker")
-        return QueryReply(
-            num_embeddings=int(header["num_embeddings"]),
-            status=str(header["status"]),
-            cache=str(header.get("cache", "")),
-            elapsed=float(header.get("elapsed", 0.0)),
-            recursions=int(header.get("recursions", 0)),
-            embeddings=embeddings,
+        if priority is not None:
+            payload["priority"] = priority
+        deadline_at = (
+            time.monotonic() + deadline if deadline is not None else None
         )
+
+        def attempt() -> QueryReply:
+            budget = time_limit
+            if deadline_at is not None:
+                remaining = deadline_at - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError("deadline exceeded before send")
+                budget = (
+                    remaining if budget is None else min(budget, remaining)
+                )
+            if budget is not None:
+                payload["time_limit"] = budget
+            header = self.request(payload)
+            embeddings: List[Tuple[int, ...]] = []
+            for _ in range(int(header.get("chunks", 0))):
+                message = self._recv()
+                if "chunk" not in message:
+                    raise ServiceError("missing chunk in streamed response")
+                embeddings.extend(tuple(e) for e in message["chunk"])
+            trailer = self._recv()
+            if not trailer.get("end"):
+                raise ServiceError("missing end-of-stream marker")
+            return QueryReply(
+                num_embeddings=int(header["num_embeddings"]),
+                status=str(header["status"]),
+                cache=str(header.get("cache", "")),
+                elapsed=float(header.get("elapsed", 0.0)),
+                recursions=int(header.get("recursions", 0)),
+                embeddings=embeddings,
+            )
+
+        return self._with_retry(attempt, deadline_at=deadline_at)

@@ -36,6 +36,13 @@ object with an ``"op"`` field; each response is one or more lines:
       dedicated connection per subscriber: events are pushed
       asynchronously and would interleave with reply streams of
       requests issued on the same socket.
+``{"op": "healthz"}``
+    → ``{"ok": true, "status": "ok"|"overloaded", "active": n,
+      "capacity": c, "entries": {name: epoch, ...}, "pool":
+      {"respawns": r, "tasks_rerun": t}, "subscriptions": s,
+      "uptime_seconds": u}`` — liveness + load + catalog/epoch/pool
+      state in one cheap line (never touches the executor, so it
+      answers even when matching is saturated).
 ``{"op": "shutdown"}``
     → ``{"ok": true, "stopping": true}`` and the server stops.
 
@@ -44,26 +51,42 @@ connection stays usable (malformed requests don't kill it).
 
 Concurrency model: the event loop only parses and streams; matching is
 CPU-bound and runs on a thread-pool executor bounded by
-``max_inflight`` (admission control).  Queries beyond
+``max_inflight`` (admission control).  Queries beyond the capacity
 ``max_inflight + max_pending`` are *rejected immediately* with an
-``overloaded`` error rather than queued without bound.  Heavy requests
-set ``"workers": W > 1`` and are dispatched root-partitioned over the
+``overloaded`` error rather than queued without bound.  Requests carry
+a ``"priority"`` of ``"low"``/``"normal"`` (default)/``"high"``; under
+load the lowest class is shed first: ``low`` never queues (rejected as
+soon as every matching slot is busy), ``normal`` is rejected at
+capacity, and ``high`` may use ``high_headroom`` extra queue slots
+reserved for it (DESIGN.md §10).  Heavy requests set ``"workers": W >
+1`` and are dispatched root-partitioned over the
 :mod:`repro.core.procpool` process pool — the executor thread then
 mostly waits on worker processes, so a procpool query does not hog the
 GIL.  Per-request ``SearchLimits`` (embedding cap, wall-clock timeout,
 recursion budget) bound each query; the server can impose default
 budgets on requests that specify none.
+
+Subscriber backpressure: every subscription owns a **bounded** event
+queue drained by a dedicated sender task, so one slow subscriber can
+never stall updates or other subscribers.  When a queue overflows the
+``subscriber_policy`` decides: ``"disconnect"`` (default) drops the
+subscription and closes its connection — the client notices and can
+re-subscribe by epoch; ``"drop"`` discards the event and marks the next
+delivered one with ``"lost": k`` so the client knows its standing set
+is stale.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.procpool import POOL_COUNTERS
 from repro.dynamic.continuous import embedding_diff
 from repro.dynamic.delta import DeltaError, delta_from_payload
 from repro.filtering.artifacts import DataArtifacts
@@ -72,15 +95,23 @@ from repro.graph.io import loads_graph
 from repro.matching.limits import SearchLimits
 from repro.matching.result import MatchResult, TerminationStatus
 from repro.service.catalog import CatalogError, GraphCatalog
+from repro.service.faults import NO_FAULTS, FaultPlan
 from repro.service.qcache import DEFAULT_LEAF_BUDGET, QueryCache
 
 DEFAULT_PORT = 7464
+
+PRIORITIES = ("high", "normal", "low")
+
+logger = logging.getLogger("repro.service.server")
 
 
 class _Subscription:
     """One standing query registered by a connected client."""
 
-    __slots__ = ("id", "name", "query", "matches", "writer")
+    __slots__ = (
+        "id", "name", "query", "matches", "writer", "queue", "sender",
+        "lost",
+    )
 
     def __init__(
         self,
@@ -89,12 +120,16 @@ class _Subscription:
         query: Graph,
         matches: Set[Tuple[int, ...]],
         writer: asyncio.StreamWriter,
+        queue_limit: int,
     ) -> None:
         self.id = sub_id
         self.name = name
         self.query = query
         self.matches = matches
         self.writer = writer
+        self.queue: "asyncio.Queue[Dict]" = asyncio.Queue(maxsize=queue_limit)
+        self.sender: Optional[asyncio.Task] = None
+        self.lost = 0  # events discarded under the "drop" policy
 
 
 class MatchingServer:
@@ -118,7 +153,16 @@ class MatchingServer:
         default_time_limit: Optional[float] = None,
         default_recursion_limit: Optional[int] = None,
         leaf_budget: int = DEFAULT_LEAF_BUDGET,
+        high_headroom: int = 1,
+        subscriber_queue: int = 64,
+        subscriber_policy: str = "disconnect",
+        faults: FaultPlan = NO_FAULTS,
     ) -> None:
+        if subscriber_policy not in ("disconnect", "drop"):
+            raise ValueError(
+                "subscriber_policy must be 'disconnect' or 'drop', "
+                f"got {subscriber_policy!r}"
+            )
         self.catalog = catalog
         self.max_inflight = max(1, max_inflight)
         self.max_pending = max(0, max_pending)
@@ -128,6 +172,10 @@ class MatchingServer:
         self.default_time_limit = default_time_limit
         self.default_recursion_limit = default_recursion_limit
         self.leaf_budget = leaf_budget
+        self.high_headroom = max(0, high_headroom)
+        self.subscriber_queue = max(1, subscriber_queue)
+        self.subscriber_policy = subscriber_policy
+        self.faults = faults
         self.host: Optional[str] = None
         self.port: Optional[int] = None
         self._caches: Dict[str, QueryCache] = {}
@@ -136,15 +184,21 @@ class MatchingServer:
             "queries": 0,
             "served": 0,
             "rejected": 0,
+            "shed_low": 0,
+            "shed_normal": 0,
+            "shed_high": 0,
             "errors": 0,
             "cache_bypass": 0,
             "procpool_dispatches": 0,
             "updates": 0,
             "subscriptions": 0,
             "events_pushed": 0,
+            "events_dropped": 0,
             "subscribers_dropped": 0,
+            "connections_refused": 0,
         }
         self._active = 0
+        self._started_at: Optional[float] = None
         self._sem: Optional[asyncio.Semaphore] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -172,6 +226,8 @@ class MatchingServer:
         )
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        self._started_at = time.monotonic()
+        logger.info("serving on %s:%s", self.host, self.port)
         return self.host, self.port
 
     async def wait_closed(self) -> None:
@@ -216,6 +272,18 @@ class MatchingServer:
             self._conn_tasks.add(task)
         conn_subs: List[_Subscription] = []
         try:
+            # Fault-injection hook: a flaky network between client and
+            # server.  "refuse" closes the connection before any request
+            # is read (the client sees an immediate EOF); "delay" stalls
+            # the accept path without blocking the event loop.
+            rule = self.faults.consume("server.accept")
+            if rule is not None:
+                if rule.action == "refuse":
+                    self._bump("connections_refused")
+                    logger.info("refusing connection (injected fault)")
+                    return
+                if rule.action == "delay":
+                    await asyncio.sleep(rule.seconds)
             while True:
                 line = await reader.readline()
                 if not line:
@@ -239,6 +307,8 @@ class MatchingServer:
                 op = request.get("op")
                 if op == "ping":
                     await self._send(writer, {"ok": True, "pong": True})
+                elif op == "healthz":
+                    await self._send(writer, self._healthz_payload())
                 elif op == "stats":
                     await self._send(writer, self._stats_payload())
                 elif op == "catalog_list":
@@ -327,6 +397,63 @@ class MatchingServer:
             if per_name is not None and per_name.pop(sub.id, None) is not None:
                 if not per_name:
                     del self._subs[sub.name]
+        sender = sub.sender
+        if sender is not None and sender is not asyncio.current_task():
+            sender.cancel()
+
+    async def _sub_sender(self, sub: _Subscription) -> None:
+        """Drain one subscription's bounded event queue to its socket.
+
+        A slow subscriber only ever blocks *here*, never the update
+        path or other subscribers.  ``server.subscriber.send`` is the
+        fault hook tests use to make this sender arbitrarily slow.
+        """
+        try:
+            while True:
+                event = await sub.queue.get()
+                rule = self.faults.consume("server.subscriber.send")
+                if rule is not None and rule.action == "delay":
+                    await asyncio.sleep(rule.seconds)
+                await self._send(sub.writer, event)
+                self._bump("events_pushed")
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            self._bump("subscribers_dropped")
+            self._drop_subscription(sub)
+
+    def _enqueue_event(self, sub: _Subscription, event: Dict) -> bool:
+        """Queue one event for ``sub`` under the backpressure policy.
+
+        Returns whether the subscription is still alive afterwards.
+        """
+        if sub.lost:
+            # Tell the client how many diffs it missed so it knows its
+            # standing set is stale and can re-subscribe by epoch.
+            event = {**event, "lost": sub.lost}
+        try:
+            sub.queue.put_nowait(event)
+        except asyncio.QueueFull:
+            if self.subscriber_policy == "drop":
+                sub.lost += 1
+                self._bump("events_dropped")
+                logger.info(
+                    "subscription %d lagging: dropped event (%d lost)",
+                    sub.id, sub.lost,
+                )
+                return True
+            self._bump("subscribers_dropped")
+            logger.info(
+                "subscription %d too slow: disconnecting", sub.id
+            )
+            self._drop_subscription(sub)
+            try:
+                sub.writer.close()
+            except OSError:
+                pass
+            return False
+        sub.lost = 0
+        return True
 
     async def _op_update(
         self, request: Dict, writer: asyncio.StreamWriter
@@ -417,23 +544,21 @@ class MatchingServer:
                 continue
             sub.matches.difference_update(diff.removed)
             sub.matches.update(diff.added)
-            try:
-                await self._send(
-                    sub.writer,
-                    {
-                        "event": "delta",
-                        "subscription": sub.id,
-                        "data": name,
-                        "epoch": info.get("epoch"),
-                        "added": [list(e) for e in diff.added],
-                        "removed": [list(e) for e in diff.removed],
-                    },
-                )
+            # Enqueue, never send inline: the bounded queue + sender
+            # task decouple the update path from slow subscriber
+            # sockets (backpressure policy in _enqueue_event).
+            if self._enqueue_event(
+                sub,
+                {
+                    "event": "delta",
+                    "subscription": sub.id,
+                    "data": name,
+                    "epoch": info.get("epoch"),
+                    "added": [list(e) for e in diff.added],
+                    "removed": [list(e) for e in diff.removed],
+                },
+            ):
                 notified += 1
-                self._bump("events_pushed")
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                self._bump("subscribers_dropped")
-                self._drop_subscription(sub)
         return notified
 
     async def _op_subscribe(
@@ -493,7 +618,10 @@ class MatchingServer:
             with self._counters_lock:
                 sub_id = self._next_sub_id
                 self._next_sub_id += 1
-                sub = _Subscription(sub_id, name, query, matches, writer)
+                sub = _Subscription(
+                    sub_id, name, query, matches, writer,
+                    queue_limit=self.subscriber_queue,
+                )
                 self._subs.setdefault(name, {})[sub_id] = sub
                 self.counters["subscriptions"] += 1
             conn_subs.append(sub)
@@ -527,19 +655,60 @@ class MatchingServer:
                     ]},
                 )
             await self._send(writer, {"end": True})
+            # Only start draining events after the snapshot stream is
+            # complete — the first queued diff must never interleave
+            # with the header/chunk lines above (we still hold the
+            # update lock here, so nothing can have been enqueued yet).
+            sub.sender = asyncio.get_running_loop().create_task(
+                self._sub_sender(sub)
+            )
+
+    def _admission_limit(self, priority: str) -> int:
+        """Active-query count at which ``priority`` work is shed.
+
+        Lowest class first: ``low`` never queues (shed once every
+        matching slot is busy), ``normal`` is shed at capacity,
+        ``high`` may use ``high_headroom`` reserve slots beyond it.
+        """
+        capacity = self.max_inflight + self.max_pending
+        if priority == "low":
+            return self.max_inflight
+        if priority == "high":
+            return capacity + self.high_headroom
+        return capacity
 
     async def _op_query(
         self, request: Dict, writer: asyncio.StreamWriter
     ) -> None:
         self._bump("queries")
-        if self._active >= self.max_inflight + self.max_pending:
+        priority = request.get("priority", "normal")
+        if priority not in PRIORITIES:
+            self._bump("errors")
+            await self._send(
+                writer,
+                {"ok": False,
+                 "error": f"priority must be one of {list(PRIORITIES)}"},
+            )
+            return
+        # Load shedding: reject *immediately* (no unbounded queueing),
+        # lowest priority class first.  The fault hook lets tests force
+        # a shed without real resource pressure.
+        forced = self.faults.consume("server.admission")
+        if (
+            self._active >= self._admission_limit(priority)
+            or (forced is not None and forced.action == "overload")
+        ):
             self._bump("rejected")
+            self._bump(f"shed_{priority}")
+            logger.info("shedding %s-priority query (active=%d)",
+                        priority, self._active)
             await self._send(
                 writer,
                 {
                     "ok": False,
                     "error": "overloaded: too many in-flight queries",
                     "overloaded": True,
+                    "priority": priority,
                 },
             )
             return
@@ -705,6 +874,42 @@ class MatchingServer:
             "artifact_builds_in_process": DataArtifacts.builds_performed,
         }
 
+    def _healthz_payload(self) -> Dict:
+        """Cheap liveness/readiness probe (never touches the executor).
+
+        Monitoring polls this under overload, so it must answer from
+        in-memory state only: load counters, catalog entry epochs and
+        pool respawn counters.  ``status`` flips to ``"overloaded"``
+        exactly when a normal-priority query would be shed.
+        """
+        capacity = self.max_inflight + self.max_pending
+        with self._counters_lock:
+            subscriptions = sum(len(per) for per in self._subs.values())
+        entries = {}
+        for name in self.catalog.names():
+            try:
+                entries[name] = self.catalog.info(name)["epoch"]
+            except CatalogError:
+                continue  # racing a remove
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "ok": True,
+            "status": "overloaded" if self._active >= capacity else "ok",
+            "active": self._active,
+            "capacity": capacity,
+            "max_inflight": self.max_inflight,
+            "max_pending": self.max_pending,
+            "high_headroom": self.high_headroom,
+            "entries": entries,
+            "pool": dict(POOL_COUNTERS),
+            "subscriptions": subscriptions,
+            "uptime_seconds": uptime,
+        }
+
 
 class ServerThread:
     """Run a :class:`MatchingServer` on a daemon thread.
@@ -759,6 +964,13 @@ class ServerThread:
         if loop is not None and loop.is_running():
             loop.call_soon_threadsafe(self.server.request_shutdown)
         self._thread.join(timeout)
+        if self._thread.is_alive():
+            # A hung shutdown must fail loudly: a daemon thread that
+            # never exits would otherwise let broken-teardown bugs pass
+            # every test invisibly.
+            raise RuntimeError(
+                f"server thread failed to stop within {timeout}s"
+            )
 
     def __enter__(self) -> "ServerThread":
         self.start()
