@@ -47,6 +47,7 @@ import pickle
 from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
+from repro.filtering.mask_kernels import INT_KERNELS
 from repro.filtering.nlf import _nlf_ok
 from repro.graph.graph import Graph
 from repro.utils.bitset import mask_of
@@ -90,9 +91,11 @@ class DataArtifacts:
         "adjacency_bitmaps",
         "reuse_report",
         "_ldf_masks",
+        "_nlf_count_vectors",
         "_nlf_count_masks",
         "_nlf2_tables",
         "_nlf2_count_masks",
+        "_adjacency_ops",
     )
 
     builds_performed = 0
@@ -147,9 +150,61 @@ class DataArtifacts:
     def _init_mask_caches(self) -> None:
         """Empty lazy caches derived from the persisted bitmaps."""
         self._ldf_masks: Dict[Tuple[object, int], int] = {}
+        self._nlf_count_vectors: Dict[object, List[int]] = {}
         self._nlf_count_masks: Dict[Tuple[object, int], int] = {}
         self._nlf2_tables: Optional[List[Dict[object, int]]] = None
         self._nlf2_count_masks: Dict[Tuple[object, int], int] = {}
+        self._adjacency_ops: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Pickling (procpool workers, debugging dumps)
+    #
+    # Only the canonical persisted state travels: the graph and the
+    # int bitmaps/buckets.  Derived caches — mask ladders, count
+    # vectors, lowered adjacency ops (which may hold a numpy matrix) —
+    # are dropped and rebuilt lazily, so two artifacts that saw
+    # different mask backends (or different query workloads) pickle to
+    # the *same bytes*.  ``tests/test_config_matrix.py`` relies on this
+    # for the procpool leg of the differential grid.
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        return (
+            self.data,
+            self.degrees,
+            self.label_buckets,
+            self.label_bitmaps,
+            self.adjacency_bitmaps,
+            self.reuse_report,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.data,
+            self.degrees,
+            self.label_buckets,
+            self.label_bitmaps,
+            self.adjacency_bitmaps,
+            self.reuse_report,
+        ) = state
+        self._init_mask_caches()
+
+    def adjacency_ops(self, kernels=None):
+        """The (cached) survival-kernel lowering of ``adjacency_bitmaps``.
+
+        One instance per backend per artifacts object — the words
+        backend's dense ``uint64`` matrix is built once and shared by
+        every GCS construction against this data graph.
+        """
+        if kernels is None:
+            kernels = INT_KERNELS
+        ops = self._adjacency_ops.get(kernels.backend)
+        if ops is None:
+            ops = kernels.adjacency_ops(
+                self.adjacency_bitmaps, self.data.num_vertices
+            )
+            self._adjacency_ops[kernels.backend] = ops
+        return ops
 
     def ldf_candidates(self, query: Graph) -> List[List[int]]:
         """LDF candidate lists (== :func:`repro.filtering.ldf.ldf_candidates`)."""
@@ -183,13 +238,15 @@ class DataArtifacts:
     # Dense build path: candidate masks over data-vertex ids
     # ------------------------------------------------------------------
 
-    def ldf_mask(self, label: object, min_degree: int) -> int:
+    def ldf_mask(self, label: object, min_degree: int, kernels=None) -> int:
         """LDF candidate *mask*: vertices with ``label`` and degree >= bound.
 
         The label bucket is degree-descending, so the mask is a bucket
         prefix located by one bisect; each distinct ``(label, prefix)``
         is assembled once and cached for the artifacts' lifetime —
-        repeated queries pay one dict hit.
+        repeated queries pay one dict hit.  The cache is shared across
+        mask backends (kernels only change *how* the prefix is packed,
+        never the resulting int).
         """
         bucket = self.label_buckets.get(label)
         if bucket is None:
@@ -201,38 +258,55 @@ class DataArtifacts:
         key = (label, end)
         cached = self._ldf_masks.get(key)
         if cached is None:
-            cached = self._ldf_masks[key] = mask_of(vs[:end])
+            pack = (kernels or INT_KERNELS).mask_of
+            cached = self._ldf_masks[key] = pack(
+                vs[:end], self.data.num_vertices
+            )
         return cached
 
-    def nlf_count_mask(self, label: object, count: int) -> int:
+    def _nlf_count_vector(self, label: object) -> List[int]:
+        """Per-vertex count of label-``label`` neighbors (lazy per label).
+
+        One O(|V|) table scan per distinct label, shared by every
+        threshold in that label's ladder — and by both mask backends.
+        """
+        vector = self._nlf_count_vectors.get(label)
+        if vector is None:
+            data = self.data
+            vector = [
+                data.neighbor_label_frequency(v).get(label, 0)
+                for v in data.vertices()
+            ]
+            self._nlf_count_vectors[label] = vector
+        return vector
+
+    def nlf_count_mask(self, label: object, count: int, kernels=None) -> int:
         """Mask of data vertices with >= ``count`` label-``label`` neighbors.
 
         NLF's per-candidate frequency-table comparison factors into one
         AND per (label, needed-count) pair against these thresholds;
-        each distinct pair is computed once (one O(|V|) scan) and cached.
+        each distinct pair is computed once from the label's cached
+        count vector (:meth:`_nlf_count_vector`) and cached.
         """
         key = (label, count)
         cached = self._nlf_count_masks.get(key)
         if cached is None:
-            data = self.data
-            mask = 0
-            for v in data.vertices():
-                if data.neighbor_label_frequency(v).get(label, 0) >= count:
-                    mask |= 1 << v
-            self._nlf_count_masks[key] = cached = mask
+            threshold = (kernels or INT_KERNELS).threshold_mask
+            cached = threshold(self._nlf_count_vector(label), count)
+            self._nlf_count_masks[key] = cached
         return cached
 
-    def nlf2_count_mask(self, label: object, count: int) -> int:
+    def nlf2_count_mask(self, label: object, count: int, kernels=None) -> int:
         """Like :meth:`nlf_count_mask` over the distance-<=2 ball counts."""
         key = (label, count)
         cached = self._nlf2_count_masks.get(key)
         if cached is None:
             tables = self.nlf2_tables()
-            mask = 0
-            for v, counts in enumerate(tables):
-                if counts.get(label, 0) >= count:
-                    mask |= 1 << v
-            self._nlf2_count_masks[key] = cached = mask
+            threshold = (kernels or INT_KERNELS).threshold_mask
+            cached = threshold(
+                [counts.get(label, 0) for counts in tables], count
+            )
+            self._nlf2_count_masks[key] = cached
         return cached
 
     def nlf2_tables(self) -> List[Dict[object, int]]:
@@ -243,22 +317,22 @@ class DataArtifacts:
             self._nlf2_tables = _two_hop_label_counts(self.data)
         return self._nlf2_tables
 
-    def ldf_candidate_masks(self, query: Graph) -> List[int]:
+    def ldf_candidate_masks(self, query: Graph, kernels=None) -> List[int]:
         """Per-query-vertex LDF masks (decode == :meth:`ldf_candidates`)."""
         return [
-            self.ldf_mask(query.label(u), query.degree(u))
+            self.ldf_mask(query.label(u), query.degree(u), kernels=kernels)
             for u in query.vertices()
         ]
 
-    def nlf_candidate_masks(self, query: Graph) -> List[int]:
+    def nlf_candidate_masks(self, query: Graph, kernels=None) -> List[int]:
         """Per-query-vertex LDF+NLF masks (decode == :meth:`nlf_candidates`)."""
         masks: List[int] = []
         for u in query.vertices():
-            mask = self.ldf_mask(query.label(u), query.degree(u))
+            mask = self.ldf_mask(query.label(u), query.degree(u), kernels=kernels)
             for label, needed in query.neighbor_label_frequency(u).items():
                 if not mask:
                     break
-                mask &= self.nlf_count_mask(label, needed)
+                mask &= self.nlf_count_mask(label, needed, kernels=kernels)
             masks.append(mask)
         return masks
 
@@ -266,7 +340,7 @@ class DataArtifacts:
     # Incremental maintenance (DESIGN.md §9)
     # ------------------------------------------------------------------
 
-    def apply_delta(self, new_graph: Graph, summary) -> "DataArtifacts":
+    def apply_delta(self, new_graph: Graph, summary, kernels=None) -> "DataArtifacts":
         """Patched artifacts for ``new_graph`` (the delta-applied graph).
 
         ``summary`` is the :class:`repro.dynamic.delta.DeltaSummary`
@@ -289,9 +363,13 @@ class DataArtifacts:
 
         ``reuse_report`` on the returned instance quantifies the reuse;
         the class-level ``patches_performed`` counter increments instead
-        of ``builds_performed``.
+        of ``builds_performed``.  ``kernels`` routes the adjacency-row
+        bit flips (the per-edge part of the patch) through the selected
+        mask backend; the patched rows are identical ints either way.
         """
         DataArtifacts.patches_performed += 1
+        if kernels is None:
+            kernels = INT_KERNELS
         touched = summary.touched_vertices
         touched_labels = summary.touched_labels
         n_new = summary.num_vertices_after
@@ -330,12 +408,9 @@ class DataArtifacts:
 
         adjacency = list(self.adjacency_bitmaps)
         adjacency.extend(0 for _ in summary.added_vertices)
-        for u, v in summary.added_edges:
-            adjacency[u] |= 1 << v
-            adjacency[v] |= 1 << u
-        for u, v in summary.removed_edges:
-            adjacency[u] &= ~(1 << v)
-            adjacency[v] &= ~(1 << u)
+        kernels.flip_edge_bits(
+            adjacency, summary.added_edges, summary.removed_edges
+        )
         patched.adjacency_bitmaps = tuple(adjacency)
 
         # Lazy ladders: keep what provably survived, patch the rest.
@@ -353,6 +428,10 @@ class DataArtifacts:
                 else:
                     mask &= ~(1 << v)
             patched._nlf_count_masks[(label, count)] = mask
+        # Count vectors and lowered adjacency ops are derived caches tied
+        # to the *old* rows; rebuilt lazily against the patched state.
+        patched._nlf_count_vectors = {}
+        patched._adjacency_ops = {}
         patched._nlf2_tables = None
         patched._nlf2_count_masks = {}
 
@@ -459,6 +538,16 @@ def loads_artifacts(blob: bytes, data: Graph) -> DataArtifacts:
         or len(adjacency_bitmaps) != data.num_vertices
     ):
         raise ArtifactsFormatError("adjacency bitmaps have wrong length")
+    # Bitmaps must be the canonical nonnegative-int representation — a
+    # payload carrying word arrays (or anything else a mask backend uses
+    # internally) is stale by definition, never silently adapted: the
+    # at-rest format is backend-independent (DESIGN.md §11).
+    if any(type(m) is not int or m < 0 for m in label_bitmaps.values()) or any(
+        type(m) is not int or m < 0 for m in adjacency_bitmaps
+    ):
+        raise ArtifactsFormatError(
+            "bitmap payload is not canonical int masks"
+        )
 
     artifacts = DataArtifacts.__new__(DataArtifacts)
     artifacts.data = data

@@ -1,0 +1,292 @@
+"""Backend-selected mask kernels (DESIGN.md §11).
+
+``GuPConfig.mask_backend`` picks the *kernel provider* for every mask
+hot loop in the system — DAG-graph-DP survival sweeps, candidate-mask
+seeding ladders, reservation matchability popcounts, search-layer
+candidate decodes, and ``DataArtifacts.apply_delta`` bit flips:
+
+* ``"int"`` (:class:`IntMaskKernels`) — the reference twin: every
+  operation is the arbitrary-precision Python-int idiom the repo has
+  used since PR 1, verbatim.
+* ``"words"`` (:class:`WordMaskKernels`) — lowers masks to fixed-width
+  arrays of 64-bit words (:mod:`repro.utils.words`) inside each kernel
+  and runs vectorized per-word loops, with the numpy fast path when
+  available (gather-and-test survival over a dense ``uint64`` adjacency
+  matrix, ``bitwise_count`` popcounts, ``unpackbits`` decodes,
+  ``packbits`` threshold ladders).
+
+Masks **at rest** — in :class:`~repro.filtering.candidate_space.
+CandidateSpace`, :class:`~repro.filtering.artifacts.DataArtifacts`,
+catalog sidecars, procpool pickles — stay canonical Python ints under
+both backends; the words backend converts at kernel boundaries (and
+keeps one cached 2D lowering of the adjacency bitmaps per artifacts
+instance).  That is what makes every serialized artifact byte-identical
+regardless of backend, which ``tests/test_service_catalog.py`` pins by
+checksum.  Kernel outputs are proven equal to the int oracle by
+``tests/test_mask_kernels.py`` (word-boundary fixtures + Hypothesis),
+and whole-system equality by the ``tests/test_config_matrix.py`` grid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.utils import words as W
+from repro.utils.bitset import bits_of
+
+HAVE_NUMPY = W.HAVE_NUMPY
+if HAVE_NUMPY:
+    import numpy as _np
+
+MASK_BACKENDS = ("int", "words")
+
+
+# ----------------------------------------------------------------------
+# Adjacency-indexed survival ops (the DAG-DP / consistency-prune core)
+# ----------------------------------------------------------------------
+
+
+class IntAdjacencyOps:
+    """Per-bit survival loop over per-vertex int adjacency bitmaps."""
+
+    backend = "int"
+    __slots__ = ("adjacency",)
+
+    def __init__(self, adjacency: Sequence[int]) -> None:
+        self.adjacency = adjacency
+
+    def survivors(self, mask: int, constraining_masks: List[int]) -> int:
+        """Bits of ``mask`` whose adjacency hits every constraining mask."""
+        adjacency = self.adjacency
+        new = mask
+        rem = mask
+        if len(constraining_masks) == 1:
+            # The common case (tree-ish query DAGs): no inner loop at all.
+            c0 = constraining_masks[0]
+            while rem:
+                low = rem & -rem
+                rem ^= low
+                if not adjacency[low.bit_length() - 1] & c0:
+                    new ^= low
+            return new
+        while rem:
+            low = rem & -rem
+            rem ^= low
+            adj = adjacency[low.bit_length() - 1]
+            for c_mask in constraining_masks:
+                if not adj & c_mask:
+                    new ^= low
+                    break
+        return new
+
+
+class WordAdjacencyOps:
+    """Vectorized gather-and-test survival over a dense word matrix.
+
+    Row ``v`` of the matrix is ``adjacency[v]`` lowered to 64-bit limbs;
+    one ``survivors`` call gathers all candidate rows at once, ANDs them
+    against each constraining mask's limbs, and reduces per row — a
+    fixed handful of numpy calls regardless of candidate count, instead
+    of one Python iteration per candidate.  Without numpy the pure
+    ``array('Q')`` per-word loop handles each candidate (same results,
+    reference speed).
+    """
+
+    backend = "words"
+    __slots__ = ("adjacency", "nbits", "nwords", "_matrix")
+
+    def __init__(self, adjacency: Sequence[int], nbits: Optional[int] = None) -> None:
+        self.adjacency = adjacency
+        if nbits is None:
+            nbits = len(adjacency)
+            for row in adjacency:
+                if row.bit_length() > nbits:
+                    nbits = row.bit_length()
+        self.nbits = nbits
+        self.nwords = W.nwords_for(nbits)
+        self._matrix = None
+
+    def matrix(self):
+        """The cached ``uint64[n, nwords]`` lowering (numpy path only)."""
+        if self._matrix is None:
+            nw = self.nwords
+            raw = b"".join(m.to_bytes(nw * 8, "little") for m in self.adjacency)
+            self._matrix = _np.frombuffer(raw, dtype="<u8").reshape(
+                len(self.adjacency), nw
+            )
+        return self._matrix
+
+    def survivors(self, mask: int, constraining_masks: List[int]) -> int:
+        if not mask or not constraining_masks:
+            return mask
+        if not HAVE_NUMPY:
+            return self._survivors_pure(mask, constraining_masks)
+        ids = _np.flatnonzero(
+            _np.unpackbits(
+                _np.frombuffer(
+                    mask.to_bytes((mask.bit_length() + 7) // 8, "little"),
+                    dtype=_np.uint8,
+                ),
+                bitorder="little",
+            )
+        )
+        rows = self.matrix()[ids]
+        alive = None
+        for c_mask in constraining_masks:
+            hit = (rows & W.np_words(c_mask, self.nwords)).any(axis=1)
+            alive = hit if alive is None else alive & hit
+            if not alive.any():
+                break
+        if alive.all():
+            return mask
+        return W.np_pack_positions(ids[alive], self.nbits)
+
+    def _survivors_pure(self, mask: int, constraining_masks: List[int]) -> int:
+        nw = self.nwords
+        cons = [W.to_words(c, nw) for c in constraining_masks]
+        new = mask
+        for v in W.words_iter_bits(W.to_words(mask, nw)):
+            adj = W.to_words(self.adjacency[v], nw)
+            for c_words in cons:
+                if not W.words_any(W.words_and(adj, c_words)):
+                    new &= ~(1 << v)
+                    break
+        return new
+
+
+# ----------------------------------------------------------------------
+# Kernel providers
+# ----------------------------------------------------------------------
+
+
+class IntMaskKernels:
+    """Reference kernels: the Python-int idioms, verbatim."""
+
+    backend = "int"
+
+    popcount = staticmethod(int.bit_count)
+    positions = staticmethod(bits_of)
+
+    @staticmethod
+    def mask_of(ids: Sequence[int], nbits: Optional[int] = None) -> int:
+        mask = 0
+        for i in ids:
+            mask |= 1 << i
+        return mask
+
+    @staticmethod
+    def threshold_mask(counts: Sequence[int], needed: int) -> int:
+        """Mask of indices ``v`` with ``counts[v] >= needed``."""
+        mask = 0
+        for v, count in enumerate(counts):
+            if count >= needed:
+                mask |= 1 << v
+        return mask
+
+    @staticmethod
+    def flip_edge_bits(
+        rows: List[int],
+        added: Sequence[Tuple[int, int]],
+        removed: Sequence[Tuple[int, int]],
+    ) -> None:
+        """Apply symmetric per-edge bit flips to adjacency rows in place."""
+        for u, v in added:
+            rows[u] |= 1 << v
+            rows[v] |= 1 << u
+        for u, v in removed:
+            rows[u] &= ~(1 << v)
+            rows[v] &= ~(1 << u)
+
+    @staticmethod
+    def adjacency_ops(
+        adjacency: Sequence[int], nbits: Optional[int] = None
+    ) -> IntAdjacencyOps:
+        return IntAdjacencyOps(adjacency)
+
+
+class WordMaskKernels:
+    """Word-array kernels with the numpy fast path.
+
+    Every method takes and returns canonical ints/lists; lowering to
+    64-bit limbs happens inside.  Narrow masks short-circuit to the int
+    idiom where the fixed numpy call cost would dominate — the cutover
+    changes wall time only, never a bit of output.
+    """
+
+    backend = "words"
+
+    @staticmethod
+    def popcount(mask: int) -> int:
+        if not HAVE_NUMPY or mask.bit_length() < W._NP_DECODE_MIN_BITS:
+            return mask.bit_count()
+        arr = W.np_words(mask, W.nwords_for(mask.bit_length()))
+        return int(_np.bitwise_count(arr).sum())
+
+    @staticmethod
+    def positions(mask: int) -> List[int]:
+        if HAVE_NUMPY:
+            return W.np_positions(mask)
+        return list(W.words_iter_bits(W.to_words(mask, W.nwords_for(max(1, mask.bit_length())))))
+
+    @staticmethod
+    def mask_of(ids: Sequence[int], nbits: Optional[int] = None) -> int:
+        return W.pack_indices(ids, nbits)
+
+    @staticmethod
+    def threshold_mask(counts, needed: int) -> int:
+        if HAVE_NUMPY:
+            flags = _np.asarray(counts) >= needed
+            if flags.size == 0:
+                return 0
+            return int.from_bytes(
+                _np.packbits(flags, bitorder="little").tobytes(), "little"
+            )
+        mask = 0
+        for v, count in enumerate(counts):
+            if count >= needed:
+                mask |= 1 << v
+        return mask
+
+    @staticmethod
+    def flip_edge_bits(
+        rows: List[int],
+        added: Sequence[Tuple[int, int]],
+        removed: Sequence[Tuple[int, int]],
+    ) -> None:
+        nw = W.nwords_for(len(rows))
+        touched = {}
+        for u, v in added:
+            touched.setdefault(u, []).append((v, True))
+            touched.setdefault(v, []).append((u, True))
+        for u, v in removed:
+            touched.setdefault(u, []).append((v, False))
+            touched.setdefault(v, []).append((u, False))
+        for u, flips in touched.items():
+            row = W.to_words(rows[u], nw)
+            for bit, on in flips:
+                if on:
+                    W.words_set_bit(row, bit)
+                else:
+                    W.words_clear_bit(row, bit)
+            rows[u] = W.from_words(row)
+
+    @staticmethod
+    def adjacency_ops(
+        adjacency: Sequence[int], nbits: Optional[int] = None
+    ) -> WordAdjacencyOps:
+        return WordAdjacencyOps(adjacency, nbits)
+
+
+_KERNELS = {"int": IntMaskKernels(), "words": WordMaskKernels()}
+
+INT_KERNELS = _KERNELS["int"]
+
+
+def get_kernels(backend: str):
+    """The kernel provider singleton for a ``mask_backend`` value."""
+    try:
+        return _KERNELS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown mask_backend {backend!r}; expected one of {MASK_BACKENDS}"
+        )

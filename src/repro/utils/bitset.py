@@ -11,6 +11,19 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List
 
+from repro.utils.words import EmptyMaskError
+
+__all__ = [
+    "EmptyMaskError",
+    "mask_of",
+    "mask_below",
+    "iter_bits",
+    "bits_of",
+    "bit_count",
+    "highest_bit",
+    "lowest_bit",
+]
+
 
 def mask_of(vertices: Iterable[int]) -> int:
     """Bitmask with a bit set for each query-vertex id in ``vertices``."""
@@ -44,12 +57,24 @@ def bit_count(mask: int) -> int:
 
 
 def highest_bit(mask: int) -> int:
-    """Position of the highest set bit; -1 for the empty mask."""
+    """Position of the highest set bit.
+
+    Raises :class:`EmptyMaskError` on the zero mask — the same typed
+    error the words backend raises, so the "no such bit" case is
+    representation-independent instead of a sentinel in one backend and
+    an exception in the other.
+    """
+    if mask == 0:
+        raise EmptyMaskError("highest_bit of the zero mask")
     return mask.bit_length() - 1
 
 
 def lowest_bit(mask: int) -> int:
-    """Position of the lowest set bit; -1 for the empty mask."""
+    """Position of the lowest set bit.
+
+    Raises :class:`EmptyMaskError` on the zero mask (see
+    :func:`highest_bit`).
+    """
     if mask == 0:
-        return -1
+        raise EmptyMaskError("lowest_bit of the zero mask")
     return (mask & -mask).bit_length() - 1

@@ -1,0 +1,272 @@
+"""Fixed-width 64-bit-word mask representation (DESIGN.md §11).
+
+The repo's canonical mask representation is the arbitrary-precision
+Python int (:mod:`repro.utils.bitset`): bit ``i`` stands for vertex
+``i``, serialization and equality are trivial, and single AND/OR ops run
+at C speed.  What ints cannot do is *vectorize*: every per-bit decode,
+popcount-over-many, or gather-and-test loop runs one Python iteration
+per bit.  This module provides the twin representation behind
+``GuPConfig.mask_backend = "words"``: a mask is a **fixed-width array of
+64-bit words** (``array('Q')``, little-endian word order — word ``w``
+holds bits ``64*w .. 64*w+63``), with an optional numpy fast path
+auto-detected at import (``HAVE_NUMPY``).
+
+Layout invariants:
+
+* width is explicit — every words value knows its word count, and
+  binary kernels demand *equal* widths (:class:`WordWidthError`
+  otherwise; silent zero-extension would let a stale narrow mask alias
+  a wider universe);
+* the words value of an int is exactly its little-endian 64-bit limbs:
+  ``from_words(to_words(m, nwords)) == m`` for every ``m`` with
+  ``m.bit_length() <= 64 * nwords`` (the round-trip the property suite
+  pins);
+* all kernels return canonical Python ints / lists of Python ints at
+  their boundaries, so results — and anything serialized from them —
+  are byte-identical to the int backend's.
+
+The pure-``array('Q')`` kernels are the reference lowering (and the
+fallback when numpy is absent); the numpy kernels must agree bit for
+bit, which ``tests/test_mask_kernels.py`` proves against the int oracle
+for both paths.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Optional, Sequence
+
+try:  # optional fast path, auto-detected at import
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image bundles numpy
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class EmptyMaskError(ValueError):
+    """A bit-position query (lowest/highest set bit) hit the zero mask.
+
+    Raised by both the int backend (:mod:`repro.utils.bitset`) and the
+    words backend, so callers see one typed error regardless of the
+    mask representation.
+    """
+
+
+class WordWidthError(ValueError):
+    """Binary word-mask operands have different widths.
+
+    Width is part of a words value's identity (it pins the universe
+    size); mixing widths is always a caller bug, never something to
+    paper over by zero-extension.
+    """
+
+
+def nwords_for(nbits: int) -> int:
+    """Words needed for a universe of ``nbits`` bits (at least 1)."""
+    if nbits < 0:
+        raise ValueError(f"negative universe size {nbits}")
+    return max(1, (nbits + WORD_BITS - 1) // WORD_BITS)
+
+
+def to_words(mask: int, nwords: int) -> array:
+    """Lower an int mask to its little-endian 64-bit limbs.
+
+    Raises :class:`WordWidthError` when ``mask`` does not fit in
+    ``nwords`` words and :class:`ValueError` on negative masks.
+    """
+    if mask < 0:
+        raise ValueError(f"negative mask {mask}")
+    try:
+        raw = mask.to_bytes(nwords * 8, "little")
+    except OverflowError:
+        raise WordWidthError(
+            f"mask of {mask.bit_length()} bits does not fit in "
+            f"{nwords} x {WORD_BITS}-bit words"
+        )
+    words = array("Q")
+    words.frombytes(raw)
+    return words
+
+
+def from_words(words: Sequence[int]) -> int:
+    """Inverse of :func:`to_words`: reassemble the canonical int."""
+    if isinstance(words, array):
+        return int.from_bytes(words.tobytes(), "little")
+    if HAVE_NUMPY and isinstance(words, _np.ndarray):
+        return int.from_bytes(words.astype("<u8").tobytes(), "little")
+    value = 0
+    for w, word in enumerate(words):
+        value |= (word & WORD_MASK) << (w * WORD_BITS)
+    return value
+
+
+def zero_words(nwords: int) -> array:
+    """The all-zero mask of the given width."""
+    return array("Q", bytes(nwords * 8))
+
+
+def _check_widths(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise WordWidthError(
+            f"word-mask width mismatch: {len(a)} words vs {len(b)} words"
+        )
+
+
+# ----------------------------------------------------------------------
+# Pure array('Q') kernels — the reference lowering
+# ----------------------------------------------------------------------
+
+
+def words_and(a: array, b: array) -> array:
+    _check_widths(a, b)
+    return array("Q", (x & y for x, y in zip(a, b)))
+
+
+def words_or(a: array, b: array) -> array:
+    _check_widths(a, b)
+    return array("Q", (x | y for x, y in zip(a, b)))
+
+
+def words_andnot(a: array, b: array) -> array:
+    """``a & ~b`` without materializing the complement."""
+    _check_widths(a, b)
+    return array("Q", (x & (y ^ WORD_MASK) for x, y in zip(a, b)))
+
+
+def words_eq(a: array, b: array) -> bool:
+    _check_widths(a, b)
+    return a == b
+
+
+def words_any(words: Sequence[int]) -> bool:
+    """Whether any bit is set (nonzero test)."""
+    return any(words)
+
+
+def words_popcount(words: Sequence[int]) -> int:
+    total = 0
+    for word in words:
+        total += word.bit_count()
+    return total
+
+
+def words_iter_bits(words: Sequence[int]) -> Iterator[int]:
+    """Set bit positions in ascending order (per-word lowbit decode)."""
+    base = 0
+    for word in words:
+        while word:
+            low = word & -word
+            yield base + low.bit_length() - 1
+            word ^= low
+        base += WORD_BITS
+
+
+def words_lowest_bit(words: Sequence[int]) -> int:
+    for w, word in enumerate(words):
+        if word:
+            return w * WORD_BITS + (word & -word).bit_length() - 1
+    raise EmptyMaskError("lowest_bit of the zero mask")
+
+
+def words_highest_bit(words: Sequence[int]) -> int:
+    for w in range(len(words) - 1, -1, -1):
+        word = words[w]
+        if word:
+            return w * WORD_BITS + word.bit_length() - 1
+    raise EmptyMaskError("highest_bit of the zero mask")
+
+
+def words_test_bit(words: Sequence[int], i: int) -> bool:
+    w, r = divmod(i, WORD_BITS)
+    if not 0 <= w < len(words):
+        raise WordWidthError(f"bit {i} outside a {len(words)}-word mask")
+    return bool(words[w] >> r & 1)
+
+
+def words_set_bit(words: array, i: int) -> None:
+    w, r = divmod(i, WORD_BITS)
+    if not 0 <= w < len(words):
+        raise WordWidthError(f"bit {i} outside a {len(words)}-word mask")
+    words[w] |= 1 << r
+
+
+def words_clear_bit(words: array, i: int) -> None:
+    w, r = divmod(i, WORD_BITS)
+    if not 0 <= w < len(words):
+        raise WordWidthError(f"bit {i} outside a {len(words)}-word mask")
+    words[w] &= (1 << r) ^ WORD_MASK
+
+
+# ----------------------------------------------------------------------
+# numpy fast path (agrees bit for bit with the pure kernels)
+# ----------------------------------------------------------------------
+
+# Masks narrower than this decode faster with the int lowbit loop than
+# through a numpy round-trip (per-call overhead dominates tiny arrays).
+_NP_DECODE_MIN_BITS = 512
+
+
+def np_words(mask: int, nwords: int):
+    """Int mask -> writable numpy ``uint64[nwords]`` (little-endian limbs)."""
+    if mask < 0:
+        raise ValueError(f"negative mask {mask}")
+    try:
+        raw = mask.to_bytes(nwords * 8, "little")
+    except OverflowError:
+        raise WordWidthError(
+            f"mask of {mask.bit_length()} bits does not fit in "
+            f"{nwords} x {WORD_BITS}-bit words"
+        )
+    return _np.frombuffer(raw, dtype="<u8").copy()
+
+
+def np_positions(mask: int, _out_list: bool = True):
+    """Set bit positions of an int mask, ascending, as Python ints.
+
+    Vectorized decode: bytes -> ``unpackbits(bitorder='little')`` ->
+    ``flatnonzero``; falls back to the int lowbit loop for narrow masks
+    where numpy's fixed per-call cost loses.
+    """
+    if mask.bit_length() < _NP_DECODE_MIN_BITS:
+        out: List[int] = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+    raw = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+    bits = _np.unpackbits(_np.frombuffer(raw, dtype=_np.uint8), bitorder="little")
+    idx = _np.flatnonzero(bits)
+    return idx.tolist() if _out_list else idx
+
+
+def np_pack_positions(ids, nbits: int) -> int:
+    """Inverse of :func:`np_positions`: ids -> canonical int mask."""
+    nbytes = (nbits + 7) // 8 or 1
+    bits = _np.zeros(nbytes * 8, dtype=_np.uint8)
+    bits[ids] = 1
+    return int.from_bytes(
+        _np.packbits(bits, bitorder="little").tobytes(), "little"
+    )
+
+
+def pack_indices(ids: Sequence[int], nbits: Optional[int] = None) -> int:
+    """``mask_of`` twin with the numpy fast path.
+
+    ``ids`` must be nonnegative; ``nbits`` (when known) lets the numpy
+    path skip a max() scan.  Output is the identical canonical int the
+    per-id OR loop produces.
+    """
+    ids = list(ids)
+    if not ids:
+        return 0
+    if HAVE_NUMPY and len(ids) >= 64:
+        return np_pack_positions(ids, nbits if nbits is not None else max(ids) + 1)
+    mask = 0
+    for i in ids:
+        mask |= 1 << i
+    return mask

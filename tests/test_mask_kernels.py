@@ -1,0 +1,326 @@
+"""Kernel-conformance suite for the mask backends (DESIGN.md §11).
+
+Every mask kernel the ``words`` backend provides must agree *bit for
+bit* with the Python-int oracle — this file is the reusable harness
+that proves it, and the template any future backend (C extension, pure
+numpy, SIMD) must pass to earn a ``mask_backend`` value:
+
+* a shared fixture list of word-boundary cases (empty mask, bit 63 /
+  64 / 127, all-ones words, width mismatches) run against both
+  backends and both words code paths (numpy on and off);
+* Hypothesis round-trip properties: ``from_words(to_words(m)) == m``,
+  and popcount / AND / OR / ANDNOT / decode agreeing with the int
+  oracle on arbitrary masks;
+* conformance of the composite kernels — survivors, threshold ladders,
+  edge-bit flips, index packing — against the int implementations;
+* the typed :class:`EmptyMaskError` / :class:`WordWidthError` contracts.
+"""
+
+import random
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filtering.mask_kernels import (
+    MASK_BACKENDS,
+    IntAdjacencyOps,
+    WordAdjacencyOps,
+    get_kernels,
+)
+from repro.utils import words as W
+from repro.utils.bitset import bits_of, highest_bit, lowest_bit
+from repro.utils.words import EmptyMaskError, WordWidthError
+
+# ----------------------------------------------------------------------
+# Shared word-boundary fixtures: (name, mask, nbits)
+# ----------------------------------------------------------------------
+
+BOUNDARY_CASES = [
+    ("empty", 0, 64),
+    ("bit0", 1, 64),
+    ("bit63", 1 << 63, 64),
+    ("bit64", 1 << 64, 128),
+    ("bit127", 1 << 127, 128),
+    ("bits63_64", (1 << 63) | (1 << 64), 128),
+    ("all_ones_1w", (1 << 64) - 1, 64),
+    ("all_ones_2w", (1 << 128) - 1, 128),
+    ("straddle", ((1 << 70) - 1) ^ (1 << 5), 128),
+    ("sparse_wide", (1 << 200) | (1 << 64) | 1, 256),
+    ("ragged_width", (1 << 65) | (1 << 3), 100),
+]
+
+BACKENDS = list(MASK_BACKENDS)
+
+
+@pytest.fixture(params=[True, False], ids=["numpy", "pure"])
+def words_numpy_mode(request, monkeypatch):
+    """Run words-backend checks with the numpy fast path on and off."""
+    if request.param and not W.HAVE_NUMPY:
+        pytest.skip("numpy not available")
+    monkeypatch.setattr(W, "HAVE_NUMPY", request.param)
+    import repro.filtering.mask_kernels as mk
+
+    monkeypatch.setattr(mk, "HAVE_NUMPY", request.param)
+    return request.param
+
+
+# ----------------------------------------------------------------------
+# Representation round-trips
+# ----------------------------------------------------------------------
+
+
+class TestWordsRepresentation:
+    @pytest.mark.parametrize("name,mask,nbits", BOUNDARY_CASES)
+    def test_round_trip(self, name, mask, nbits):
+        nw = W.nwords_for(nbits)
+        assert W.from_words(W.to_words(mask, nw)) == mask
+
+    def test_to_words_layout_is_little_endian_limbs(self):
+        words = W.to_words((1 << 64) | 3, 2)
+        assert list(words) == [3, 1]
+        assert isinstance(words, array) and words.typecode == "Q"
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(WordWidthError):
+            W.to_words(1 << 64, 1)
+        with pytest.raises(WordWidthError):
+            W.words_and(W.zero_words(1), W.zero_words(2))
+        with pytest.raises(WordWidthError):
+            W.words_or(W.zero_words(2), W.zero_words(3))
+        with pytest.raises(WordWidthError):
+            W.words_andnot(W.zero_words(1), W.zero_words(2))
+        with pytest.raises(WordWidthError):
+            W.words_set_bit(W.zero_words(1), 64)
+        with pytest.raises(WordWidthError):
+            W.words_test_bit(W.zero_words(2), 200)
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            W.to_words(-1, 1)
+
+    def test_from_words_accepts_plain_sequences(self):
+        assert W.from_words([3, 1]) == (1 << 64) | 3
+        if W.HAVE_NUMPY:
+            import numpy as np
+
+            assert W.from_words(np.array([3, 1], dtype=np.uint64)) == (1 << 64) | 3
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 512) - 1))
+    def test_round_trip_property(self, mask):
+        nw = W.nwords_for(max(1, mask.bit_length()))
+        assert W.from_words(W.to_words(mask, nw)) == mask
+        if W.HAVE_NUMPY:
+            assert W.from_words(W.np_words(mask, nw)) == mask
+
+
+# ----------------------------------------------------------------------
+# Pure word kernels vs the int oracle
+# ----------------------------------------------------------------------
+
+pair_masks = st.tuples(
+    st.integers(min_value=0, max_value=(1 << 300) - 1),
+    st.integers(min_value=0, max_value=(1 << 300) - 1),
+)
+
+
+class TestPureKernelsAgainstIntOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(pair_masks)
+    def test_binary_ops(self, pair):
+        a, b = pair
+        nw = W.nwords_for(300)
+        wa, wb = W.to_words(a, nw), W.to_words(b, nw)
+        assert W.from_words(W.words_and(wa, wb)) == a & b
+        assert W.from_words(W.words_or(wa, wb)) == a | b
+        assert W.from_words(W.words_andnot(wa, wb)) == a & ~b & ((1 << nw * 64) - 1)
+        assert W.words_eq(wa, wb) == (a == b)
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 300) - 1))
+    def test_unary_ops(self, mask):
+        nw = W.nwords_for(300)
+        words = W.to_words(mask, nw)
+        assert W.words_popcount(words) == mask.bit_count()
+        assert W.words_any(words) == bool(mask)
+        assert list(W.words_iter_bits(words)) == bits_of(mask)
+        if mask:
+            assert W.words_lowest_bit(words) == lowest_bit(mask)
+            assert W.words_highest_bit(words) == highest_bit(mask)
+
+    @pytest.mark.parametrize("name,mask,nbits", BOUNDARY_CASES)
+    def test_boundary_decode_and_popcount(self, name, mask, nbits):
+        nw = W.nwords_for(nbits)
+        words = W.to_words(mask, nw)
+        assert W.words_popcount(words) == mask.bit_count()
+        assert list(W.words_iter_bits(words)) == bits_of(mask)
+        for i in range(0, nbits, 7):
+            assert W.words_test_bit(words, i) == bool(mask >> i & 1)
+
+    def test_set_clear_bits(self):
+        words = W.zero_words(2)
+        W.words_set_bit(words, 63)
+        W.words_set_bit(words, 64)
+        assert W.from_words(words) == (1 << 63) | (1 << 64)
+        W.words_clear_bit(words, 63)
+        assert W.from_words(words) == 1 << 64
+        W.words_clear_bit(words, 0)  # clearing an unset bit is a no-op
+        assert W.from_words(words) == 1 << 64
+
+
+# ----------------------------------------------------------------------
+# Typed zero-mask errors — identical contract in both representations
+# ----------------------------------------------------------------------
+
+
+class TestEmptyMaskError:
+    def test_int_backend_raises_typed_value_error(self):
+        with pytest.raises(EmptyMaskError):
+            highest_bit(0)
+        with pytest.raises(EmptyMaskError):
+            lowest_bit(0)
+        # EmptyMaskError IS a ValueError: callers that catch the broad
+        # class keep working.
+        with pytest.raises(ValueError):
+            highest_bit(0)
+
+    def test_words_backend_raises_same_type(self):
+        zero = W.zero_words(3)
+        with pytest.raises(EmptyMaskError):
+            W.words_lowest_bit(zero)
+        with pytest.raises(EmptyMaskError):
+            W.words_highest_bit(zero)
+
+    def test_nonzero_masks_unaffected(self):
+        assert highest_bit(1 << 100) == 100
+        assert lowest_bit(0b1100) == 2
+
+
+# ----------------------------------------------------------------------
+# Kernel providers: both backends, numpy on and off
+# ----------------------------------------------------------------------
+
+
+class TestKernelProviders:
+    def test_get_kernels_dispatch(self):
+        assert get_kernels("int").backend == "int"
+        assert get_kernels("words").backend == "words"
+        with pytest.raises(ValueError):
+            get_kernels("simd")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name,mask,nbits", BOUNDARY_CASES)
+    def test_popcount_and_positions(
+        self, backend, name, mask, nbits, words_numpy_mode
+    ):
+        kern = get_kernels(backend)
+        assert kern.popcount(mask) == mask.bit_count()
+        assert list(kern.positions(mask)) == bits_of(mask)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_positions_returns_plain_ints(self, backend, words_numpy_mode):
+        # numpy int64 would pickle (and compare under some protocols)
+        # differently — decode must canonicalize to Python ints.
+        kern = get_kernels(backend)
+        wide = (1 << 700) | (1 << 64) | 1
+        assert all(type(p) is int for p in kern.positions(wide))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mask_of_round_trip(self, backend, words_numpy_mode):
+        kern = get_kernels(backend)
+        rng = random.Random(3)
+        for nbits in (1, 63, 64, 65, 127, 128, 700):
+            mask = rng.getrandbits(nbits)
+            assert kern.mask_of(bits_of(mask), nbits) == mask
+            assert kern.mask_of(bits_of(mask)) == mask
+        assert kern.mask_of([], 64) == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_threshold_mask(self, backend, words_numpy_mode):
+        kern = get_kernels(backend)
+        oracle = get_kernels("int")
+        rng = random.Random(5)
+        for n in (0, 1, 63, 64, 65, 200):
+            counts = [rng.randrange(6) for _ in range(n)]
+            for needed in (0, 1, 3, 6):
+                assert kern.threshold_mask(counts, needed) == oracle.threshold_mask(
+                    counts, needed
+                )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_flip_edge_bits(self, backend, words_numpy_mode):
+        kern = get_kernels(backend)
+        rng = random.Random(7)
+        n = 150
+        rows_oracle = [rng.getrandbits(n) for _ in range(n)]
+        rows = list(rows_oracle)
+        added = [(rng.randrange(n), rng.randrange(n)) for _ in range(30)]
+        removed = [(rng.randrange(n), rng.randrange(n)) for _ in range(30)]
+        get_kernels("int").flip_edge_bits(rows_oracle, added, removed)
+        kern.flip_edge_bits(rows, added, removed)
+        assert rows == rows_oracle
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=(1 << 600) - 1),
+        st.integers(min_value=0, max_value=(1 << 600) - 1),
+    )
+    def test_words_kernels_property(self, a, b):
+        kern = get_kernels("words")
+        assert kern.popcount(a) == a.bit_count()
+        assert list(kern.positions(a)) == bits_of(a)
+        assert kern.mask_of(bits_of(a), 600) == a
+        # Composition through canonical ints: backend-neutral AND/OR.
+        assert kern.popcount(a & b) == (a & b).bit_count()
+        assert kern.popcount(a | b) == (a | b).bit_count()
+
+
+# ----------------------------------------------------------------------
+# Survival ops conformance (the DAG-DP inner kernel)
+# ----------------------------------------------------------------------
+
+
+def _random_adjacency(rng, n):
+    rows = [0] * n
+    for _ in range(n * 3):
+        u, v = rng.randrange(n), rng.randrange(n)
+        rows[u] |= 1 << v
+        rows[v] |= 1 << u
+    return rows
+
+
+class TestSurvivorsConformance:
+    @pytest.mark.parametrize("n", [1, 5, 64, 65, 130])
+    def test_words_matches_int(self, n, words_numpy_mode):
+        rng = random.Random(n)
+        adjacency = _random_adjacency(rng, n)
+        iops = IntAdjacencyOps(adjacency)
+        wops = WordAdjacencyOps(adjacency, n)
+        for _ in range(40):
+            mask = rng.getrandbits(n)
+            cons = [rng.getrandbits(n) for _ in range(rng.randrange(1, 4))]
+            expected = iops.survivors(mask, cons)
+            assert wops.survivors(mask, cons) == expected
+            assert wops._survivors_pure(mask, cons) == expected
+
+    def test_empty_inputs(self, words_numpy_mode):
+        wops = WordAdjacencyOps([0b10, 0b01], 2)
+        assert wops.survivors(0, [0b11]) == 0
+        assert wops.survivors(0b11, []) == 0b11
+
+    def test_boundary_widths(self, words_numpy_mode):
+        # Survival across the 64-bit word boundary: vertex 63 adjacent
+        # to vertex 64 only.
+        n = 66
+        adjacency = [0] * n
+        adjacency[63] = 1 << 64
+        adjacency[64] = 1 << 63
+        wops = WordAdjacencyOps(adjacency, n)
+        iops = IntAdjacencyOps(adjacency)
+        mask = (1 << 63) | (1 << 64) | (1 << 65)
+        cons = [(1 << 63) | (1 << 64)]
+        assert wops.survivors(mask, cons) == iops.survivors(mask, cons) == (
+            (1 << 63) | (1 << 64)
+        )

@@ -1,9 +1,11 @@
 """Unit + property tests for bitmask helpers."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.utils.bitset import (
+    EmptyMaskError,
     bit_count,
     bits_of,
     highest_bit,
@@ -31,10 +33,18 @@ class TestBasics:
         assert bit_count(0b1011) == 3
 
     def test_highest_lowest(self):
-        assert highest_bit(0) == -1
-        assert lowest_bit(0) == -1
         assert highest_bit(0b100100) == 5
         assert lowest_bit(0b100100) == 2
+
+    def test_zero_mask_raises_typed_error(self):
+        # Regression (PR 7): the zero mask used to return the -1
+        # sentinel here while the words backend raised — the "no such
+        # bit" case is now one typed ValueError in both representations.
+        with pytest.raises(EmptyMaskError):
+            highest_bit(0)
+        with pytest.raises(EmptyMaskError):
+            lowest_bit(0)
+        assert issubclass(EmptyMaskError, ValueError)
 
 
 @given(st.sets(st.integers(min_value=0, max_value=80)))
