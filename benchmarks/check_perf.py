@@ -1,7 +1,7 @@
 """Perf smoke gates for CI: search hot path, GCS build path, dynamic
-maintenance, service degradation.
+maintenance, service degradation, observability overhead.
 
-Four gates, each a few seconds of work:
+Five gates, each a few seconds of work:
 
 * **hotpath** — re-runs the *smoke* sub-grid of
   :mod:`benchmarks.bench_hotpath` and compares the bitmap and words
@@ -27,12 +27,18 @@ Four gates, each a few seconds of work:
   nonzero shedding past it, ``offered == served + shed``, and the
   below-capacity p50 latency within a widened (latency-noise) tolerance
   of the ``BENCH_service.json`` baseline.
+* **obs** — re-runs a small paired-sample smoke of
+  :mod:`benchmarks.bench_obs_overhead` (one server, ``Observability``
+  toggled per request) and fails if the median paired metrics-on
+  overhead exceeds 5% of the metrics-off p50.  Computed fresh each
+  run — absolute latencies on a shared box are not stable enough to
+  compare against a committed number, but the paired difference is.
 
 A gate fails (exit 1) when throughput dropped more than the tolerance
 (default 30%), catching accidental de-optimization.
 
 Run: ``python benchmarks/check_perf.py
-[--gate hotpath|buildpath|dynamic|service|all] [--baseline PATH]
+[--gate hotpath|buildpath|dynamic|service|obs|all] [--baseline PATH]
 [--build-baseline PATH] [--dynamic-baseline PATH]
 [--service-baseline PATH] [--tolerance F]``
 """
@@ -61,12 +67,17 @@ from benchmarks.bench_hotpath import (  # noqa: E402
     SMOKE_SETS as HOT_SMOKE_SETS,
     run_grid as run_hot_grid,
 )
+from benchmarks.bench_obs_overhead import run_overhead  # noqa: E402
 from benchmarks.bench_service_saturation import (  # noqa: E402
     SMOKE_LEVELS,
     run_saturation,
 )
 
 DYNAMIC_SPEEDUP_FLOOR = 2.0  # the ISSUE's small-delta acceptance floor
+OBS_OVERHEAD_CEILING = 1.05
+"""Observability must stay on-by-default cheap: the median paired
+metrics-on overhead may cost at most 5% of the metrics-off hot-path
+p50 latency."""
 WORDS_SPEEDUP_FLOOR = 1.3
 """Acceptance floor for the words mask backend: its geomean speedup vs
 the seed backend (list search / set builder) on the fig6/fig7 smoke grid
@@ -247,11 +258,30 @@ def check_service(baseline_path: Path, tolerance: float) -> bool:
     return ok
 
 
+def check_obs() -> bool:
+    fresh = run_overhead(batches=4, batch_size=25)
+    ratio = fresh["overhead_ratio"]
+    print(
+        f"[obs] metrics-on hot-path overhead: "
+        f"{fresh['paired_overhead_ms']:+.4f}ms paired median "
+        f"({(ratio - 1.0) * 100:+.2f}% of p50 {fresh['p50_off_ms']}ms, "
+        f"ceiling {OBS_OVERHEAD_CEILING}x)"
+    )
+    ok = True
+    if ratio > OBS_OVERHEAD_CEILING:
+        print(
+            f"FAIL: observability costs more than "
+            f"{(OBS_OVERHEAD_CEILING - 1.0):.0%} of hot-path p50 latency"
+        )
+        ok = False
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--gate",
-        choices=("hotpath", "buildpath", "dynamic", "service", "all"),
+        choices=("hotpath", "buildpath", "dynamic", "service", "obs", "all"),
         default="all",
     )
     parser.add_argument(
@@ -288,6 +318,8 @@ def main(argv=None) -> int:
         )
     if args.gate in ("service", "all"):
         ok = check_service(args.service_baseline, args.tolerance) and ok
+    if args.gate in ("obs", "all"):
+        ok = check_obs() and ok
     print("OK" if ok else "FAILED")
     return 0 if ok else 1
 

@@ -1,0 +1,157 @@
+"""CI smoke: query a live server, then scrape and reconcile /metrics.
+
+Starts a real :class:`MatchingServer` over a throwaway catalog with a
+path-backed structured request log, drives a query round-trip through
+:class:`ServiceClient`, and then checks the observability surfaces:
+
+* the ``metrics`` op and a raw HTTP ``GET /metrics`` on the same port
+  return the same exposition (modulo scrape-time gauges);
+* every required metric family is present;
+* the ``stats`` op's server counters equal their ``/metrics``
+  counterparts (reconciliation-by-construction, spot-checked end to
+  end);
+* the request log holds a ``query`` line whose trace id matches the
+  one the reply header carried.
+
+Exits nonzero with a message on the first violated check.  The request
+log is written to ``service-smoke-requests.jsonl`` in the working
+directory so CI can upload it as an artifact when this script fails.
+
+Run: ``PYTHONPATH=src python scripts/service_smoke_scrape.py``
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.graph.builder import graph_from_adjacency  # noqa: E402
+from repro.obs import Observability, StructuredLog, parse_exposition  # noqa: E402
+from repro.service.catalog import GraphCatalog  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.server import ServerThread  # noqa: E402
+
+LOG_PATH = "service-smoke-requests.jsonl"
+
+REQUIRED_FAMILIES = (
+    "repro_server_queries_total",
+    "repro_server_served_total",
+    "repro_server_rejected_total",
+    "repro_server_errors_total",
+    "repro_server_events_dropped_total",
+    "repro_server_phase_seconds_bucket",
+    "repro_server_phase_seconds_count",
+    "repro_server_request_seconds_count",
+    "repro_server_active",
+    "repro_server_capacity",
+    "repro_catalog_engine_hits_total",
+    "repro_catalog_engine_misses_total",
+    "repro_pool_respawns_total",
+    "repro_qcache_hits_total",
+    "repro_qcache_misses_total",
+)
+
+# stats-op server counter -> metric family name
+RECONCILED = {
+    "queries": "repro_server_queries_total",
+    "served": "repro_server_served_total",
+    "rejected": "repro_server_rejected_total",
+    "errors": "repro_server_errors_total",
+    "events_dropped": "repro_server_events_dropped_total",
+}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def http_get(host: str, port: int, path: str) -> str:
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode("ascii"))
+        raw = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0].decode("ascii", "replace")
+    if " 200 " not in f" {status} ":
+        fail(f"GET {path}: expected 200, got {status!r}")
+    return body.decode("utf-8")
+
+
+def main() -> int:
+    data = graph_from_adjacency(
+        ["A", "B", "A", "C", "D", "C"],
+        [(0, 1), (1, 2), (3, 4), (4, 5)],
+    )
+    query = graph_from_adjacency(["A", "B"], [(0, 1)])
+    Path(LOG_PATH).unlink(missing_ok=True)
+    obs = Observability(log=StructuredLog(path=LOG_PATH))
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        GraphCatalog(tmp).add("g", data)
+        with ServerThread(GraphCatalog(tmp), obs=obs) as thread:
+            host, port = thread.address
+            with ServiceClient(host, port) as client:
+                reply = client.query(query, "g")
+                if reply.num_embeddings != 2:
+                    fail(f"expected 2 embeddings, got {reply.num_embeddings}")
+                if not reply.trace:
+                    fail("reply header carried no trace id")
+                stats = client.stats()
+                op_text = client.metrics()
+            http_text = http_get(host, port, "/metrics")
+            health = http_get(host, port, "/healthz")
+
+    if '"status"' not in health:
+        fail(f"/healthz returned no status: {health[:200]!r}")
+
+    for text, surface in ((op_text, "metrics op"), (http_text, "GET /metrics")):
+        families = {name for name, _ in parse_exposition(text)}
+        missing = [f for f in REQUIRED_FAMILIES if f not in families]
+        if missing:
+            fail(f"{surface} is missing families: {missing}")
+
+    exposed = parse_exposition(http_text)
+    flat = {}
+    for (name, labels), value in exposed.items():
+        flat[name] = flat.get(name, 0) + value
+    for counter, family in RECONCILED.items():
+        if stats["server"][counter] != flat.get(family):
+            fail(
+                f"stats server.{counter}={stats['server'][counter]} but "
+                f"{family}={flat.get(family)}"
+            )
+
+    records = StructuredLog(path=LOG_PATH).read_records()
+    served = [
+        r for r in records
+        if r.get("event") == "query" and r.get("outcome") == "served"
+    ]
+    if not served:
+        fail(f"no served query line in {LOG_PATH} ({len(records)} records)")
+    if served[0].get("trace") != reply.trace:
+        fail(
+            f"log trace {served[0].get('trace')} != header trace "
+            f"{reply.trace}"
+        )
+
+    print(
+        f"ok: {len(REQUIRED_FAMILIES)} families on both surfaces, "
+        f"{len(RECONCILED)} counters reconciled, trace {reply.trace} "
+        f"in {LOG_PATH}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

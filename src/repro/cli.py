@@ -13,6 +13,8 @@ Commands
 ``serve``      run the long-running matching server over a catalog
 ``query``      send queries to a running server (blocking client)
 ``update``     apply a graph delta to an entry on a running server
+``stats``      print a running server's counters as a table
+``metrics``    print a running server's Prometheus exposition
 
 Examples
 --------
@@ -28,6 +30,8 @@ Examples
     python -m repro serve --root ./catalog --port 7464
     python -m repro query 'q*.graph' yeast --port 7464 --limit 10
     python -m repro update yeast edits.delta --port 7464
+    python -m repro stats 127.0.0.1 7464
+    python -m repro metrics 127.0.0.1 7464
 """
 
 from __future__ import annotations
@@ -186,6 +190,9 @@ def _add_serve_parser(subparsers) -> None:
     p.add_argument("--subscriber-policy", default="disconnect",
                    choices=("disconnect", "drop"),
                    help="what to do when a subscriber's queue overflows")
+    p.add_argument("--request-log", default=None, metavar="PATH",
+                   help="append one structured JSON log line per request "
+                        "to PATH (trace ids propagate into pool workers)")
 
 
 def _add_query_parser(subparsers) -> None:
@@ -220,6 +227,30 @@ def _add_query_parser(subparsers) -> None:
                    help="total wall-clock budget per query incl. retries")
     p.add_argument("--retries", type=int, default=0,
                    help="retry attempts for shed/broken requests")
+    p.add_argument("--profile", action="store_true",
+                   help="bypass the cache and attach a search-level "
+                        "profiler summary to each reply")
+
+
+def _add_stats_parser(subparsers) -> None:
+    from repro.service.server import DEFAULT_PORT
+
+    p = subparsers.add_parser(
+        "stats", help="print a running server's counters as a table"
+    )
+    p.add_argument("host", nargs="?", default="127.0.0.1")
+    p.add_argument("port", nargs="?", type=int, default=DEFAULT_PORT)
+
+
+def _add_metrics_parser(subparsers) -> None:
+    from repro.service.server import DEFAULT_PORT
+
+    p = subparsers.add_parser(
+        "metrics",
+        help="print a running server's Prometheus text exposition",
+    )
+    p.add_argument("host", nargs="?", default="127.0.0.1")
+    p.add_argument("port", nargs="?", type=int, default=DEFAULT_PORT)
 
 
 def _add_update_parser(subparsers) -> None:
@@ -252,6 +283,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_parser(subparsers)
     _add_query_parser(subparsers)
     _add_update_parser(subparsers)
+    _add_stats_parser(subparsers)
+    _add_metrics_parser(subparsers)
     subparsers.add_parser("methods", help="list registered matchers")
     return parser
 
@@ -517,10 +550,14 @@ def _cmd_serve(args) -> int:
     import asyncio
     import signal
 
+    from repro.obs import Observability, StructuredLog
     from repro.service.catalog import GraphCatalog
     from repro.service.server import MatchingServer
 
     catalog = GraphCatalog(args.root, max_resident=args.max_resident)
+    obs = None
+    if args.request_log:
+        obs = Observability(log=StructuredLog(path=args.request_log))
     server = MatchingServer(
         catalog,
         max_inflight=args.max_inflight,
@@ -531,6 +568,7 @@ def _cmd_serve(args) -> int:
         high_headroom=args.high_headroom,
         subscriber_queue=args.subscriber_queue,
         subscriber_policy=args.subscriber_policy,
+        obs=obs,
     )
 
     async def run() -> None:
@@ -594,11 +632,24 @@ def _cmd_query(args) -> int:
                     cache=not args.no_cache,
                     priority=args.priority,
                     deadline=args.deadline,
+                    profile=args.profile,
                 )
                 total += reply.num_embeddings
                 print(f"{path}: {reply.num_embeddings} embeddings, "
                       f"{reply.status}, cache {reply.cache}, "
-                      f"{reply.elapsed:.4f}s")
+                      f"{reply.elapsed:.4f}s "
+                      f"(queue {reply.queue_seconds:.4f}s, "
+                      f"exec {reply.server_seconds:.4f}s)")
+                if reply.profile:
+                    prof = reply.profile
+                    print(f"  profile: {prof.get('descends', 0)} descends, "
+                          f"{prof.get('conflicts', 0)} conflicts, "
+                          f"{prof.get('backjumps', 0)} backjumps, "
+                          f"max depth {prof.get('max_depth', 0)} "
+                          f"(stride {prof.get('stride', 1)})")
+                    kinds = prof.get("conflicts_by_kind") or {}
+                    for kind in sorted(kinds):
+                        print(f"    conflict[{kind}]: ~{kinds[kind]}")
                 for e in reply.embeddings[: args.max_print]:
                     print("  " + " ".join(
                         f"u{i}->v{v}" for i, v in enumerate(e)))
@@ -643,6 +694,67 @@ def _cmd_update(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro.bench.report import format_table
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            stats = client.stats()
+    except (ServiceError, OSError) as exc:
+        print(f"error: {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+
+    def counter_rows(section) -> List[List[str]]:
+        rows = []
+        for key in sorted(section):
+            value = section[key]
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                rows.append([key, value])
+        return rows
+
+    server = stats.get("server", {})
+    print(format_table(
+        ["Counter", "Value"], counter_rows(server),
+        title=f"server {args.host}:{args.port}",
+    ))
+    catalog = stats.get("catalog", {})
+    print(format_table(
+        ["Counter", "Value"], counter_rows(catalog), title="catalog",
+    ))
+    resident = catalog.get("resident") or []
+    if resident:
+        print(f"resident: {', '.join(resident)}")
+    qcache = stats.get("qcache", {})
+    per_data = qcache.get("per_data") or {}
+    rows = [
+        [name, c.get("entries", 0), c.get("hits", 0), c.get("misses", 0),
+         c.get("evictions", 0)]
+        for name, c in sorted(per_data.items())
+    ]
+    print(format_table(
+        ["Data", "Entries", "Hits", "Misses", "Evictions"], rows,
+        title=(f"query cache ({qcache.get('hits', 0)} hits / "
+               f"{qcache.get('misses', 0)} misses)"),
+    ))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            text = client.metrics()
+    except (ServiceError, OSError) as exc:
+        print(f"error: {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    sys.stdout.write(text)
+    if not text.endswith("\n"):
+        sys.stdout.write("\n")
+    return 0
+
+
 COMMANDS = {
     "match": _cmd_match,
     "batch": _cmd_batch,
@@ -654,6 +766,8 @@ COMMANDS = {
     "serve": _cmd_serve,
     "query": _cmd_query,
     "update": _cmd_update,
+    "stats": _cmd_stats,
+    "metrics": _cmd_metrics,
     "methods": _cmd_methods,
 }
 

@@ -131,6 +131,7 @@ class GuPEngine:
         limits: Optional[SearchLimits] = None,
         gcs: Optional[GuardedCandidateSpace] = None,
         workers: int = 1,
+        observer: Optional[object] = None,
     ) -> MatchResult:
         """Enumerate embeddings of ``query`` in the data graph.
 
@@ -152,6 +153,12 @@ class GuPEngine:
         exception is ``time_limit`` / ``max_recursions`` budgets, which
         apply to *each root task individually* rather than to the whole
         run (DESIGN.md §6), so truncated counts can exceed sequential.
+
+        ``observer`` is a :class:`repro.analysis.trace.SearchObserver`
+        receiving the Algorithm-2 event stream (notification-only; the
+        search is unchanged).  Observers live in this process, so an
+        observed match runs sequentially even when ``workers > 1`` —
+        results are identical either way, only the wall clock differs.
         """
         limits = limits or SearchLimits()
         started = time.perf_counter()
@@ -175,7 +182,7 @@ class GuPEngine:
                 )
 
         search_started = time.perf_counter()
-        if workers > 1 and query.num_vertices > 0:
+        if workers > 1 and observer is None and query.num_vertices > 0:
             from repro.core.procpool import run_partitioned
 
             raw, status, stats = run_partitioned(
@@ -188,7 +195,7 @@ class GuPEngine:
                 search_cls = GuPSearch
             search = search_cls(
                 gcs, config=self.config, limits=limits,
-                symmetry_prev=symmetry_prev,
+                symmetry_prev=symmetry_prev, observer=observer,
             )
             raw, status = search.run()
             stats = search.stats
@@ -233,6 +240,7 @@ class GuPEngine:
         queries: Iterable[Graph],
         limits: Optional[SearchLimits] = None,
         workers: int = 1,
+        observer: Optional[object] = None,
     ) -> List[MatchResult]:
         """Match a whole query set; results in input order.
 
@@ -242,11 +250,18 @@ class GuPEngine:
         graph and its artifacts travel to each worker exactly once —
         :func:`repro.core.procpool.batch_match`).  Per-query results are
         identical to calling :meth:`match` sequentially.
+
+        ``observer`` (see :meth:`match`) receives the concatenated event
+        streams of all queries in input order; like :meth:`match`, an
+        observed run stays in this process (sequential over queries).
         """
         queries = list(queries)
         limits = limits or SearchLimits()
-        if workers <= 1:
-            return [self.match(query, limits=limits) for query in queries]
+        if workers <= 1 or observer is not None:
+            return [
+                self.match(query, limits=limits, observer=observer)
+                for query in queries
+            ]
         if len(queries) == 1:
             # Nothing to spread across queries — honor the worker budget
             # with intra-query root partitioning, but only when it keeps

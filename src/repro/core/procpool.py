@@ -56,6 +56,8 @@ from repro.filtering.candidate_space import CandidateSpace
 from repro.graph.graph import Graph
 from repro.matching.limits import SearchLimits
 from repro.matching.result import MatchResult, SearchStats, TerminationStatus
+from repro.obs.log import current_log, current_trace, set_trace_context
+from repro.obs.metrics import CounterGroup
 from repro.utils.timer import Deadline
 
 
@@ -242,9 +244,10 @@ class _CancellableLimits(SearchLimits):
 _WORKER_CTX: Optional[tuple] = None
 """Per-worker search context, installed once by the pool initializer."""
 
-POOL_COUNTERS: Dict[str, int] = {"respawns": 0, "tasks_rerun": 0}
-"""Worker-crash recovery accounting (read by the service ``healthz`` op;
-reset with :func:`reset_pool_counters` in tests)."""
+POOL_COUNTERS = CounterGroup({"respawns": 0, "tasks_rerun": 0})
+"""Worker-crash recovery accounting (read by the service ``healthz`` op
+and exposed as the ``repro_pool_*`` metric families; reset with
+:func:`reset_pool_counters` in tests)."""
 
 
 def reset_pool_counters() -> None:
@@ -259,8 +262,17 @@ def _procpool_init(
     symmetry_prev: Optional[Tuple[int, ...]],
     cancel_event,
     faults=None,
+    obs_ctx=None,
 ) -> None:
     global _WORKER_CTX
+    if obs_ctx is not None:
+        # The request's (trace id, path-backed structured log) pair,
+        # shipped once per worker alongside the GCS: every task this
+        # worker runs logs under the trace of the request that spawned
+        # the pool, so client attempt -> server handling -> worker
+        # execution share one id across the process boundary.
+        trace, log = obs_ctx
+        set_trace_context(trace, log)
     if cancel_event is not None:
         # Copy the base fields generically so future SearchLimits fields
         # can never be silently dropped inside pool workers.
@@ -275,6 +287,12 @@ def _procpool_init(
 
 def _procpool_task(index: int) -> RootTaskResult:
     gcs, config, limits, symmetry_prev, faults = _WORKER_CTX
+    log = current_log()
+    if log is not None:
+        # Logged *before* the fault hook so a ``die`` rule still leaves
+        # this worker's line behind — the crash-recovery sequence stays
+        # reconstructable from the log alone.
+        log.emit("procpool.task", index=index)
     if faults is not None:
         # Fault-injection hook (``procpool.task.<index>``): a ``die``
         # rule here makes this worker vanish mid-batch, producing the
@@ -314,6 +332,15 @@ def run_partitioned(
     shipped to the first pool's workers (hook ``procpool.task.<i>``);
     the respawned pool runs fault-free, modeling a transient crash.
     """
+    # Observability context of the calling thread: the trace id always
+    # travels; the structured log only when path-backed (an in-memory
+    # log cannot report back across the process boundary).
+    trace = current_trace()
+    log = current_log()
+    obs_ctx = None
+    if trace is not None or log is not None:
+        obs_ctx = (trace, log if log is not None and log.path else None)
+
     tasks = root_partition(gcs)
     if not tasks or gcs.cs.is_empty():
         stats = SearchStats()
@@ -378,7 +405,7 @@ def run_partitioned(
             initializer=_procpool_init,
             initargs=(
                 gcs, config, limits, symmetry_prev, cancel_event,
-                round_faults,
+                round_faults, obs_ctx,
             ),
         ) as pool:
             # One future per task: idle workers drain the shared queue in
@@ -421,10 +448,11 @@ def run_partitioned(
             break
         respawned = True
         round_faults = None  # the injected crash models a one-shot failure
-        POOL_COUNTERS["respawns"] += 1
-        POOL_COUNTERS["tasks_rerun"] += sum(
-            1 for t in tasks if t.index not in completed
-        )
+        rerun = sum(1 for t in tasks if t.index not in completed)
+        POOL_COUNTERS.inc("respawns")
+        POOL_COUNTERS.inc("tasks_rerun", rerun)
+        if log is not None:
+            log.emit("procpool.respawn", trace=trace, tasks_rerun=rerun)
     return merge_root_results(list(completed.values()), gcs, limits)
 
 

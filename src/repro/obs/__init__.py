@@ -1,0 +1,83 @@
+"""repro.obs — dependency-free observability for the matching service.
+
+Three pieces, designed to be cheap enough to stay on by default
+(``check_perf.py --gate obs`` holds the hot path to ≤5% p50 overhead):
+
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket
+  histograms with labels, Prometheus text exposition, and
+  :class:`~repro.obs.metrics.CounterGroup`: the thread-safe dict-like
+  that the server, catalog, query cache, and procpool counters now
+  *are*, so the ``stats`` op and ``/metrics`` read identical storage.
+* :mod:`repro.obs.log` — JSON-lines structured logs with thread-local
+  trace-id propagation that crosses the procpool process boundary.
+* :mod:`repro.obs.profile` — a sampling
+  :class:`~repro.analysis.trace.SearchObserver` for ``profile=true``
+  queries.
+
+:class:`Observability` bundles a registry + log + enabled flag; the
+server owns one and threads it everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.log import (
+    StructuredLog,
+    current_log,
+    current_trace,
+    new_trace_id,
+    set_trace_context,
+    trace_context,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    CounterGroup,
+    MetricsRegistry,
+    parse_exposition,
+)
+from repro.obs.profile import SamplingProfiler
+
+__all__ = [
+    "CounterGroup",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "Observability",
+    "SamplingProfiler",
+    "StructuredLog",
+    "current_log",
+    "current_trace",
+    "new_trace_id",
+    "parse_exposition",
+    "set_trace_context",
+    "trace_context",
+]
+
+
+class Observability:
+    """Registry + structured log + master switch, as one handle.
+
+    ``enabled=False`` turns off the *new* costs — phase histograms and
+    structured log lines — while the counters keep counting (they
+    predate this layer and the ``stats`` op depends on them).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        log: Optional[StructuredLog] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.log = log if log is not None else StructuredLog()
+
+    def emit(self, event: str, **fields) -> None:
+        """Log a structured line iff observability is enabled."""
+        if self.enabled:
+            self.log.emit(event, **fields)
+
+    def observe(self, handle, seconds: float) -> None:
+        """Record a latency sample iff observability is enabled."""
+        if self.enabled:
+            handle.observe(seconds)

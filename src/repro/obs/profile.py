@@ -1,0 +1,101 @@
+"""Search-level sampling profiler built on the SearchObserver protocol.
+
+:class:`SamplingProfiler` subscribes to the Algorithm-2 event stream
+(:mod:`repro.analysis.trace`) and keeps *aggregates only* — a depth
+histogram of descends, conflict counts by kind, backjump and embedding
+totals — so it can ride along on real queries (``profile=true`` in the
+service) without recording the full event trace the way
+:class:`~repro.analysis.trace.TraceRecorder` does.
+
+``stride`` subsamples the two torrential event kinds (descend /
+conflict): with ``stride=16`` only every 16th event updates the depth
+histogram, and reported counts are scaled back up in :meth:`summary`.
+Rare events (backjumps, embeddings, returns-without-found) are always
+counted exactly.  The profiler never changes the search — the observer
+protocol is notification-only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.analysis.trace import SearchObserver
+
+MAX_DEPTH_BINS = 64
+
+
+class SamplingProfiler(SearchObserver):
+    """Aggregating observer suitable for attaching to live queries."""
+
+    def __init__(self, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stride = stride
+        self._descend_tick = 0
+        self._conflict_tick = 0
+        self.descends = 0
+        self.returns = 0
+        self.conflicts = 0
+        self.embeddings = 0
+        self.backjumps = 0
+        self.max_depth = 0
+        self.depth_hist: Dict[int, int] = {}
+        self.conflicts_by_kind: Dict[str, int] = {}
+
+    # -- observer hooks ------------------------------------------------
+
+    def on_descend(self, depth: int, v: int, node_id: int) -> None:
+        self.descends += 1
+        if depth > self.max_depth:
+            self.max_depth = depth
+        self._descend_tick += 1
+        if self._descend_tick >= self.stride:
+            self._descend_tick = 0
+            bin_ = min(depth, MAX_DEPTH_BINS - 1)
+            self.depth_hist[bin_] = self.depth_hist.get(bin_, 0) + 1
+
+    def on_conflict(self, depth: int, v: int, kind: str, mask: int) -> None:
+        self.conflicts += 1
+        self._conflict_tick += 1
+        if self._conflict_tick >= self.stride:
+            self._conflict_tick = 0
+            self.conflicts_by_kind[kind] = (
+                self.conflicts_by_kind.get(kind, 0) + 1
+            )
+
+    def on_return(self, depth: int, v: int, found: bool, mask: int) -> None:
+        self.returns += 1
+
+    def on_embedding(self, embedding: Tuple[int, ...]) -> None:
+        self.embeddings += 1
+
+    def on_backjump(self, depth: int, mask: int) -> None:
+        self.backjumps += 1
+
+    # -- report --------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-serializable aggregate, attached to service replies.
+
+        Sampled histograms are scaled by ``stride`` so the numbers are
+        estimates of true counts; the exact totals (``descends``,
+        ``conflicts``) ride alongside for calibration.
+        """
+        scale = self.stride
+        return {
+            "stride": self.stride,
+            "descends": self.descends,
+            "returns": self.returns,
+            "conflicts": self.conflicts,
+            "embeddings": self.embeddings,
+            "backjumps": self.backjumps,
+            "max_depth": self.max_depth,
+            "depth_hist": {
+                str(depth): count * scale
+                for depth, count in sorted(self.depth_hist.items())
+            },
+            "conflicts_by_kind": {
+                kind: count * scale
+                for kind, count in sorted(self.conflicts_by_kind.items())
+            },
+        }

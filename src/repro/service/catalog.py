@@ -67,6 +67,7 @@ from repro.filtering.artifacts import (
 )
 from repro.graph.graph import Graph
 from repro.graph.io import graph_checksum, load_graph, loads_graph, saves_graph
+from repro.obs.metrics import CounterGroup
 from repro.service.faults import NO_FAULTS, FaultPlan
 
 CATALOG_FORMAT_VERSION = 1
@@ -177,7 +178,10 @@ class GraphCatalog:
         # read-modify-write) without holding the main lock across the
         # patch/serialization work, which must not stall engine() calls.
         self._update_mutex = threading.Lock()
-        self.counters: Dict[str, int] = {
+        # A CounterGroup (dict-like, thread-safe) so a metrics registry
+        # can attach it and render the very same storage the ``stats``
+        # op snapshots (repro.obs.metrics).
+        self.counters = CounterGroup({
             "artifact_builds": 0,
             "artifact_loads": 0,
             "artifact_rebuilds": 0,
@@ -189,7 +193,10 @@ class GraphCatalog:
             "removes": 0,
             "txn_rollforwards": 0,
             "txn_rollbacks": 0,
-        }
+        })
+        # Last known epoch per entry, maintained on every persist/load,
+        # so request logs can stamp graph+epoch without a disk read.
+        self._epochs: Dict[str, int] = {}
 
     # -- registration --------------------------------------------------
 
@@ -358,23 +365,32 @@ class GraphCatalog:
             shutil.rmtree(directory)
             _fsync_dir(self.root)
             self.counters["removes"] += 1
+            self._epochs.pop(name, None)
             self.faults.reach("catalog.remove.commit")
 
     # -- engines -------------------------------------------------------
 
     def engine(self, name: str) -> GuPEngine:
         """The warm engine for ``name`` (LRU; loads from disk on miss)."""
+        return self.engine_ex(name)[0]
+
+    def engine_ex(self, name: str) -> Tuple[GuPEngine, str, int]:
+        """Like :meth:`engine`, plus provenance for request logs:
+        ``(engine, source, epoch)`` with ``source`` one of
+        ``"resident"`` (LRU hit), ``"load"`` (clean disk load), or
+        ``"rebuild"`` (corruption/staleness recovery)."""
         with self._lock:
             engine = self._resident.get(name)
             if engine is not None:
                 self.counters["engine_hits"] += 1
                 self._resident.move_to_end(name)
-                return engine
+                return engine, "resident", self._epochs.get(name, 1)
             self.counters["engine_misses"] += 1
-            graph, artifacts, _rebuilt = self._load(name)
+            graph, artifacts, rebuilt = self._load(name)
             engine = GuPEngine(graph, self.config, artifacts=artifacts)
             self._install(name, engine)
-            return engine
+            source = "rebuild" if rebuilt else "load"
+            return engine, source, self._epochs.get(name, 1)
 
     def warm(self, name: str) -> bool:
         """Ensure ``name``'s on-disk artifacts are valid and its engine
@@ -600,6 +616,7 @@ class GraphCatalog:
             json.dumps(meta, indent=2, sort_keys=True) + "\n"
         ).encode("utf-8")
         self._txn_commit(directory, files, epoch)
+        self._epochs[directory.name] = epoch
 
     def _load(self, name: str) -> Tuple[Graph, DataArtifacts, bool]:
         """Load an entry from disk, recovering any interrupted
@@ -642,6 +659,10 @@ class GraphCatalog:
             try:
                 artifacts = loads_artifacts(blob, graph)
                 self.counters["artifact_loads"] += 1
+                try:
+                    self._epochs[name] = max(1, int(meta.get("epoch") or 1))
+                except (TypeError, ValueError):
+                    self._epochs[name] = 1
                 return graph, artifacts, False
             except ArtifactsFormatError:
                 pass  # fall through to rebuild

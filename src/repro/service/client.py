@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TypeVar, Union
 
 from repro.graph.graph import Graph
 from repro.graph.io import saves_graph
+from repro.obs.log import StructuredLog, new_trace_id
 from repro.service.server import DEFAULT_PORT
 
 T = TypeVar("T")
@@ -88,7 +89,14 @@ class RetryPolicy:
 
 @dataclass
 class QueryReply:
-    """One served query: counts, status, cache disposition, embeddings."""
+    """One served query: counts, status, cache disposition, embeddings.
+
+    ``queue_seconds`` (admission-queue wait) is reported separately from
+    ``server_seconds`` (total server-side handling); ``trace`` is the
+    request's trace id — the one its structured log lines share across
+    client, server, and pool workers; ``profile`` is the sampling-
+    profiler summary when the query ran with ``profile=``.
+    """
 
     num_embeddings: int
     status: str
@@ -96,6 +104,10 @@ class QueryReply:
     elapsed: float
     recursions: int
     embeddings: List[Tuple[int, ...]] = field(default_factory=list)
+    queue_seconds: float = 0.0
+    server_seconds: float = 0.0
+    trace: Optional[str] = None
+    profile: Optional[Dict] = None
 
 
 @dataclass
@@ -132,13 +144,19 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         timeout: float = 300.0,
         retry: Optional[RetryPolicy] = None,
+        log: Optional[StructuredLog] = None,
     ) -> None:
         self._host = host
         self._port = port
         self._timeout = timeout
         self.retry = retry
+        self.log = log
         self.counters = {"retries": 0, "reconnects": 0}
         self._connect()
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.log is not None:
+            self.log.emit(event, **fields)
 
     def _connect(self) -> None:
         try:
@@ -251,6 +269,14 @@ class ServiceClient:
 
     def stats(self) -> Dict:
         return self._with_retry(lambda: self.request({"op": "stats"}))
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (``metrics`` op)."""
+        return str(
+            self._with_retry(lambda: self.request({"op": "metrics"}))[
+                "metrics"
+            ]
+        )
 
     def catalog_list(self) -> List[Dict]:
         return list(
@@ -365,6 +391,7 @@ class ServiceClient:
         chunk_size: Optional[int] = None,
         priority: Optional[str] = None,
         deadline: Optional[float] = None,
+        profile: Union[bool, int] = False,
     ) -> QueryReply:
         """Match ``graph`` (a :class:`Graph` or ``.graph`` text) against
         the catalog entry ``data``; collects the streamed chunks.
@@ -374,10 +401,21 @@ class ServiceClient:
         budget in seconds for the *whole call including retries*: every
         attempt sends the remaining budget as the server-side
         ``time_limit`` (tightened against an explicit ``time_limit``),
-        and no retry starts once the budget is spent.
+        and no retry starts once the budget is spent.  ``profile``
+        (``True`` or a sampling stride) attaches the server's search
+        profiler summary to the reply.
+
+        One trace id is generated per *call* and sent with every
+        attempt, so a retried query's client attempts, server handling,
+        and pool worker executions all log under the same id.
         """
         text = saves_graph(graph) if isinstance(graph, Graph) else str(graph)
-        payload: Dict = {"op": "query", "data": data, "graph": text}
+        trace = new_trace_id()
+        payload: Dict = {
+            "op": "query", "data": data, "graph": text, "trace": trace,
+        }
+        if profile:
+            payload["profile"] = profile
         if limit is not None:
             payload["limit"] = limit
         if recursion_limit is not None:
@@ -396,7 +434,13 @@ class ServiceClient:
             time.monotonic() + deadline if deadline is not None else None
         )
 
+        attempts = [0]
+
         def attempt() -> QueryReply:
+            attempts[0] += 1
+            self._emit(
+                "client.attempt", trace=trace, attempt=attempts[0], data=data
+            )
             budget = time_limit
             if deadline_at is not None:
                 remaining = deadline_at - time.monotonic()
@@ -424,6 +468,10 @@ class ServiceClient:
                 elapsed=float(header.get("elapsed", 0.0)),
                 recursions=int(header.get("recursions", 0)),
                 embeddings=embeddings,
+                queue_seconds=float(header.get("queue_seconds", 0.0)),
+                server_seconds=float(header.get("server_seconds", 0.0)),
+                trace=header.get("trace", trace),
+                profile=header.get("profile"),
             )
 
         return self._with_retry(attempt, deadline_at=deadline_at)

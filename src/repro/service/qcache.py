@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.graph.graph import Graph
 from repro.matching.limits import SearchLimits
 from repro.matching.result import MatchResult, SearchStats, TerminationStatus
+from repro.obs.metrics import CounterGroup
 
 DEFAULT_LEAF_BUDGET = 4096
 """Individualization-refinement node budget before falling back to the
@@ -262,7 +263,9 @@ class QueryCache:
         self.cap_serving = cap_serving
         self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
         self._lock = threading.RLock()
-        self.counters: Dict[str, int] = {
+        # CounterGroup: dict-like, thread-safe, attachable to a metrics
+        # registry so /metrics reads the same storage stats() snapshots.
+        self.counters = CounterGroup({
             "hits": 0,
             "misses": 0,
             "puts": 0,
@@ -274,7 +277,7 @@ class QueryCache:
             "delta_kept": 0,
             "delta_evicted": 0,
             "delta_invalidations": 0,
-        }
+        })
 
     # -- public API ----------------------------------------------------
 

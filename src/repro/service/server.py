@@ -7,15 +7,28 @@ object with an ``"op"`` field; each response is one or more lines:
     → ``{"ok": true, "pong": true}``
 ``{"op": "stats"}``
     → ``{"ok": true, "server": {...}, "catalog": {...}, "qcache": {...}}``
+``{"op": "metrics"}``
+    → ``{"ok": true, "metrics": text}`` — the whole metrics registry in
+      Prometheus text exposition format.  The same exposition answers a
+      plain-HTTP ``GET /metrics`` sent to this port (and ``GET
+      /healthz`` returns the healthz payload as JSON), so a stock
+      Prometheus scraper or curl can point at the JSON-lines port
+      directly.
 ``{"op": "catalog_list"}`` / ``{"op": "catalog_add", "name": n, "graph": text}``
     → ``{"ok": true, "entries": [...]}`` / the new entry's info
 ``{"op": "query", "data": name, "graph": text, "limit": N, "workers": W,
-   "time_limit": S, "recursion_limit": R, "count_only": b, "cache": b}``
+   "time_limit": S, "recursion_limit": R, "count_only": b, "cache": b,
+   "trace": id, "profile": b|stride}``
     → header ``{"ok": true, "num_embeddings": N, "status": s,
-      "cache": "hit"|"miss"|"bypass", "chunks": k, ...}``, then ``k``
+      "cache": "hit"|"miss"|"bypass", "queue_seconds": q,
+      "server_seconds": t, "trace": id, "chunks": k, ...}``, then ``k``
       lines ``{"chunk": [[...], ...]}``, then ``{"end": true}`` —
       large embedding sets stream in bounded chunks instead of one
-      giant line.
+      giant line.  ``queue_seconds`` is admission-queue wait, reported
+      separately from execution; ``trace`` echoes (or generates) the
+      request's trace id, the one its structured log lines share;
+      ``profile`` attaches a search-level sampling-profiler summary
+      (depth histogram, conflicts by kind, backjumps) to the header.
 ``{"op": "update", "name": n, "delta": {"add_vertices": [...],
    "add_edges": [[u, v], ...], "remove_edges": [[u, v], ...]}}``
     → ``{"ok": true, "entry": info, "summary": {...},
@@ -94,6 +107,8 @@ from repro.graph.graph import Graph
 from repro.graph.io import loads_graph
 from repro.matching.limits import SearchLimits
 from repro.matching.result import MatchResult, TerminationStatus
+from repro.obs import Observability, SamplingProfiler, new_trace_id, trace_context
+from repro.obs.metrics import CounterGroup
 from repro.service.catalog import CatalogError, GraphCatalog
 from repro.service.faults import NO_FAULTS, FaultPlan
 from repro.service.qcache import DEFAULT_LEAF_BUDGET, QueryCache
@@ -157,6 +172,7 @@ class MatchingServer:
         subscriber_queue: int = 64,
         subscriber_policy: str = "disconnect",
         faults: FaultPlan = NO_FAULTS,
+        obs: Optional[Observability] = None,
     ) -> None:
         if subscriber_policy not in ("disconnect", "drop"):
             raise ValueError(
@@ -180,7 +196,10 @@ class MatchingServer:
         self.port: Optional[int] = None
         self._caches: Dict[str, QueryCache] = {}
         self._counters_lock = threading.Lock()
-        self.counters: Dict[str, int] = {
+        # A CounterGroup so the metrics registry below exposes the very
+        # same storage the ``stats`` op snapshots (repro.obs.metrics:
+        # "reconciliation by construction").
+        self.counters = CounterGroup({
             "queries": 0,
             "served": 0,
             "rejected": 0,
@@ -196,7 +215,9 @@ class MatchingServer:
             "events_dropped": 0,
             "subscribers_dropped": 0,
             "connections_refused": 0,
-        }
+        })
+        self.obs = obs if obs is not None else Observability()
+        self._wire_metrics()
         self._active = 0
         self._started_at: Optional[float] = None
         self._sem: Optional[asyncio.Semaphore] = None
@@ -207,6 +228,89 @@ class MatchingServer:
         self._subs: Dict[str, Dict[int, _Subscription]] = {}
         self._next_sub_id = 1
         self._update_lock: Optional[asyncio.Lock] = None
+
+    # -- observability (DESIGN.md §12) ---------------------------------
+
+    def _wire_metrics(self) -> None:
+        """Attach every counter group + register gauges/histograms.
+
+        Counter families are *attached* live mappings — rendering reads
+        the same objects the ``stats`` op snapshots, so ``/metrics`` and
+        ``stats`` can never disagree.  Gauges are refreshed by an
+        ``on_scrape`` hook; histograms are fed on the query path.
+        """
+        reg = self.obs.registry
+        reg.attach_group(
+            "repro_server", self.counters,
+            help_text="MatchingServer request/subscription counters",
+        )
+        reg.attach_group(
+            "repro_catalog", self.catalog.counters,
+            help_text="GraphCatalog artifact/engine/transaction counters",
+        )
+        reg.attach_group(
+            "repro_pool", POOL_COUNTERS,
+            help_text="Procpool worker-crash recovery counters",
+        )
+        phase = reg.histogram(
+            "repro_server_phase_seconds",
+            "Per-phase query latency: queue wait, engine build (GCS "
+            "construction), search, reply streaming",
+            labelnames=["phase"],
+        )
+        self._phase_hist = {
+            name: phase.labels(phase=name)
+            for name in ("queue", "build", "search", "stream")
+        }
+        self._request_hist = reg.histogram(
+            "repro_server_request_seconds",
+            "End-to-end server-side query latency (admission to reply)",
+        )
+        self._gauges = {
+            "active": reg.gauge(
+                "repro_server_active", "Queries currently admitted"
+            ),
+            "capacity": reg.gauge(
+                "repro_server_capacity",
+                "Admission capacity (max_inflight + max_pending)",
+            ),
+            "subscriptions": reg.gauge(
+                "repro_server_subscriptions_active",
+                "Standing subscriptions currently registered",
+            ),
+            "uptime": reg.gauge(
+                "repro_server_uptime_seconds", "Seconds since start()"
+            ),
+            "builds_in_process": reg.gauge(
+                "repro_artifact_builds_in_process",
+                "DataArtifacts built from scratch in this process",
+            ),
+            "qcache_entries": reg.gauge(
+                "repro_qcache_entries",
+                "Live query-cache entries", labelnames=["data"],
+            ),
+        }
+        reg.on_scrape(self._refresh_gauges)
+
+    def _refresh_gauges(self) -> None:
+        with self._counters_lock:
+            caches = dict(self._caches)
+            subscriptions = sum(len(per) for per in self._subs.values())
+        g = self._gauges
+        g["active"].set(self._active)
+        g["capacity"].set(self.max_inflight + self.max_pending)
+        g["subscriptions"].set(subscriptions)
+        g["uptime"].set(
+            time.monotonic() - self._started_at
+            if self._started_at is not None else 0.0
+        )
+        g["builds_in_process"].set(DataArtifacts.builds_performed)
+        for name, cache in caches.items():
+            g["qcache_entries"].labels(data=name).set(len(cache))
+
+    def metrics_text(self) -> str:
+        """The full Prometheus text exposition (``metrics`` op body)."""
+        return self.obs.registry.render()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -281,6 +385,7 @@ class MatchingServer:
                 if rule.action == "refuse":
                     self._bump("connections_refused")
                     logger.info("refusing connection (injected fault)")
+                    self.obs.emit("fault.refuse")
                     return
                 if rule.action == "delay":
                     await asyncio.sleep(rule.seconds)
@@ -291,6 +396,13 @@ class MatchingServer:
                 line = line.strip()
                 if not line:
                     continue
+                if line.startswith(b"GET "):
+                    # Plain-HTTP scrape support: a Prometheus scraper
+                    # (or curl) pointed at the JSON-lines port gets a
+                    # real HTTP/1.0 response for /metrics and /healthz,
+                    # then the connection closes (HTTP/1.0 semantics).
+                    await self._handle_http(reader, writer, line)
+                    break
                 try:
                     request = json.loads(line)
                 except ValueError:
@@ -311,6 +423,10 @@ class MatchingServer:
                     await self._send(writer, self._healthz_payload())
                 elif op == "stats":
                     await self._send(writer, self._stats_payload())
+                elif op == "metrics":
+                    await self._send(
+                        writer, {"ok": True, "metrics": self.metrics_text()}
+                    )
                 elif op == "catalog_list":
                     await self._op_catalog_list(writer)
                 elif op == "catalog_add":
@@ -351,6 +467,49 @@ class MatchingServer:
                 asyncio.CancelledError,
             ):
                 pass
+
+    async def _handle_http(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request_line: bytes,
+    ) -> None:
+        """Answer one ``GET`` request on the JSON-lines port.
+
+        ``/metrics`` returns the text exposition, ``/healthz`` the
+        healthz payload as JSON; anything else is a 404.  Request
+        headers are drained (up to a sane cap) so well-behaved HTTP
+        clients don't see a reset, then the connection closes.
+        """
+        parts = request_line.decode("latin-1").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        for _ in range(64):  # drain headers until the blank line
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        if path.split("?")[0] == "/metrics":
+            status, ctype, body = (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.metrics_text(),
+            )
+        elif path.split("?")[0] == "/healthz":
+            status, ctype, body = (
+                "200 OK",
+                "application/json",
+                json.dumps(self._healthz_payload()) + "\n",
+            )
+        else:
+            status, ctype, body = ("404 Not Found", "text/plain", "not found\n")
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
 
     # -- ops -----------------------------------------------------------
 
@@ -441,10 +600,17 @@ class MatchingServer:
                     "subscription %d lagging: dropped event (%d lost)",
                     sub.id, sub.lost,
                 )
+                self.obs.emit(
+                    "subscriber.drop", subscription=sub.id,
+                    data=sub.name, lost=sub.lost,
+                )
                 return True
             self._bump("subscribers_dropped")
             logger.info(
                 "subscription %d too slow: disconnecting", sub.id
+            )
+            self.obs.emit(
+                "subscriber.disconnect", subscription=sub.id, data=sub.name
             )
             self._drop_subscription(sub)
             try:
@@ -495,6 +661,11 @@ class MatchingServer:
             notified = await self._notify_subscribers(name, info, summary)
 
         self._bump("updates")
+        self.obs.emit(
+            "update", data=name, epoch=info.get("epoch"),
+            qcache_kept=kept, qcache_evicted=evicted,
+            subscribers_notified=notified,
+        )
         await self._send(
             writer,
             {
@@ -681,13 +852,23 @@ class MatchingServer:
         self, request: Dict, writer: asyncio.StreamWriter
     ) -> None:
         self._bump("queries")
+        # One trace id per request: honor the client's (so its retry
+        # attempts correlate with our handling), else generate one.
+        trace = request.get("trace")
+        if not isinstance(trace, str) or not (1 <= len(trace) <= 64):
+            trace = new_trace_id()
         priority = request.get("priority", "normal")
         if priority not in PRIORITIES:
             self._bump("errors")
+            self.obs.emit(
+                "query", trace=trace, outcome="error",
+                error=f"bad priority {priority!r}",
+            )
             await self._send(
                 writer,
                 {"ok": False,
-                 "error": f"priority must be one of {list(PRIORITIES)}"},
+                 "error": f"priority must be one of {list(PRIORITIES)}",
+                 "trace": trace},
             )
             return
         # Load shedding: reject *immediately* (no unbounded queueing),
@@ -702,6 +883,11 @@ class MatchingServer:
             self._bump(f"shed_{priority}")
             logger.info("shedding %s-priority query (active=%d)",
                         priority, self._active)
+            self.obs.emit(
+                "query", trace=trace, outcome="shed", priority=priority,
+                data=request.get("data"), active=self._active,
+                forced=forced is not None,
+            )
             await self._send(
                 writer,
                 {
@@ -709,6 +895,7 @@ class MatchingServer:
                     "error": "overloaded: too many in-flight queries",
                     "overloaded": True,
                     "priority": priority,
+                    "trace": trace,
                 },
             )
             return
@@ -718,8 +905,15 @@ class MatchingServer:
                 parsed, chunk_size = self._parse_query(request)
             except ValueError as exc:
                 self._bump("errors")
-                await self._send(writer, {"ok": False, "error": str(exc)})
+                self.obs.emit(
+                    "query", trace=trace, outcome="error",
+                    priority=priority, error=str(exc),
+                )
+                await self._send(
+                    writer, {"ok": False, "error": str(exc), "trace": trace}
+                )
                 return
+            name = parsed[0]
             loop = asyncio.get_running_loop()
             started = time.perf_counter()
             assert self._sem is not None
@@ -727,24 +921,69 @@ class MatchingServer:
                 # Hold a matching slot only for the CPU work; streaming
                 # the reply to a slow client must not block admission.
                 async with self._sem:
-                    result, cache_state = await loop.run_in_executor(
-                        self._executor, self._execute, *parsed
+                    queue_seconds = time.perf_counter() - started
+                    result, cache_state, prov = await loop.run_in_executor(
+                        self._executor, self._execute, *parsed, trace
                     )
             except CatalogError as exc:
                 self._bump("errors")
-                await self._send(writer, {"ok": False, "error": str(exc)})
+                self.obs.emit(
+                    "query", trace=trace, outcome="error",
+                    priority=priority, data=name, error=str(exc),
+                )
+                await self._send(
+                    writer, {"ok": False, "error": str(exc), "trace": trace}
+                )
                 return
             except Exception as exc:  # noqa: BLE001 - report, keep serving
                 self._bump("errors")
+                self.obs.emit(
+                    "query", trace=trace, outcome="error",
+                    priority=priority, data=name, error=repr(exc),
+                )
                 await self._send(
                     writer,
-                    {"ok": False, "error": f"internal error: {exc!r}"},
+                    {"ok": False, "error": f"internal error: {exc!r}",
+                     "trace": trace},
                 )
                 return
             server_seconds = time.perf_counter() - started
+            stream_started = time.perf_counter()
             await self._stream_result(
-                writer, result, cache_state, server_seconds, chunk_size
+                writer, result, cache_state, server_seconds, chunk_size,
+                queue_seconds=queue_seconds, trace=trace,
+                profile=prov.get("profile"),
             )
+            stream_seconds = time.perf_counter() - stream_started
+            if self.obs.enabled:
+                hist = self._phase_hist
+                hist["queue"].observe(queue_seconds)
+                hist["build"].observe(result.preprocessing_seconds)
+                hist["search"].observe(result.elapsed_seconds)
+                hist["stream"].observe(stream_seconds)
+                self._request_hist.observe(server_seconds + stream_seconds)
+                config = self.catalog.config
+                self.obs.emit(
+                    "query",
+                    trace=trace,
+                    outcome="served",
+                    priority=priority,
+                    data=name,
+                    epoch=prov.get("epoch"),
+                    cache=prov.get("cache_detail", cache_state),
+                    engine_source=prov.get("engine_source"),
+                    workers=prov.get("workers"),
+                    candidate_backend=config.candidate_backend,
+                    build_backend=config.build_backend,
+                    mask_backend=config.mask_backend,
+                    num_embeddings=result.num_embeddings,
+                    status=result.status.value,
+                    queue_seconds=round(queue_seconds, 6),
+                    build_seconds=round(result.preprocessing_seconds, 6),
+                    search_seconds=round(result.elapsed_seconds, 6),
+                    stream_seconds=round(stream_seconds, 6),
+                    server_seconds=round(server_seconds, 6),
+                )
             self._bump("served")
         finally:
             self._active -= 1
@@ -781,7 +1020,16 @@ class MatchingServer:
         workers = min(workers, self.max_request_workers)
         use_cache = bool(request.get("cache", True))
         chunk_size = opt_number("chunk_size", self.chunk_size, int) or 1
-        return (name, query, limits, workers, use_cache), chunk_size
+        # profile: false (off), true (stride-1 sampling), or an int
+        # stride — attaches a SamplingProfiler summary to the reply.
+        profile = request.get("profile", False)
+        if isinstance(profile, bool):
+            stride = 1 if profile else 0
+        elif isinstance(profile, int) and profile >= 1:
+            stride = profile
+        else:
+            raise ValueError("'profile' must be a boolean or a stride >= 1")
+        return (name, query, limits, workers, use_cache, stride), chunk_size
 
     def _cache_for(self, name: str) -> QueryCache:
         with self._counters_lock:
@@ -793,6 +1041,12 @@ class MatchingServer:
                     cap_serving=not self.catalog.config.break_symmetry,
                 )
                 self._caches[name] = cache
+                # Live attachment: this cache's counters become the
+                # ``repro_qcache_*_total{data=...}`` metric families.
+                self.obs.registry.attach_group(
+                    "repro_qcache", cache.counters, labels={"data": name},
+                    help_text="QueryCache counters (per catalog entry)",
+                )
             return cache
 
     def _execute(
@@ -802,27 +1056,62 @@ class MatchingServer:
         limits: SearchLimits,
         workers: int,
         use_cache: bool,
-    ) -> Tuple[MatchResult, str]:
-        """Blocking query execution (runs on the executor threads)."""
-        cache = self._cache_for(name)
-        form = None
-        if use_cache:
-            cached, form = cache.lookup(query, limits)
-            if cached is not None:
-                return cached, "hit"
-        engine = self.catalog.engine(name)
-        if workers > 1:
-            self._bump("procpool_dispatches")
-        result = engine.match(query, limits=limits, workers=workers)
-        if use_cache and form is not None:
-            cache.store(form, limits, result)
-            return result, "miss"
-        self._bump("cache_bypass")
-        return result, "bypass"
+        profile_stride: int,
+        trace: Optional[str] = None,
+    ) -> Tuple[MatchResult, str, Dict]:
+        """Blocking query execution (runs on the executor threads).
+
+        Returns ``(result, cache_state, provenance)`` where provenance
+        carries the request-log detail: cache hit/truncated-hit, engine
+        source (resident/load/rebuild) + epoch, effective workers, and
+        the profiler summary when ``profile_stride > 0``.  The trace id
+        and structured log are bound thread-locally for the duration,
+        so the procpool (and its fault hooks) log under this request's
+        trace across the process boundary.
+        """
+        prov: Dict[str, object] = {}
+        log = self.obs.log if self.obs.enabled else None
+        with trace_context(trace, log):
+            cache = self._cache_for(name)
+            form = None
+            if profile_stride > 0:
+                # A cache hit has no search to observe; profiled runs
+                # always execute the engine.
+                use_cache = False
+            if use_cache:
+                cached, form = cache.lookup(query, limits)
+                if cached is not None:
+                    # A hit served capped at the cached entry's known
+                    # embedding count is a *truncated* hit: correct, but
+                    # the client should know it saw a prefix.
+                    prov["cache_detail"] = (
+                        "truncated-hit"
+                        if cached.status is TerminationStatus.EMBEDDING_LIMIT
+                        else "hit"
+                    )
+                    return cached, "hit", prov
+            engine, source, epoch = self.catalog.engine_ex(name)
+            prov["engine_source"] = source
+            prov["epoch"] = epoch
+            observer = None
+            if profile_stride > 0:
+                observer = SamplingProfiler(stride=profile_stride)
+            if workers > 1 and observer is None:
+                self._bump("procpool_dispatches")
+            prov["workers"] = 1 if observer is not None else workers
+            result = engine.match(
+                query, limits=limits, workers=workers, observer=observer
+            )
+            if observer is not None:
+                prov["profile"] = observer.summary()
+            if use_cache and form is not None:
+                cache.store(form, limits, result)
+                return result, "miss", prov
+            self._bump("cache_bypass")
+            return result, "bypass", prov
 
     def _bump(self, key: str) -> None:
-        with self._counters_lock:
-            self.counters[key] += 1
+        self.counters.inc(key)
 
     async def _stream_result(
         self,
@@ -831,21 +1120,30 @@ class MatchingServer:
         cache_state: str,
         server_seconds: float,
         chunk_size: int,
+        queue_seconds: float = 0.0,
+        trace: Optional[str] = None,
+        profile: Optional[Dict] = None,
     ) -> None:
         embeddings = result.embeddings
         chunk_count = (len(embeddings) + chunk_size - 1) // chunk_size
+        header = {
+            "ok": True,
+            "num_embeddings": result.num_embeddings,
+            "status": result.status.value,
+            "cache": cache_state,
+            "recursions": result.stats.recursions,
+            "elapsed": round(result.total_seconds, 6),
+            "server_seconds": round(server_seconds, 6),
+            "queue_seconds": round(queue_seconds, 6),
+            "chunks": chunk_count,
+        }
+        if trace is not None:
+            header["trace"] = trace
+        if profile is not None:
+            header["profile"] = profile
         await self._send(
             writer,
-            {
-                "ok": True,
-                "num_embeddings": result.num_embeddings,
-                "status": result.status.value,
-                "cache": cache_state,
-                "recursions": result.stats.recursions,
-                "elapsed": round(result.total_seconds, 6),
-                "server_seconds": round(server_seconds, 6),
-                "chunks": chunk_count,
-            },
+            header,
         )
         for i in range(chunk_count):
             await self._send(
