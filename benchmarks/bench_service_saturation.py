@@ -17,8 +17,16 @@ of stacking up as queue delay.
 Queries run with the cache bypassed so every admitted request costs
 real engine work (a cache-hit workload would never saturate the
 executor).  Results are written **additively** into
-``BENCH_service.json`` under the new ``"saturation"`` key — the
-throughput benchmark owns the rest of the file.
+``BENCH_service.json`` under the ``"saturation"`` and ``"fairness"``
+keys — the throughput benchmark owns the rest of the file.
+
+The **fairness** column (DESIGN.md §13) runs the same server with two
+tenants — a light, high-weight tenant and a greedy, quota-capped bulk
+tenant — and measures the light tenant's p50 *solo* vs *contended*
+(while the bulk tenant hammers with 4x the clients).  The multi-tenant
+contract this measures: the bulk tenant's excess is shed with
+tenant-labeled ``quota`` rejections instead of crowding the light
+tenant out, so the light tenant's paired latency ratio stays bounded.
 
 Run: ``python benchmarks/bench_service_saturation.py [--levels 1,4,16]
 [--per-client N] [--out PATH]``
@@ -45,6 +53,7 @@ from repro.service.client import (  # noqa: E402
     ServiceOverloaded,
 )
 from repro.service.server import ServerThread  # noqa: E402
+from repro.service.tenancy import TenantSpec, TenantTable  # noqa: E402
 from repro.workload.datasets import load_dataset  # noqa: E402
 from repro.workload.querygen import QuerySetSpec, generate_query_set  # noqa: E402
 
@@ -58,6 +67,15 @@ DEFAULT_LEVELS = (1, 4, 16)
 SMOKE_LEVELS = (1, 12)
 DEFAULT_OUT = ROOT / "BENCH_service.json"
 RESULTS = ROOT / "benchmarks" / "results" / "service_saturation.txt"
+
+# Two-tenant fairness column: a light, high-weight tenant vs a greedy,
+# quota-capped bulk tenant on the same small-capacity server.
+LIGHT_TENANT = "light"
+BULK_TENANT = "bulk"
+LIGHT_WEIGHT = 4
+BULK_QUOTA = 2  # bulk max_inflight: its excess is shed, not queued
+LIGHT_CLIENTS = 2
+BULK_CLIENTS = 8
 
 
 def percentile(sorted_values, fraction: float) -> float:
@@ -108,6 +126,129 @@ def drive_level(address, queries, clients: int, per_client: int):
         "shed_rate": round(shed[0] / offered, 4),
         "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
         "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+def drive_mixed(address, queries, groups, per_client: int):
+    """Closed-loop clients for several tenants at once.
+
+    ``groups`` maps tenant name -> client-thread count; returns one
+    :func:`drive_level`-shaped row per tenant.
+    """
+    rows = {
+        tenant: {"latencies": [], "shed": 0} for tenant in groups
+    }
+    lock = threading.Lock()
+
+    def worker(tenant: str, offset: int) -> None:
+        with ServiceClient(*address, tenant=tenant) as client:
+            for i in range(per_client):
+                query = queries[(offset + i) % len(queries)]
+                started = time.perf_counter()
+                try:
+                    client.query(query, DATASET, limit=LIMIT, cache=False)
+                except ServiceOverloaded:
+                    with lock:
+                        rows[tenant]["shed"] += 1
+                    continue
+                elapsed = time.perf_counter() - started
+                with lock:
+                    rows[tenant]["latencies"].append(elapsed)
+
+    threads = [
+        threading.Thread(target=worker, args=(tenant, i))
+        for tenant, clients in sorted(groups.items())
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    out = {}
+    for tenant, clients in groups.items():
+        offered = clients * per_client
+        latencies = sorted(rows[tenant]["latencies"])
+        shed = rows[tenant]["shed"]
+        out[tenant] = {
+            "clients": clients,
+            "offered": offered,
+            "served": len(latencies),
+            "shed": shed,
+            "shed_rate": round(shed / offered, 4),
+            "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+            "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        }
+    return out
+
+
+def run_fairness(per_client: int):
+    """The two-tenant fairness column (DESIGN.md §13).
+
+    Phase 1: the light tenant alone (its baseline p50).  Phase 2: the
+    same light load while the bulk tenant hammers with 4x the clients.
+    The admission contract under contention: the bulk tenant's excess
+    is shed with tenant-labeled ``quota`` rejections (never silently
+    queued in front of the light tenant), the light tenant is **never**
+    shed, and its paired contended/solo p50 ratio stays bounded.
+    """
+    data = load_dataset(DATASET, scale=SCALE, seed=SEED)
+    queries = list(
+        generate_query_set(data, QuerySetSpec(8, "sparse"), count=4,
+                           seed=SEED)
+    )
+    tenants = TenantTable([
+        TenantSpec(LIGHT_TENANT, weight=LIGHT_WEIGHT),
+        TenantSpec(BULK_TENANT, weight=1, max_inflight=BULK_QUOTA),
+    ])
+    with tempfile.TemporaryDirectory(prefix="repro-bench-catalog-") as tmp:
+        GraphCatalog(tmp).add(DATASET, data)
+        catalog = GraphCatalog(tmp)
+        with ServerThread(
+            catalog, max_inflight=MAX_INFLIGHT, max_pending=MAX_PENDING,
+            tenants=tenants,
+        ) as thread:
+            with ServiceClient(*thread.address) as warmup:
+                for query in queries:
+                    warmup.query(query, DATASET, limit=LIMIT, cache=False)
+            solo = drive_mixed(
+                thread.address, queries, {LIGHT_TENANT: LIGHT_CLIENTS},
+                per_client,
+            )[LIGHT_TENANT]
+            contended = drive_mixed(
+                thread.address, queries,
+                {LIGHT_TENANT: LIGHT_CLIENTS, BULK_TENANT: BULK_CLIENTS},
+                per_client,
+            )
+            with ServiceClient(*thread.address) as client:
+                tenant_stats = client.stats()["tenants"]
+
+    light, bulk = contended[LIGHT_TENANT], contended[BULK_TENANT]
+    ratio = (
+        round(light["p50_ms"] / solo["p50_ms"], 3)
+        if solo["p50_ms"] > 0 else None
+    )
+    return {
+        "tenants": {
+            LIGHT_TENANT: {"weight": LIGHT_WEIGHT, "clients": LIGHT_CLIENTS},
+            BULK_TENANT: {
+                "weight": 1, "max_inflight": BULK_QUOTA,
+                "clients": BULK_CLIENTS,
+            },
+        },
+        "per_client_requests": per_client,
+        "solo": solo,
+        "contended_light": light,
+        "contended_bulk": bulk,
+        "p50_ratio_contended_vs_solo": ratio,
+        "tenant_stats": {
+            name: tenant_stats.get(name, {})
+            for name in (LIGHT_TENANT, BULK_TENANT)
+        },
+        "invariant": (
+            "bulk excess is shed tenant-labeled; the light tenant is "
+            "never shed and its paired p50 ratio stays bounded"
+        ),
     }
 
 
@@ -163,12 +304,14 @@ def main(argv=None) -> int:
 
     levels = tuple(int(x) for x in args.levels.split(","))
     report = run_saturation(levels, args.per_client)
+    fairness = run_fairness(args.per_client)
 
     # Additive: the throughput benchmark owns every other key.
     merged = {}
     if args.out.exists():
         merged = json.loads(args.out.read_text(encoding="utf-8"))
     merged["saturation"] = report
+    merged["fairness"] = fairness
     args.out.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
 
     lines = [
@@ -181,6 +324,23 @@ def main(argv=None) -> int:
             f"p99 {level['p99_ms']:8.3f}ms  shed {level['shed']:4d}/"
             f"{level['offered']:4d} ({level['shed_rate']:.1%})"
         )
+    light = fairness["contended_light"]
+    bulk = fairness["contended_bulk"]
+    lines.append(
+        f"two-tenant fairness ({LIGHT_TENANT} w{LIGHT_WEIGHT}x"
+        f"{LIGHT_CLIENTS} vs {BULK_TENANT} quota{BULK_QUOTA}x"
+        f"{BULK_CLIENTS}):"
+    )
+    lines.append(
+        f"  {LIGHT_TENANT} p50 solo {fairness['solo']['p50_ms']:8.3f}ms  "
+        f"contended {light['p50_ms']:8.3f}ms  "
+        f"(ratio {fairness['p50_ratio_contended_vs_solo']}x, "
+        f"shed {light['shed']})"
+    )
+    lines.append(
+        f"  {BULK_TENANT} shed {bulk['shed']:4d}/{bulk['offered']:4d} "
+        f"({bulk['shed_rate']:.1%}), served {bulk['served']}"
+    )
     text = "\n".join(lines)
     print(text)
     RESULTS.parent.mkdir(parents=True, exist_ok=True)

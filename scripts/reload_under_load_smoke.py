@@ -1,0 +1,220 @@
+"""CI smoke: zero-downtime reload under live load (DESIGN.md §13).
+
+End-to-end over real processes and sockets:
+
+1. Start ``repro serve`` as a subprocess on a temp catalog.
+2. Attach one live subscriber and a steady closed-loop query stream.
+3. Overwrite the catalog entry from *outside* the server (as a second
+   process would), then reload it with the ``repro reload`` CLI verb
+   while the stream keeps running.
+4. Assert the contract: **zero dropped queries** (every request before,
+   during, and after the swap is served — no retries configured, so a
+   single shed or error fails the run), the subscriber receives its
+   epoch-boundary delta **exactly once** with the exact set difference
+   (no lost, no duplicated events), and post-reload queries serve the
+   new graph.
+5. ``repro drain`` stops the server; both verbs must exit 0 and the
+   server process itself must exit 0.
+
+The server's stdout/stderr land in ``reload-smoke-server.log`` (the CI
+job uploads it when the smoke fails).  Exit 0 = pass, 1 = any broken
+invariant.
+
+Run: ``PYTHONPATH=src python scripts/reload_under_load_smoke.py``
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+for entry in (str(SRC), str(ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.graph.builder import graph_from_adjacency  # noqa: E402
+from repro.service.catalog import GraphCatalog  # noqa: E402
+from repro.service.client import ServiceClient, ServiceUnavailable  # noqa: E402
+
+LOG_PATH = ROOT / "reload-smoke-server.log"
+QUERY_SECONDS = 6.0  # how long the steady stream runs in total
+
+AB_V1 = {(0, 1), (2, 1)}
+AB_V2 = {(0, 1), (2, 1), (2, 3)}
+
+
+def world_v1():
+    return graph_from_adjacency(
+        ["A", "B", "A", "C", "D", "C"],
+        [(0, 1), (1, 2), (3, 4), (4, 5)],
+    )
+
+
+def world_v2():
+    return graph_from_adjacency(
+        ["A", "B", "A", "B"],
+        [(0, 1), (1, 2), (2, 3)],
+    )
+
+
+def ab_query():
+    return graph_from_adjacency(["A", "B"], [(0, 1)])
+
+
+def cli(*args, timeout=60):
+    """Run a ``repro`` CLI verb; returns (returncode, stdout, stderr)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+class QueryStream:
+    """Closed-loop query thread; any shed/error/drop fails the smoke."""
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+        self.served = 0
+        self.failures = []
+        self.epochs_seen = set()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        query = ab_query()
+        with ServiceClient(port=self.port, timeout=60) as client:
+            while not self._stop.is_set():
+                try:
+                    reply = client.query(query, "g", cache=False)
+                except Exception as exc:  # noqa: BLE001 - any drop fails
+                    self.failures.append(repr(exc))
+                    return
+                got = set(reply.embeddings)
+                if got == AB_V1:
+                    self.epochs_seen.add("v1")
+                elif got == AB_V2:
+                    self.epochs_seen.add("v2")
+                else:
+                    self.failures.append(f"mixed-epoch result {sorted(got)}")
+                    return
+                self.served += 1
+                time.sleep(0.005)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=30)
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}")
+    print(f"server log: {LOG_PATH}")
+    return 1
+
+
+def run_smoke(root: Path) -> int:
+    GraphCatalog(root).add("g", world_v1())
+
+    log = LOG_PATH.open("w", encoding="utf-8")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--root", str(root),
+         "--port", "0", "--drain-timeout", "15"],
+        stdout=subprocess.PIPE, stderr=log, text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    try:
+        banner = proc.stdout.readline()
+        log.write(banner)
+        log.flush()
+        if not banner:
+            return fail("server printed no banner")
+        port = int(banner.rsplit(":", 1)[1])
+
+        with ServiceClient(port=port, timeout=60) as subscriber:
+            sub = subscriber.subscribe(ab_query(), "g")
+            if set(sub.embeddings) != AB_V1:
+                return fail(f"bad initial standing set {sub.embeddings}")
+
+            stream = QueryStream(port)
+            stream.start()
+            time.sleep(QUERY_SECONDS / 3)  # steady state on epoch 1
+
+            # The "other process" changes the entry on disk...
+            GraphCatalog(root).add("g", world_v2(), overwrite=True)
+            code, out, err = cli("reload", "127.0.0.1", str(port))
+            if code != 0:
+                return fail(f"repro reload exited {code}: {err.strip()}")
+            if "g: reloaded" not in out:
+                return fail(f"unexpected reload report: {out.strip()}")
+            print(out.strip())
+
+            time.sleep(QUERY_SECONDS / 3)  # steady state on epoch 2
+            stream.stop()
+            if stream.failures:
+                return fail(
+                    f"query stream dropped a request: {stream.failures[0]} "
+                    f"(after {stream.served} served)"
+                )
+            if stream.epochs_seen != {"v1", "v2"}:
+                return fail(
+                    f"stream saw epochs {sorted(stream.epochs_seen)}; "
+                    "expected clean v1 -> v2 handoff"
+                )
+            print(
+                f"query stream: {stream.served} served, 0 dropped, "
+                "epochs v1 -> v2"
+            )
+
+            # Exactly one boundary delta: the exact set difference, once.
+            event = subscriber.next_event(timeout=30)
+            if event.get("event") != "delta" or not event.get("reload"):
+                return fail(f"expected one reload delta, got {event}")
+            replayed = (
+                AB_V1 - set(event["removed"])
+            ) | set(event["added"])
+            if replayed != AB_V2:
+                return fail(f"boundary delta is not exact: {event}")
+            try:
+                extra = subscriber.next_event(timeout=1.0)
+            except ServiceUnavailable:
+                pass  # no second event — exactly-once holds
+            else:
+                return fail(f"duplicate subscription event: {extra}")
+            print("subscriber: exactly one exact boundary delta")
+
+        code, out, err = cli("drain", "127.0.0.1", str(port))
+        if code != 0:
+            return fail(f"repro drain exited {code}: {err.strip()}")
+        print(out.strip())
+
+        stdout, _ = proc.communicate(timeout=60)
+        log.write(stdout)
+        log.flush()
+        if proc.returncode != 0:
+            return fail(f"server exited {proc.returncode}")
+        print("PASS: reload under load (0 dropped, exactly-once replay)")
+        return 0
+    finally:
+        log.close()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-reload-smoke-") as tmp:
+        return run_smoke(Path(tmp) / "catalog")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

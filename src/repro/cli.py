@@ -15,6 +15,8 @@ Commands
 ``update``     apply a graph delta to an entry on a running server
 ``stats``      print a running server's counters as a table
 ``metrics``    print a running server's Prometheus exposition
+``reload``     zero-downtime catalog reload on a running server
+``drain``      gracefully drain and stop a running server
 
 Examples
 --------
@@ -32,6 +34,8 @@ Examples
     python -m repro update yeast edits.delta --port 7464
     python -m repro stats 127.0.0.1 7464
     python -m repro metrics 127.0.0.1 7464
+    python -m repro reload 127.0.0.1 7464
+    python -m repro drain 127.0.0.1 7464 --timeout 10
 """
 
 from __future__ import annotations
@@ -193,6 +197,15 @@ def _add_serve_parser(subparsers) -> None:
     p.add_argument("--request-log", default=None, metavar="PATH",
                    help="append one structured JSON log line per request "
                         "to PATH (trace ids propagate into pool workers)")
+    p.add_argument("--tenants", default=None, metavar="FILE",
+                   help="JSON file of per-tenant admission classes "
+                        "(rate/burst/max_inflight/weight/max_workers)")
+    p.add_argument("--tenant", action="append", default=[], metavar="SPEC",
+                   help="inline tenant class 'name:key=val,...' "
+                        "(repeatable; overrides --tenants entries)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="graceful-drain wait for in-flight queries on "
+                        "SIGINT/SIGTERM or the 'drain' op (seconds)")
 
 
 def _add_query_parser(subparsers) -> None:
@@ -223,6 +236,9 @@ def _add_query_parser(subparsers) -> None:
     p.add_argument("--priority", default=None,
                    choices=("high", "normal", "low"),
                    help="load-shedding class on an overloaded server")
+    p.add_argument("--tenant", default=None,
+                   help="tenant name stamped on every request (admission "
+                        "class on a multi-tenant server)")
     p.add_argument("--deadline", type=float, default=None,
                    help="total wall-clock budget per query incl. retries")
     p.add_argument("--retries", type=int, default=0,
@@ -251,6 +267,31 @@ def _add_metrics_parser(subparsers) -> None:
     )
     p.add_argument("host", nargs="?", default="127.0.0.1")
     p.add_argument("port", nargs="?", type=int, default=DEFAULT_PORT)
+
+
+def _add_reload_parser(subparsers) -> None:
+    from repro.service.server import DEFAULT_PORT
+
+    p = subparsers.add_parser(
+        "reload",
+        help="zero-downtime catalog reload on a running server",
+    )
+    p.add_argument("host", nargs="?", default="127.0.0.1")
+    p.add_argument("port", nargs="?", type=int, default=DEFAULT_PORT)
+
+
+def _add_drain_parser(subparsers) -> None:
+    from repro.service.server import DEFAULT_PORT
+
+    p = subparsers.add_parser(
+        "drain",
+        help="gracefully drain and stop a running server",
+    )
+    p.add_argument("host", nargs="?", default="127.0.0.1")
+    p.add_argument("port", nargs="?", type=int, default=DEFAULT_PORT)
+    p.add_argument("--timeout", type=float, default=None,
+                   help="wait this long for in-flight queries "
+                        "(default: the server's --drain-timeout)")
 
 
 def _add_update_parser(subparsers) -> None:
@@ -285,6 +326,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_update_parser(subparsers)
     _add_stats_parser(subparsers)
     _add_metrics_parser(subparsers)
+    _add_reload_parser(subparsers)
+    _add_drain_parser(subparsers)
     subparsers.add_parser("methods", help="list registered matchers")
     return parser
 
@@ -553,6 +596,22 @@ def _cmd_serve(args) -> int:
     from repro.obs import Observability, StructuredLog
     from repro.service.catalog import GraphCatalog
     from repro.service.server import MatchingServer
+    from repro.service.tenancy import (
+        TenancyError,
+        TenantTable,
+        tenant_from_spec,
+        tenants_from_file,
+    )
+
+    try:
+        specs = tenants_from_file(args.tenants) if args.tenants else {}
+        for inline in args.tenant:
+            spec = tenant_from_spec(inline)
+            specs[spec.name] = spec
+    except TenancyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tenants = TenantTable(specs) if specs else None
 
     catalog = GraphCatalog(args.root, max_resident=args.max_resident)
     obs = None
@@ -569,19 +628,28 @@ def _cmd_serve(args) -> int:
         subscriber_queue=args.subscriber_queue,
         subscriber_policy=args.subscriber_policy,
         obs=obs,
+        tenants=tenants,
+        drain_timeout=args.drain_timeout,
     )
 
     async def run() -> None:
-        # SIGINT/SIGTERM request an orderly shutdown through the same
-        # path as the "shutdown" op: stop accepting, cancel handlers,
-        # drain the executor — instead of unwinding a KeyboardInterrupt
-        # through whatever the event loop happened to be doing.
+        # SIGINT/SIGTERM request a graceful drain: stop admitting,
+        # wait (bounded by --drain-timeout) for in-flight queries,
+        # then shut down through the same path as the "shutdown" op —
+        # instead of unwinding a KeyboardInterrupt through whatever
+        # the event loop happened to be doing.  SIGHUP triggers a
+        # zero-downtime catalog reload (DESIGN.md §13).
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
-                loop.add_signal_handler(signum, server.request_shutdown)
+                loop.add_signal_handler(signum, server.request_drain)
             except (NotImplementedError, RuntimeError):
                 pass  # non-Unix event loop: fall back to KeyboardInterrupt
+        if hasattr(signal, "SIGHUP"):
+            try:
+                loop.add_signal_handler(signal.SIGHUP, server.request_reload)
+            except (NotImplementedError, RuntimeError):
+                pass
         host, port = await server.start(args.host, args.port)
         print(f"serving catalog {args.root} on {host}:{port}", flush=True)
         await server.wait_closed()
@@ -619,7 +687,9 @@ def _cmd_query(args) -> int:
         RetryPolicy(attempts=args.retries + 1) if args.retries > 0 else None
     )
     try:
-        with ServiceClient(args.host, args.port, retry=retry) as client:
+        with ServiceClient(
+            args.host, args.port, retry=retry, tenant=args.tenant
+        ) as client:
             for path, text in zip(paths, texts):
                 reply = client.query(
                     text,
@@ -718,6 +788,27 @@ def _cmd_stats(args) -> int:
         ["Counter", "Value"], counter_rows(server),
         title=f"server {args.host}:{args.port}",
     ))
+    tenants = stats.get("tenants") or {}
+    if tenants:
+        rows = []
+        for name in sorted(tenants):
+            t = tenants[name]
+            shed = {
+                key[len("shed_"):]: value
+                for key, value in sorted(t.items())
+                if key.startswith("shed_") and value
+            }
+            rows.append([
+                name, t.get("weight", 1), t.get("inflight", 0),
+                t.get("queries", 0), t.get("admitted", 0),
+                t.get("served", 0),
+                ", ".join(f"{k}={v}" for k, v in shed.items()) or "-",
+            ])
+        print(format_table(
+            ["Tenant", "Weight", "Inflight", "Queries", "Admitted",
+             "Served", "Shed"],
+            rows, title="tenants",
+        ))
     catalog = stats.get("catalog", {})
     print(format_table(
         ["Counter", "Value"], counter_rows(catalog), title="catalog",
@@ -755,6 +846,48 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_reload(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            reply = client.reload()
+    except (ServiceError, OSError) as exc:
+        print(f"error: {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    report = reply.get("report") or {}
+    for name in sorted(report):
+        info = report[name]
+        line = f"{name}: {info.get('action')}"
+        if info.get("action") == "reloaded":
+            line += (f" (epoch {info.get('old_epoch')} -> "
+                     f"{info.get('epoch')})")
+        print(line)
+    if not report:
+        print("catalog empty")
+    print(f"replayed {reply.get('replayed', 0)} subscription(s)")
+    return 0
+
+
+def _cmd_drain(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            reply = client.drain(timeout=args.timeout)
+    except (ServiceError, OSError) as exc:
+        print(f"error: {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    drained = bool(reply.get("drained"))
+    active = int(reply.get("active", 0))
+    if drained:
+        print("drained: server stopping with no queries in flight")
+        return 0
+    print(f"error: drain timed out with {active} query(ies) still "
+          f"running (server stopping anyway)", file=sys.stderr)
+    return 1
+
+
 COMMANDS = {
     "match": _cmd_match,
     "batch": _cmd_batch,
@@ -768,6 +901,8 @@ COMMANDS = {
     "update": _cmd_update,
     "stats": _cmd_stats,
     "metrics": _cmd_metrics,
+    "reload": _cmd_reload,
+    "drain": _cmd_drain,
     "methods": _cmd_methods,
 }
 

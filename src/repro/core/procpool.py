@@ -56,7 +56,12 @@ from repro.filtering.candidate_space import CandidateSpace
 from repro.graph.graph import Graph
 from repro.matching.limits import SearchLimits
 from repro.matching.result import MatchResult, SearchStats, TerminationStatus
-from repro.obs.log import current_log, current_trace, set_trace_context
+from repro.obs.log import (
+    current_fields,
+    current_log,
+    current_trace,
+    set_trace_context,
+)
 from repro.obs.metrics import CounterGroup
 from repro.utils.timer import Deadline
 
@@ -266,13 +271,14 @@ def _procpool_init(
 ) -> None:
     global _WORKER_CTX
     if obs_ctx is not None:
-        # The request's (trace id, path-backed structured log) pair,
-        # shipped once per worker alongside the GCS: every task this
-        # worker runs logs under the trace of the request that spawned
-        # the pool, so client attempt -> server handling -> worker
-        # execution share one id across the process boundary.
-        trace, log = obs_ctx
-        set_trace_context(trace, log)
+        # The request's (trace id, path-backed structured log, context
+        # fields) triple, shipped once per worker alongside the GCS:
+        # every task this worker runs logs under the trace — and the
+        # tenant — of the request that spawned the pool, so client
+        # attempt -> server handling -> worker execution share one id
+        # across the process boundary.
+        trace, log, fields = obs_ctx
+        set_trace_context(trace, log, fields)
     if cancel_event is not None:
         # Copy the base fields generically so future SearchLimits fields
         # can never be silently dropped inside pool workers.
@@ -337,9 +343,12 @@ def run_partitioned(
     # log cannot report back across the process boundary).
     trace = current_trace()
     log = current_log()
+    fields = current_fields()
     obs_ctx = None
-    if trace is not None or log is not None:
-        obs_ctx = (trace, log if log is not None and log.path else None)
+    if trace is not None or log is not None or fields:
+        obs_ctx = (
+            trace, log if log is not None and log.path else None, fields
+        )
 
     tasks = root_partition(gcs)
     if not tasks or gcs.cs.is_empty():

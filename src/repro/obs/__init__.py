@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.obs.log import (
     StructuredLog,
+    current_fields,
     current_log,
     current_trace,
     new_trace_id,
@@ -45,6 +46,7 @@ __all__ = [
     "Observability",
     "SamplingProfiler",
     "StructuredLog",
+    "current_fields",
     "current_log",
     "current_trace",
     "new_trace_id",

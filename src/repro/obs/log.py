@@ -70,6 +70,10 @@ class StructuredLog:
             record["trace"] = trace
         record["pid"] = os.getpid()
         record.update(fields)
+        for key, value in current_fields().items():
+            # Context fields (e.g. the admitting tenant) annotate every
+            # line under the binding, but an explicit field always wins.
+            record.setdefault(key, value)
         if self.path is None and self._stream is None:
             # Memory-backed: keep the dict, skip serialization entirely
             # (this is the server's default sink, so it sits on the
@@ -136,16 +140,25 @@ def stderr_log() -> StructuredLog:
 
 
 class trace_context:
-    """Bind (trace id, log) to the current thread for a ``with`` block."""
+    """Bind (trace id, log, extra fields) to the current thread for a
+    ``with`` block.  ``fields`` (e.g. ``{"tenant": name}``) are merged
+    into every record emitted under the binding — including procpool
+    worker lines, since the initializer ships the whole context."""
 
-    def __init__(self, trace: Optional[str], log: Optional[StructuredLog]):
+    def __init__(
+        self,
+        trace: Optional[str],
+        log: Optional[StructuredLog],
+        fields: Optional[Dict[str, Any]] = None,
+    ):
         self.trace = trace
         self.log = log
+        self.fields = fields
         self._prev: Any = None
 
     def __enter__(self) -> "trace_context":
         self._prev = getattr(_local, "ctx", None)
-        _local.ctx = (self.trace, self.log)
+        _local.ctx = (self.trace, self.log, self.fields or {})
         return self
 
     def __exit__(self, *exc) -> None:
@@ -153,11 +166,13 @@ class trace_context:
 
 
 def set_trace_context(
-    trace: Optional[str], log: Optional[StructuredLog]
+    trace: Optional[str],
+    log: Optional[StructuredLog],
+    fields: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Bind without a ``with`` block — used by the procpool worker
     initializer, where the binding should last the worker's lifetime."""
-    _local.ctx = (trace, log)
+    _local.ctx = (trace, log, fields or {})
 
 
 def current_trace() -> Optional[str]:
@@ -168,6 +183,12 @@ def current_trace() -> Optional[str]:
 def current_log() -> Optional[StructuredLog]:
     ctx = getattr(_local, "ctx", None)
     return ctx[1] if ctx else None
+
+
+def current_fields() -> Dict[str, Any]:
+    """The context fields bound to this thread (empty dict if none)."""
+    ctx = getattr(_local, "ctx", None)
+    return ctx[2] if ctx and len(ctx) > 2 and ctx[2] else {}
 
 
 def emit(event: str, **fields: Any) -> None:

@@ -20,10 +20,16 @@ This package exploits both:
   ``repro query`` CLI command and the tests) with opt-in retry/backoff
   and end-to-end deadlines;
 * :mod:`repro.service.faults` — the deterministic fault-injection
-  plans threaded through catalog, server, and procpool.
+  plans threaded through catalog, server, and procpool;
+* :mod:`repro.service.tenancy` — per-tenant admission classes: token
+  buckets, inflight quotas, and weighted deficit-round-robin sharing
+  of the matching slots;
+* :mod:`repro.service.lifecycle` — zero-downtime catalog reload and
+  graceful drain with exact subscription diff-replay across epochs.
 
-See DESIGN.md §7 for the architecture, §10 for the failure model, and
-README.md ("Serving", "Fault tolerance") for a quickstart.
+See DESIGN.md §7 for the architecture, §10 for the failure model,
+§13 for multi-tenancy & zero-downtime operations, and README.md
+("Serving", "Fault tolerance", "Multi-tenancy") for a quickstart.
 """
 
 from repro.service.catalog import CatalogError, GraphCatalog
@@ -35,15 +41,28 @@ from repro.service.client import (
     ServiceUnavailable,
 )
 from repro.service.faults import FaultPlan, FaultRule, InjectedCrash
+from repro.service.lifecycle import LifecycleManager, lifecycle_points
 from repro.service.qcache import QueryCache, canonical_form
 from repro.service.server import MatchingServer, ServerThread
+from repro.service.tenancy import (
+    FairSlots,
+    TenancyError,
+    TenantSpec,
+    TenantTable,
+    TokenBucket,
+    tenant_from_spec,
+    tenants_from_file,
+    tenants_from_json,
+)
 
 __all__ = [
     "CatalogError",
+    "FairSlots",
     "FaultPlan",
     "FaultRule",
     "GraphCatalog",
     "InjectedCrash",
+    "LifecycleManager",
     "MatchingServer",
     "QueryCache",
     "RetryPolicy",
@@ -52,5 +71,13 @@ __all__ = [
     "ServiceError",
     "ServiceOverloaded",
     "ServiceUnavailable",
+    "TenancyError",
+    "TenantSpec",
+    "TenantTable",
+    "TokenBucket",
     "canonical_form",
+    "lifecycle_points",
+    "tenant_from_spec",
+    "tenants_from_file",
+    "tenants_from_json",
 ]

@@ -191,6 +191,7 @@ class GraphCatalog:
             "engine_evictions": 0,
             "updates": 0,
             "removes": 0,
+            "reloads": 0,
             "txn_rollforwards": 0,
             "txn_rollbacks": 0,
         })
@@ -211,13 +212,17 @@ class GraphCatalog:
         Builds the artifacts, persists everything in one journaled
         transaction, and leaves a warm engine resident.  Re-adding an
         identical graph under the same name is a no-op; a different
-        graph requires ``overwrite=True``.  Returns the entry's info
-        dict.
+        graph requires ``overwrite=True`` and **bumps the epoch** —
+        epochs are monotonic per name across adds, updates, and
+        rebuilds, so caches and subscriptions stamped with an epoch can
+        always detect that an entry changed underneath them.  Returns
+        the entry's info dict.
         """
         directory = self._entry_dir(name)
         if not isinstance(graph, Graph):
             graph = load_graph(graph)
         checksum = graph_checksum(graph)
+        epoch = 1
         with self._lock:
             self._recover(directory)
             if directory.exists() and (directory / GRAPH_FILE).exists():
@@ -233,6 +238,10 @@ class GraphCatalog:
                         f"catalog entry {name!r} already exists with a "
                         "different graph (use overwrite)"
                     )
+                try:
+                    epoch = max(1, int((existing or {}).get("epoch") or 1)) + 1
+                except (TypeError, ValueError):
+                    epoch = 2
                 self._resident.pop(name, None)
         # Build outside the lock: artifacts construction can take seconds
         # on a large graph and must not stall concurrent engine() calls.
@@ -243,7 +252,8 @@ class GraphCatalog:
         with self._lock:
             self.counters["artifact_builds"] += 1
             directory.mkdir(parents=True, exist_ok=True)
-            self._persist_entry(directory, graph, graph_text, artifacts)
+            self._persist_entry(directory, graph, graph_text, artifacts,
+                                epoch=epoch)
             self._install(name, GuPEngine(graph, self.config, artifacts=artifacts))
         return self.info(name)
 
@@ -405,6 +415,127 @@ class GraphCatalog:
                 return rebuilt
             self.engine(name)
             return self.counters["artifact_rebuilds"] > before
+
+    # -- zero-downtime reload (DESIGN.md §13) --------------------------
+
+    def reload(
+        self, faults: Optional[FaultPlan] = None
+    ) -> Dict[str, Dict[str, object]]:
+        """Re-scan the store and atomically refresh resident engines.
+
+        Built for the server's zero-downtime ``reload`` op: another
+        process (or a ``repro catalog`` invocation) may have added,
+        updated, rebuilt, or removed entries under this root since we
+        opened it.  The scan and any loads happen **without replacing a
+        single resident engine**; only then does one locked *swap phase*
+        install every staged engine and epoch at once.  Engines handed
+        out before the swap keep serving their admitted epoch — the
+        epoch-handoff half of the proof obligation; the server's
+        lifecycle layer owes the other half (subscription diff-replay).
+
+        Per entry the returned report records ``action`` —
+
+        * ``"kept"``: disk epoch and graph checksum match the resident
+          engine; nothing moved.
+        * ``"reloaded"``: the entry changed on disk; a new-epoch engine
+          was staged and swapped in.
+        * ``"removed"``: the directory is gone; the resident engine was
+          evicted at swap.
+        * ``"lazy"``: the entry is not resident; the next ``engine()``
+          call loads whatever epoch disk then holds (nothing to swap).
+
+        — plus ``old_epoch``/``epoch`` and whether the load had to
+        rebuild artifacts.  ``faults`` (default: the catalog's own
+        plan) fires the ``lifecycle.reload.{begin,scan,build,swap}``
+        hooks; an injected crash before the swap point leaves every
+        resident engine and remembered epoch untouched (old state), a
+        crash at/after it leaves the new state — never a mix, which is
+        exactly the journaled old-or-new invariant lifted from files to
+        the resident set.
+        """
+        plan = self.faults if faults is None else faults
+        plan.reach("lifecycle.reload.begin")
+        with self._lock:
+            resident = dict(self._resident)
+            old_epochs = dict(self._epochs)
+        disk_names = set(self.names())
+        plan.reach("lifecycle.reload.scan")
+
+        report: Dict[str, Dict[str, object]] = {}
+        staged: Dict[str, Tuple[GuPEngine, int, bool]] = {}
+        for name in sorted(resident):
+            if name not in disk_names:
+                report[name] = {
+                    "action": "removed",
+                    "old_epoch": old_epochs.get(name, 1),
+                    "epoch": None,
+                    "rebuilt": False,
+                }
+        for name in sorted(disk_names):
+            old_epoch = old_epochs.get(name)
+            engine = resident.get(name)
+            if engine is None:
+                report[name] = {
+                    "action": "lazy",
+                    "old_epoch": old_epoch,
+                    "epoch": None,
+                    "rebuilt": False,
+                }
+                continue
+            with self._lock:
+                directory = self._entry_dir(name)
+                self._recover(directory)
+                meta = self._read_meta(directory) or {}
+            try:
+                disk_epoch = max(1, int(meta.get("epoch") or 1))
+            except (TypeError, ValueError):
+                disk_epoch = 1
+            if (
+                disk_epoch == (old_epoch or 1)
+                and meta.get("graph_checksum") == graph_checksum(engine.data)
+            ):
+                report[name] = {
+                    "action": "kept",
+                    "old_epoch": old_epoch or 1,
+                    "epoch": old_epoch or 1,
+                    "rebuilt": False,
+                }
+                continue
+            # Changed on disk: load the new epoch WITHOUT touching the
+            # resident map, and put the remembered epoch back until the
+            # swap phase so concurrent requests keep logging the epoch
+            # they are actually served from.
+            with self._lock:
+                graph, artifacts, rebuilt = self._load(name)
+                new_epoch = self._epochs.get(name, disk_epoch)
+                if old_epoch is not None:
+                    self._epochs[name] = old_epoch
+                else:
+                    self._epochs.pop(name, None)
+            staged[name] = (
+                GuPEngine(graph, self.config, artifacts=artifacts),
+                new_epoch,
+                rebuilt,
+            )
+            report[name] = {
+                "action": "reloaded",
+                "old_epoch": old_epoch or 1,
+                "epoch": new_epoch,
+                "rebuilt": rebuilt,
+            }
+        plan.reach("lifecycle.reload.build")
+
+        with self._lock:
+            for name, info in report.items():
+                if info["action"] == "removed":
+                    self._resident.pop(name, None)
+                    self._epochs.pop(name, None)
+            for name, (engine, epoch, _rebuilt) in staged.items():
+                self._install(name, engine)
+                self._epochs[name] = epoch
+            self.counters["reloads"] += 1
+        plan.reach("lifecycle.reload.swap")
+        return report
 
     # -- transactions (DESIGN.md §10) ----------------------------------
 

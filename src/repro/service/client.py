@@ -11,9 +11,12 @@ Pass a :class:`RetryPolicy` to make the **idempotent** operations
 ``subscribe``) survive transient failures: a dropped or refused
 connection (:class:`ServiceUnavailable`) triggers a reconnect, a shed
 request (:class:`ServiceOverloaded`) a plain re-send, both after an
-exponential backoff with jitter.  Mutating operations (``catalog_add``,
-``update``, ``shutdown``) are never retried — the caller must decide
-whether re-applying is safe.
+exponential backoff with jitter.  When the rejection carried a server
+``retry_after`` hint (tenant rate limits, quotas, capacity, draining)
+the hint replaces the exponential schedule for that attempt — jittered
+and still capped by the ``deadline=`` budget.  Mutating operations
+(``catalog_add``, ``update``, ``drain``, ``shutdown``) are never
+retried — the caller must decide whether re-applying is safe.
 
 ``query(..., deadline=...)`` propagates a wall-clock budget end to end:
 the remaining budget is re-computed per attempt and sent as the
@@ -55,8 +58,23 @@ class ServiceOverloaded(ServiceError):
     """The server shed this request (``overloaded: true`` in the reply).
 
     Retryable after backoff — by design the server rejects instantly
-    instead of queueing, so the client owns the waiting.
+    instead of queueing, so the client owns the waiting.  When the
+    rejection carried a ``retry_after`` hint (capacity sheds, tenant
+    rate limits and quotas, draining), it is preserved here and
+    :class:`RetryPolicy` waits exactly that long (plus jitter) instead
+    of a blind exponential guess; ``reason`` preserves the server's
+    shed reason (``capacity``/``rate``/``quota``/``draining``).
     """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: Optional[float] = None,
+        reason: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
 
 
 @dataclass
@@ -82,6 +100,24 @@ class RetryPolicy:
         delay = min(
             self.base_delay * self.multiplier ** attempt, self.max_delay
         )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * self.rng.random()
+        return delay
+
+    def delay_for(
+        self, attempt: int, retry_after: Optional[float] = None
+    ) -> float:
+        """The wait before the next attempt.
+
+        With a server ``retry_after`` hint, wait exactly that long
+        (jittered, capped by ``max_delay``) — the server knows when a
+        token or slot frees, so guessing exponentially would either
+        hammer it early or waste the tail.  Without a hint, fall back
+        to :meth:`backoff`.
+        """
+        if retry_after is None:
+            return self.backoff(attempt)
+        delay = min(max(0.0, retry_after), self.max_delay)
         if self.jitter:
             delay *= 1.0 + self.jitter * self.rng.random()
         return delay
@@ -145,12 +181,16 @@ class ServiceClient:
         timeout: float = 300.0,
         retry: Optional[RetryPolicy] = None,
         log: Optional[StructuredLog] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         self._host = host
         self._port = port
         self._timeout = timeout
         self.retry = retry
         self.log = log
+        # Stamped on every query/subscribe so the server applies this
+        # tenant's admission class; None = the server's default tenant.
+        self.tenant = tenant
         self.counters = {"retries": 0, "reconnects": 0}
         self._connect()
 
@@ -215,7 +255,18 @@ class ServiceClient:
         if not reply.get("ok", False):
             message = reply.get("error", "unknown server error")
             if reply.get("overloaded"):
-                raise ServiceOverloaded(message)
+                hint = reply.get("retry_after")
+                if (
+                    isinstance(hint, bool)
+                    or not isinstance(hint, (int, float))
+                    or hint < 0
+                ):
+                    hint = None
+                raise ServiceOverloaded(
+                    message,
+                    retry_after=float(hint) if hint is not None else None,
+                    reason=reply.get("reason"),
+                )
             raise ServiceError(message)
         return reply
 
@@ -242,7 +293,9 @@ class ServiceClient:
                 retry = self.retry
                 if retry is None or attempt >= retry.attempts - 1:
                     raise
-                delay = retry.backoff(attempt)
+                delay = retry.delay_for(
+                    attempt, getattr(exc, "retry_after", None)
+                )
                 if (
                     deadline_at is not None
                     and time.monotonic() + delay >= deadline_at
@@ -298,6 +351,29 @@ class ServiceClient:
     def shutdown(self) -> None:
         self.request({"op": "shutdown"})
 
+    def reload(self) -> Dict:
+        """Zero-downtime catalog reload (``reload`` op).
+
+        Returns the server reply: ``report`` (per-entry action map),
+        ``replayed`` (subscription diffs emitted), ``status``.
+        Idempotent — a reload that finds nothing changed is a no-op —
+        so it retries under the policy like the other reads.
+        """
+        return self._with_retry(lambda: self.request({"op": "reload"}))
+
+    def drain(self, timeout: Optional[float] = None) -> Dict:
+        """Gracefully drain and stop the server (``drain`` op).
+
+        Returns the reply: ``drained`` (whether in-flight work finished
+        before the deadline) and ``active`` (queries still running when
+        it expired).  A state change, so — like ``shutdown`` — it is
+        never retried.
+        """
+        payload: Dict = {"op": "drain"}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request(payload)
+
     def update(self, name: str, delta) -> UpdateReply:
         """Apply a delta to the catalog entry ``name`` on the server.
 
@@ -334,9 +410,10 @@ class ServiceClient:
             # Idempotent re-attach: each attempt registers a *fresh*
             # subscription and snapshots the current epoch, so a retry
             # after a torn stream never resumes a stale one.
-            header = self.request(
-                {"op": "subscribe", "data": data, "graph": text}
-            )
+            sub_payload: Dict = {"op": "subscribe", "data": data, "graph": text}
+            if self.tenant is not None:
+                sub_payload["tenant"] = self.tenant
+            header = self.request(sub_payload)
             embeddings: List[Tuple[int, ...]] = []
             for _ in range(int(header.get("chunks", 0))):
                 message = self._recv()
@@ -414,6 +491,8 @@ class ServiceClient:
         payload: Dict = {
             "op": "query", "data": data, "graph": text, "trace": trace,
         }
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
         if profile:
             payload["profile"] = profile
         if limit is not None:

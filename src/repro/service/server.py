@@ -56,6 +56,21 @@ object with an ``"op"`` field; each response is one or more lines:
       "uptime_seconds": u}`` — liveness + load + catalog/epoch/pool
       state in one cheap line (never touches the executor, so it
       answers even when matching is saturated).
+``{"op": "reload"}``
+    → ``{"ok": true, "report": {name: {"action": ..., "epoch": E}},
+      "replayed": n, "status": s}`` — zero-downtime catalog reload
+      (DESIGN.md §13): picks up entries another process added, updated,
+      or removed under the catalog root.  New-epoch engines are built
+      off the event loop and swapped in atomically; in-flight queries
+      finish on their admitted epoch, standing subscriptions are
+      re-attached across the epoch boundary with one exact diff-replay
+      event (``"reload": true``).  SIGHUP triggers the same path.
+``{"op": "drain", "timeout": S}``
+    → ``{"ok": true, "drained": b, "active": n, "stopping": true}`` —
+      graceful stop: stops admitting (new queries are shed with reason
+      ``"draining"``), waits for in-flight work bounded by the
+      deadline, then shuts down; ``drained`` reports whether the server
+      emptied in time.
 ``{"op": "shutdown"}``
     → ``{"ok": true, "stopping": true}`` and the server stops.
 
@@ -71,7 +86,14 @@ a ``"priority"`` of ``"low"``/``"normal"`` (default)/``"high"``; under
 load the lowest class is shed first: ``low`` never queues (rejected as
 soon as every matching slot is busy), ``normal`` is rejected at
 capacity, and ``high`` may use ``high_headroom`` extra queue slots
-reserved for it (DESIGN.md §10).  Heavy requests set ``"workers": W >
+reserved for it (DESIGN.md §10).  Requests may also carry a
+``"tenant"`` name (legacy clients land on the default tenant): each
+tenant has its own token-bucket rate limit, inflight quota, and
+weighted share of the matching slots (deficit round robin — no tenant
+can monopolize slots or procpool workers; DESIGN.md §13).  Every
+rejection reply carries ``"reason"`` (``capacity``/``rate``/``quota``/
+``draining``) and a ``"retry_after"`` hint the client's RetryPolicy
+honors.  Heavy requests set ``"workers": W >
 1`` and are dispatched root-partitioned over the
 :mod:`repro.core.procpool` process pool — the executor thread then
 mostly waits on worker processes, so a procpool query does not hog the
@@ -110,8 +132,20 @@ from repro.matching.result import MatchResult, TerminationStatus
 from repro.obs import Observability, SamplingProfiler, new_trace_id, trace_context
 from repro.obs.metrics import CounterGroup
 from repro.service.catalog import CatalogError, GraphCatalog
-from repro.service.faults import NO_FAULTS, FaultPlan
+from repro.service.faults import NO_FAULTS, FaultPlan, InjectedCrash
+from repro.service.lifecycle import (
+    DRAINING,
+    SERVING,
+    STOPPED,
+    LifecycleManager,
+)
 from repro.service.qcache import DEFAULT_LEAF_BUDGET, QueryCache
+from repro.service.tenancy import (
+    PRIORITY_RANKS,
+    FairSlots,
+    TenantState,
+    TenantTable,
+)
 
 DEFAULT_PORT = 7464
 
@@ -125,7 +159,7 @@ class _Subscription:
 
     __slots__ = (
         "id", "name", "query", "matches", "writer", "queue", "sender",
-        "lost",
+        "lost", "epoch",
     )
 
     def __init__(
@@ -145,6 +179,9 @@ class _Subscription:
         self.queue: "asyncio.Queue[Dict]" = asyncio.Queue(maxsize=queue_limit)
         self.sender: Optional[asyncio.Task] = None
         self.lost = 0  # events discarded under the "drop" policy
+        # Epoch the standing set was last reconciled against; a reload
+        # replays any subscription whose epoch trails the catalog's.
+        self.epoch: Optional[int] = None
 
 
 class MatchingServer:
@@ -173,6 +210,9 @@ class MatchingServer:
         subscriber_policy: str = "disconnect",
         faults: FaultPlan = NO_FAULTS,
         obs: Optional[Observability] = None,
+        tenants: Optional[TenantTable] = None,
+        drain_timeout: float = 30.0,
+        retry_after_hint: float = 0.05,
     ) -> None:
         if subscriber_policy not in ("disconnect", "drop"):
             raise ValueError(
@@ -195,6 +235,10 @@ class MatchingServer:
         self.host: Optional[str] = None
         self.port: Optional[int] = None
         self._caches: Dict[str, QueryCache] = {}
+        # Epoch each cache's entries were computed against — lets a
+        # reload recognize (and drop) a cache left stale by a crash
+        # between the catalog swap and the cache-invalidation step.
+        self._cache_epochs: Dict[str, int] = {}
         self._counters_lock = threading.Lock()
         # A CounterGroup so the metrics registry below exposes the very
         # same storage the ``stats`` op snapshots (repro.obs.metrics:
@@ -217,13 +261,26 @@ class MatchingServer:
             "connections_refused": 0,
         })
         self.obs = obs if obs is not None else Observability()
+        # Multi-tenant admission (DESIGN.md §13): every tenant — named
+        # by the request's "tenant" field, configured or not — gets its
+        # own token bucket, inflight quota, DRR weight, and counters.
+        self.tenants = tenants if tenants is not None else TenantTable(
+            faults=faults
+        )
+        self.tenants.on_create = self._attach_tenant
+        self.drain_timeout = max(0.0, drain_timeout)
+        self.retry_after_hint = max(0.0, retry_after_hint)
+        self.lifecycle = LifecycleManager(self)
         self._wire_metrics()
+        for tenant_name, state in self.tenants.states().items():
+            self._attach_tenant(tenant_name, state)
         self._active = 0
         self._started_at: Optional[float] = None
-        self._sem: Optional[asyncio.Semaphore] = None
+        self._slots: Optional[FairSlots] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._aux_executor: Optional[ThreadPoolExecutor] = None
         self._conn_tasks: set = set()
         self._subs: Dict[str, Dict[int, _Subscription]] = {}
         self._next_sub_id = 1
@@ -289,8 +346,22 @@ class MatchingServer:
                 "repro_qcache_entries",
                 "Live query-cache entries", labelnames=["data"],
             ),
+            "tenant_inflight": reg.gauge(
+                "repro_tenant_inflight",
+                "Queries currently admitted per tenant",
+                labelnames=["tenant"],
+            ),
         }
         reg.on_scrape(self._refresh_gauges)
+
+    def _attach_tenant(self, name: str, state: TenantState) -> None:
+        """Expose a newly materialized tenant's counters as the
+        ``repro_tenant_*_total{tenant=...}`` families — live attachment,
+        same storage the ``stats`` op snapshots."""
+        self.obs.registry.attach_group(
+            "repro_tenant", state.counters, labels={"tenant": name},
+            help_text="Per-tenant admission counters",
+        )
 
     def _refresh_gauges(self) -> None:
         with self._counters_lock:
@@ -307,6 +378,8 @@ class MatchingServer:
         g["builds_in_process"].set(DataArtifacts.builds_performed)
         for name, cache in caches.items():
             g["qcache_entries"].labels(data=name).set(len(cache))
+        for name, state in self.tenants.states().items():
+            g["tenant_inflight"].labels(tenant=name).set(state.inflight)
 
     def metrics_text(self) -> str:
         """The full Prometheus text exposition (``metrics`` op body)."""
@@ -319,11 +392,17 @@ class MatchingServer:
     ) -> Tuple[str, int]:
         """Bind and start accepting; returns the actual ``(host, port)``
         (useful with ``port=0``)."""
-        self._sem = asyncio.Semaphore(self.max_inflight)
+        self._slots = FairSlots(self.max_inflight)
         self._shutdown = asyncio.Event()
         self._update_lock = asyncio.Lock()
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_inflight, thread_name_prefix="repro-match"
+        )
+        # Lifecycle work (reload scans/loads, subscription replay) runs
+        # here, never on the matching executor: a saturated server must
+        # still be reloadable without stealing a matching slot.
+        self._aux_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-aux"
         )
         self._server = await asyncio.start_server(
             self._handle_connection, host, port
@@ -345,6 +424,39 @@ class MatchingServer:
         if self._shutdown is not None:
             self._shutdown.set()
 
+    def request_drain(self) -> None:
+        """Graceful stop: drain (bounded by ``drain_timeout``), then
+        shut down.  Must run on the server's loop (e.g. from a signal
+        handler registered with ``loop.add_signal_handler``)."""
+        if self._shutdown is None or self._shutdown.is_set():
+            return
+        asyncio.get_running_loop().create_task(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        try:
+            await self.lifecycle.drain(self.drain_timeout)
+        finally:
+            if self._shutdown is not None:
+                self._shutdown.set()
+
+    def request_reload(self) -> None:
+        """Schedule a zero-downtime catalog reload (e.g. on SIGHUP).
+        Must run on the server's loop; failures are logged, never
+        fatal — the server keeps serving the old epoch."""
+        if self._shutdown is None or self._shutdown.is_set():
+            return
+
+        async def _reload() -> None:
+            try:
+                await self.lifecycle.reload()
+            except InjectedCrash:
+                raise
+            except Exception:  # noqa: BLE001 - keep serving the old epoch
+                self._bump("errors")
+                logger.exception("reload failed; still serving old epoch")
+
+        asyncio.get_running_loop().create_task(_reload())
+
     async def aclose(self) -> None:
         if self._server is not None:
             self._server.close()
@@ -361,6 +473,10 @@ class MatchingServer:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self._aux_executor is not None:
+            self._aux_executor.shutdown(wait=False, cancel_futures=True)
+            self._aux_executor = None
+        self.lifecycle.state = STOPPED
 
     # -- connection handling -------------------------------------------
 
@@ -437,6 +553,12 @@ class MatchingServer:
                     await self._op_update(request, writer)
                 elif op == "subscribe":
                     await self._op_subscribe(request, writer, conn_subs)
+                elif op == "reload":
+                    await self._op_reload(request, writer)
+                elif op == "drain":
+                    stopping = await self._op_drain(request, writer)
+                    if stopping:
+                        break
                 elif op == "shutdown":
                     await self._send(writer, {"ok": True, "stopping": True})
                     if self._shutdown is not None:
@@ -546,6 +668,7 @@ class MatchingServer:
         # name: results cached against the old graph are now wrong.
         with self._counters_lock:
             self._caches.pop(name, None)
+            self._cache_epochs.pop(name, None)
         await self._send(writer, {"ok": True, "entry": info})
 
     # -- dynamic ops (DESIGN.md §9) ------------------------------------
@@ -654,6 +777,10 @@ class MatchingServer:
 
             with self._counters_lock:
                 cache = self._caches.get(name)
+                if cache is not None:
+                    # Surviving entries are revalidated against the new
+                    # epoch below, so the cache tracks it.
+                    self._cache_epochs[name] = info.get("epoch")
             kept = evicted = 0
             if cache is not None:
                 kept, evicted = cache.invalidate_labels(summary.touched_labels)
@@ -715,6 +842,7 @@ class MatchingServer:
                 continue
             sub.matches.difference_update(diff.removed)
             sub.matches.update(diff.added)
+            sub.epoch = info.get("epoch")
             # Enqueue, never send inline: the bounded queue + sender
             # task decouple the update path from slow subscriber
             # sockets (backpressure policy in _enqueue_event).
@@ -752,13 +880,26 @@ class MatchingServer:
             self._bump("errors")
             await self._send(writer, {"ok": False, "error": str(exc)})
             return
+        if self.lifecycle.state in (DRAINING, STOPPED):
+            await self._send(
+                writer,
+                {"ok": False,
+                 "error": "draining: not admitting new subscriptions",
+                 "overloaded": True, "reason": "draining",
+                 "retry_after": round(self.retry_after_hint, 6)},
+            )
+            return
+        tenant_field = request.get("tenant")
+        tstate = self.tenants.resolve(
+            tenant_field if isinstance(tenant_field, str) else None
+        )
         loop = asyncio.get_running_loop()
 
         def initial() -> MatchResult:
             engine = self.catalog.engine(name)
             return engine.match(query, limits=SearchLimits())
 
-        assert self._sem is not None
+        assert self._slots is not None
         assert self._update_lock is not None
         # Serialized against updates end to end: the baseline must be
         # enumerated on the same epoch the subscription registers under
@@ -767,10 +908,16 @@ class MatchingServer:
         # between the header and its chunk stream.
         async with self._update_lock:
             try:
-                async with self._sem:
+                await self._slots.acquire(
+                    tstate.spec.name, weight=tstate.spec.weight,
+                    rank=PRIORITY_RANKS["normal"],
+                )
+                try:
                     result = await loop.run_in_executor(
                         self._executor, initial
                     )
+                finally:
+                    self._slots.release()
             except CatalogError as exc:
                 self._bump("errors")
                 await self._send(writer, {"ok": False, "error": str(exc)})
@@ -801,6 +948,7 @@ class MatchingServer:
                 epoch = self.catalog.info(name).get("epoch")
             except CatalogError:
                 epoch = None
+            sub.epoch = epoch
             embeddings = sorted(matches)
             chunk_count = (
                 len(embeddings) + self.chunk_size - 1
@@ -833,6 +981,85 @@ class MatchingServer:
             sub.sender = asyncio.get_running_loop().create_task(
                 self._sub_sender(sub)
             )
+
+    # -- lifecycle ops (DESIGN.md §13) ---------------------------------
+
+    async def _op_reload(
+        self, request: Dict, writer: asyncio.StreamWriter
+    ) -> None:
+        """Zero-downtime catalog reload (also reachable via SIGHUP).
+
+        Replies with the per-entry action report and the number of
+        subscription diffs replayed across the epoch boundary.  An
+        injected crash at a lifecycle hook is reported (``"crashed":
+        true``) with the server still up — the catalog is consistent at
+        the old or new epoch either way, which is what the fault sweep
+        asserts.
+        """
+        try:
+            report, replayed = await self.lifecycle.reload()
+        except InjectedCrash as exc:
+            self._bump("errors")
+            await self._send(
+                writer,
+                {"ok": False, "error": f"injected crash at {exc}",
+                 "crashed": True, "status": self.lifecycle.state},
+            )
+            return
+        except (CatalogError, RuntimeError, OSError) as exc:
+            self._bump("errors")
+            await self._send(writer, {"ok": False, "error": str(exc)})
+            return
+        await self._send(
+            writer,
+            {
+                "ok": True,
+                "report": report,
+                "replayed": replayed,
+                "status": self.lifecycle.state,
+            },
+        )
+
+    async def _op_drain(
+        self, request: Dict, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Graceful drain, then stop.  Returns whether we are stopping.
+
+        The reply reports the truth: ``"drained": false`` with the
+        number of queries still in flight when the deadline expired
+        (the CLI verb exits nonzero on that).
+        """
+        timeout = request.get("timeout", self.drain_timeout)
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)) \
+                or timeout < 0:
+            await self._send(
+                writer,
+                {"ok": False,
+                 "error": "'timeout' must be a non-negative number"},
+            )
+            return False
+        try:
+            drained, active = await self.lifecycle.drain(float(timeout))
+        except InjectedCrash as exc:
+            self._bump("errors")
+            await self._send(
+                writer,
+                {"ok": False, "error": f"injected crash at {exc}",
+                 "crashed": True, "status": self.lifecycle.state},
+            )
+            return False
+        await self._send(
+            writer,
+            {
+                "ok": True,
+                "drained": drained,
+                "active": active,
+                "stopping": True,
+            },
+        )
+        if self._shutdown is not None:
+            self._shutdown.set()
+        return True
 
     def _admission_limit(self, priority: str) -> int:
         """Active-query count at which ``priority`` work is shed.
@@ -871,35 +1098,88 @@ class MatchingServer:
                  "trace": trace},
             )
             return
-        # Load shedding: reject *immediately* (no unbounded queueing),
-        # lowest priority class first.  The fault hook lets tests force
-        # a shed without real resource pressure.
-        forced = self.faults.consume("server.admission")
-        if (
-            self._active >= self._admission_limit(priority)
-            or (forced is not None and forced.action == "overload")
+        tenant_field = request.get("tenant")
+        if tenant_field is not None and (
+            not isinstance(tenant_field, str)
+            or not (1 <= len(tenant_field) <= 128)
         ):
-            self._bump("rejected")
-            self._bump(f"shed_{priority}")
-            logger.info("shedding %s-priority query (active=%d)",
-                        priority, self._active)
+            self._bump("errors")
             self.obs.emit(
-                "query", trace=trace, outcome="shed", priority=priority,
-                data=request.get("data"), active=self._active,
-                forced=forced is not None,
+                "query", trace=trace, outcome="error",
+                error="bad tenant field",
             )
             await self._send(
                 writer,
-                {
-                    "ok": False,
-                    "error": "overloaded: too many in-flight queries",
-                    "overloaded": True,
-                    "priority": priority,
-                    "trace": trace,
-                },
+                {"ok": False,
+                 "error": "'tenant' must be a non-empty string (<=128 chars)",
+                 "trace": trace},
             )
             return
+        tstate = self.tenants.resolve(tenant_field)
+        tenant = tstate.spec.name
+        tstate.counters.inc("queries")
+        # Admission pipeline (DESIGN.md §13), cheapest reason first:
+        # draining → forced/global priority shedding (unchanged
+        # semantics: reject *immediately*, no unbounded queueing,
+        # lowest class first) → per-tenant token bucket → per-tenant
+        # inflight quota.  Every rejection carries a retry_after hint
+        # the client's RetryPolicy honors.  The fault hook lets tests
+        # force a shed without real resource pressure.
+        reason: Optional[str] = None
+        retry_after: Optional[float] = None
+        error_msg = "overloaded: too many in-flight queries"
+        if self.lifecycle.state in (DRAINING, STOPPED):
+            reason = "draining"
+            retry_after = self.retry_after_hint
+            error_msg = "draining: not admitting new queries"
+        else:
+            forced = self.faults.consume("server.admission")
+            if (
+                self._active >= self._admission_limit(priority)
+                or (forced is not None and forced.action == "overload")
+            ):
+                reason = "capacity"
+                retry_after = self.retry_after_hint
+            else:
+                rejection = self.tenants.admit(tstate)
+                if rejection is not None:
+                    reason = rejection.reason
+                    retry_after = rejection.retry_after
+                    error_msg = (
+                        f"rate limited: tenant {tenant!r} over rate"
+                        if reason == "rate"
+                        else f"overloaded: tenant {tenant!r} at max inflight"
+                    )
+        if reason is not None:
+            self._bump("rejected")
+            self._bump(f"shed_{priority}")
+            tstate.counters.inc(f"shed_{reason}")
+            logger.info(
+                "shedding %s-priority query from tenant %s "
+                "(reason=%s active=%d)",
+                priority, tenant, reason, self._active,
+            )
+            self.obs.emit(
+                "query", trace=trace, outcome="shed", priority=priority,
+                tenant=tenant, reason=reason,
+                data=request.get("data"), active=self._active,
+            )
+            rejection_reply = {
+                "ok": False,
+                "error": error_msg,
+                "overloaded": True,
+                "priority": priority,
+                "tenant": tenant,
+                "reason": reason,
+                "trace": trace,
+            }
+            if retry_after is not None:
+                rejection_reply["retry_after"] = round(retry_after, 6)
+            await self._send(writer, rejection_reply)
+            return
+        tstate.counters.inc("admitted")
         self._active += 1
+        tstate.inflight += 1
         try:
             try:
                 parsed, chunk_size = self._parse_query(request)
@@ -907,29 +1187,47 @@ class MatchingServer:
                 self._bump("errors")
                 self.obs.emit(
                     "query", trace=trace, outcome="error",
-                    priority=priority, error=str(exc),
+                    priority=priority, tenant=tenant, error=str(exc),
                 )
                 await self._send(
                     writer, {"ok": False, "error": str(exc), "trace": trace}
                 )
                 return
+            if tstate.spec.max_workers is not None:
+                # Per-tenant procpool clamp: one tenant cannot
+                # monopolize worker processes either.
+                qname, query, limits, workers, use_cache, stride = parsed
+                parsed = (
+                    qname, query, limits,
+                    min(workers, tstate.spec.max_workers),
+                    use_cache, stride,
+                )
             name = parsed[0]
             loop = asyncio.get_running_loop()
             started = time.perf_counter()
-            assert self._sem is not None
+            assert self._slots is not None
             try:
                 # Hold a matching slot only for the CPU work; streaming
                 # the reply to a slow client must not block admission.
-                async with self._sem:
+                # Slots are granted in weighted deficit-round-robin
+                # order across tenants, priority-ordered within one.
+                await self._slots.acquire(
+                    tenant, weight=tstate.spec.weight,
+                    rank=PRIORITY_RANKS[priority],
+                )
+                try:
                     queue_seconds = time.perf_counter() - started
                     result, cache_state, prov = await loop.run_in_executor(
-                        self._executor, self._execute, *parsed, trace
+                        self._executor, self._execute, *parsed, trace, tenant
                     )
+                finally:
+                    self._slots.release()
             except CatalogError as exc:
                 self._bump("errors")
                 self.obs.emit(
                     "query", trace=trace, outcome="error",
-                    priority=priority, data=name, error=str(exc),
+                    priority=priority, tenant=tenant, data=name,
+                    error=str(exc),
                 )
                 await self._send(
                     writer, {"ok": False, "error": str(exc), "trace": trace}
@@ -939,7 +1237,8 @@ class MatchingServer:
                 self._bump("errors")
                 self.obs.emit(
                     "query", trace=trace, outcome="error",
-                    priority=priority, data=name, error=repr(exc),
+                    priority=priority, tenant=tenant, data=name,
+                    error=repr(exc),
                 )
                 await self._send(
                     writer,
@@ -968,6 +1267,7 @@ class MatchingServer:
                     trace=trace,
                     outcome="served",
                     priority=priority,
+                    tenant=tenant,
                     data=name,
                     epoch=prov.get("epoch"),
                     cache=prov.get("cache_detail", cache_state),
@@ -985,8 +1285,10 @@ class MatchingServer:
                     server_seconds=round(server_seconds, 6),
                 )
             self._bump("served")
+            tstate.counters.inc("served")
         finally:
             self._active -= 1
+            tstate.inflight -= 1
 
     def _parse_query(self, request: Dict) -> Tuple[Tuple, int]:
         name = request.get("data")
@@ -1058,6 +1360,7 @@ class MatchingServer:
         use_cache: bool,
         profile_stride: int,
         trace: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> Tuple[MatchResult, str, Dict]:
         """Blocking query execution (runs on the executor threads).
 
@@ -1071,7 +1374,8 @@ class MatchingServer:
         """
         prov: Dict[str, object] = {}
         log = self.obs.log if self.obs.enabled else None
-        with trace_context(trace, log):
+        fields = {"tenant": tenant} if tenant is not None else None
+        with trace_context(trace, log, fields):
             cache = self._cache_for(name)
             form = None
             if profile_stride > 0:
@@ -1106,6 +1410,8 @@ class MatchingServer:
                 prov["profile"] = observer.summary()
             if use_cache and form is not None:
                 cache.store(form, limits, result)
+                with self._counters_lock:
+                    self._cache_epochs[name] = epoch
                 return result, "miss", prov
             self._bump("cache_bypass")
             return result, "bypass", prov
@@ -1159,6 +1465,8 @@ class MatchingServer:
         server["active"] = self._active
         server["max_inflight"] = self.max_inflight
         server["max_pending"] = self.max_pending
+        server["status"] = self.lifecycle.state
+        server["reloads"] = self.lifecycle.reloads
         qcache = {
             "per_data": caches,
             "hits": sum(c["hits"] for c in caches.values()),
@@ -1169,6 +1477,7 @@ class MatchingServer:
             "server": server,
             "catalog": self.catalog.stats(),
             "qcache": qcache,
+            "tenants": self.tenants.stats(),
             "artifact_builds_in_process": DataArtifacts.builds_performed,
         }
 
@@ -1177,8 +1486,10 @@ class MatchingServer:
 
         Monitoring polls this under overload, so it must answer from
         in-memory state only: load counters, catalog entry epochs and
-        pool respawn counters.  ``status`` flips to ``"overloaded"``
-        exactly when a normal-priority query would be shed.
+        pool respawn counters.  ``status`` reports the lifecycle state
+        (``draining``/``reloading``/``stopped``) when one is in
+        progress, else flips to ``"overloaded"`` exactly when a
+        normal-priority query would be shed.
         """
         capacity = self.max_inflight + self.max_pending
         with self._counters_lock:
@@ -1194,9 +1505,15 @@ class MatchingServer:
             if self._started_at is not None
             else 0.0
         )
+        if self.lifecycle.state != SERVING:
+            status = self.lifecycle.state
+        elif self._active >= capacity:
+            status = "overloaded"
+        else:
+            status = "ok"
         return {
             "ok": True,
-            "status": "overloaded" if self._active >= capacity else "ok",
+            "status": status,
             "active": self._active,
             "capacity": capacity,
             "max_inflight": self.max_inflight,

@@ -1,0 +1,546 @@
+"""Per-tenant admission control: rate limits, quotas, weighted fairness.
+
+The server's original admission path is tenant-blind: one greedy client
+saturates ``max_inflight + max_pending`` and every other connection is
+shed.  This module adds the *per-client admission classes* half of
+ROADMAP item 4 (DESIGN.md §13):
+
+* :class:`TokenBucket` — a deterministic token bucket with an
+  **injectable clock**, so rate-limit decisions are exactly testable
+  (no sleeping, no flakes).  ``try_take`` returns ``(admitted,
+  retry_after)``; the hint is the exact time until the next token.
+* :class:`TenantSpec` / :class:`TenantTable` — the tenant registry.
+  Specs come from a ``--tenants`` JSON file or inline ``--tenant``
+  CLI flags; requests name their tenant in a ``"tenant"`` header field
+  and legacy clients land on the ``default`` tenant.  Unknown names
+  are admitted under a private copy of the default spec, so every
+  tenant — configured or not — gets its own bucket, quota accounting,
+  and tenant-labeled ``repro_tenant_*`` counters.
+* :class:`FairSlots` — a **deficit-round-robin** gate over the matching
+  slots, replacing the server's plain semaphore.  Waiters queue *per
+  tenant*, tenants are served in weighted round-robin order (weight 2
+  drains twice as fast as weight 1), and within one tenant the
+  priority order ``high < normal < low`` is preserved.  No tenant can
+  monopolize matching slots: a backlog of 50 queued requests from one
+  tenant still lets another tenant's next request claim roughly its
+  weight-share of freed slots.
+
+Admission pipeline (see ``MatchingServer._op_query``): draining check →
+forced-overload fault hook → global priority shedding (unchanged
+semantics) → per-tenant token bucket → per-tenant inflight quota →
+fair-slot queue.  Every rejection carries a ``retry_after`` hint that
+:class:`repro.service.client.RetryPolicy` honors instead of blind
+exponential backoff.
+
+Fault hooks (swept by ``tests/test_service_tenancy.py``):
+``tenancy.bucket.refill`` fires on every bucket refill,
+``tenancy.admit`` on every per-tenant admission decision.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.obs.metrics import CounterGroup
+from repro.service.faults import NO_FAULTS, FaultPlan
+
+DEFAULT_TENANT = "default"
+
+#: Priority rank inside one tenant's queue: lower rank drains first.
+PRIORITY_RANKS: Dict[str, int] = {"high": 0, "normal": 1, "low": 2}
+
+#: ``shed_*`` reasons a tenant rejection can carry.
+SHED_REASONS = ("rate", "quota", "capacity", "draining")
+
+
+class TenancyError(ValueError):
+    """Bad tenant configuration (file, spec string, or field value)."""
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's admission class.
+
+    ``rate`` is tokens (queries) per second, ``None`` = unlimited;
+    ``burst`` is the bucket capacity (how many queries may arrive
+    back-to-back after an idle period).  ``max_inflight`` caps the
+    tenant's concurrently admitted queries (``None`` = no per-tenant
+    cap; the global limits still apply).  ``weight`` is the
+    deficit-round-robin share of matching slots under contention.
+    ``max_workers`` clamps per-request procpool fan-out, so one tenant
+    cannot monopolize worker processes either.
+    """
+
+    name: str
+    rate: Optional[float] = None
+    burst: float = 1.0
+    max_inflight: Optional[int] = None
+    weight: int = 1
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise TenancyError(f"tenant {self.name!r}: rate must be > 0")
+        if self.burst < 1:
+            raise TenancyError(f"tenant {self.name!r}: burst must be >= 1")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise TenancyError(
+                f"tenant {self.name!r}: max_inflight must be >= 1"
+            )
+        if self.weight < 1:
+            raise TenancyError(f"tenant {self.name!r}: weight must be >= 1")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise TenancyError(
+                f"tenant {self.name!r}: max_workers must be >= 1"
+            )
+
+
+class TokenBucket:
+    """Deterministic token bucket (``rate`` tokens/s, ``burst`` deep).
+
+    The clock is injectable (monotonic seconds); a fake clock makes
+    refill arithmetic exactly reproducible.  ``rate=None`` disables the
+    bucket entirely.  The ``tenancy.bucket.refill`` fault hook fires on
+    every refill so lifecycle sweeps can kill or stall the decision
+    point itself.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_clock", "_last", "faults")
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        faults: FaultPlan = NO_FAULTS,
+    ) -> None:
+        self.rate = float(rate) if rate is not None else None
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self._clock = clock
+        self._last: Optional[float] = None
+        self.faults = faults
+
+    def try_take(self, amount: float = 1.0) -> Tuple[bool, float]:
+        """Take ``amount`` tokens: ``(True, 0.0)`` or ``(False, wait)``.
+
+        ``wait`` is the exact time until the bucket holds ``amount``
+        tokens again — the ``retry_after`` hint the server sends.
+        """
+        if self.rate is None:
+            return True, 0.0
+        now = self._clock()
+        if self._last is None:
+            self._last = now
+        self.faults.reach("tenancy.bucket.refill")
+        elapsed = max(0.0, now - self._last)
+        if elapsed > 0.0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self._last = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True, 0.0
+        return False, (amount - self.tokens) / self.rate
+
+
+class TenantState:
+    """Live per-tenant accounting: bucket, inflight, counters.
+
+    ``counters`` is a :class:`CounterGroup` so the metrics registry can
+    attach it as the ``repro_tenant_*_total{tenant=...}`` families —
+    the same storage the ``stats`` op snapshots (reconciliation by
+    construction, as everywhere else in this repo).
+    """
+
+    __slots__ = ("spec", "bucket", "inflight", "counters")
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        clock: Callable[[], float],
+        faults: FaultPlan,
+    ) -> None:
+        self.spec = spec
+        self.bucket = TokenBucket(
+            spec.rate, spec.burst, clock=clock, faults=faults
+        )
+        self.inflight = 0
+        self.counters = CounterGroup({
+            "queries": 0,
+            "admitted": 0,
+            "served": 0,
+            **{f"shed_{reason}": 0 for reason in SHED_REASONS},
+        })
+
+    def stats(self) -> Dict[str, object]:
+        out: Dict[str, object] = dict(self.counters)
+        out["inflight"] = self.inflight
+        out["weight"] = self.spec.weight
+        return out
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One per-tenant admission rejection: why, and when to come back."""
+
+    reason: str  # one of SHED_REASONS
+    retry_after: Optional[float]
+
+
+class TenantTable:
+    """The tenant registry + per-tenant admission decisions.
+
+    Single-threaded by design: every method runs on the server's event
+    loop (admission is loop-side), so plain ints suffice for inflight
+    accounting.  ``on_create`` is called once per newly materialized
+    :class:`TenantState` — the server uses it to attach the tenant's
+    counter group to the metrics registry.
+    """
+
+    def __init__(
+        self,
+        specs: Union[Mapping[str, TenantSpec], List[TenantSpec], None] = None,
+        default_spec: Optional[TenantSpec] = None,
+        clock: Callable[[], float] = time.monotonic,
+        faults: FaultPlan = NO_FAULTS,
+        slot_retry_after: float = 0.05,
+        on_create: Optional[Callable[[str, TenantState], None]] = None,
+    ) -> None:
+        if isinstance(specs, Mapping):
+            spec_list = list(specs.values())
+        else:
+            spec_list = list(specs or [])
+        self._clock = clock
+        self.faults = faults
+        self.slot_retry_after = float(slot_retry_after)
+        self.on_create = on_create
+        self.default_spec = default_spec or TenantSpec(DEFAULT_TENANT)
+        self._specs: Dict[str, TenantSpec] = {
+            spec.name: spec for spec in spec_list
+        }
+        self._specs.setdefault(DEFAULT_TENANT, self.default_spec)
+        self.default_spec = self._specs[DEFAULT_TENANT]
+        self._states: Dict[str, TenantState] = {}
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve(self, name: Optional[str]) -> TenantState:
+        """The live state for ``name`` (``None`` = the default tenant).
+
+        Unknown names materialize a private state under a copy of the
+        default spec — each gets its own bucket and counters, so
+        unconfigured tenants are still isolated from each other.
+        """
+        key = name if name else DEFAULT_TENANT
+        state = self._states.get(key)
+        if state is None:
+            spec = self._specs.get(key)
+            if spec is None:
+                spec = replace(self.default_spec, name=key)
+            state = TenantState(spec, self._clock, self.faults)
+            self._states[key] = state
+            if self.on_create is not None:
+                self.on_create(key, state)
+        return state
+
+    def known(self) -> List[str]:
+        """Configured tenant names (sorted), before any traffic."""
+        return sorted(self._specs)
+
+    def states(self) -> Dict[str, TenantState]:
+        """Live (traffic-seen) tenant states."""
+        return dict(self._states)
+
+    # -- admission -----------------------------------------------------
+
+    def admit(self, state: TenantState) -> Optional[Rejection]:
+        """Per-tenant admission: token bucket, then inflight quota.
+
+        Returns ``None`` when admitted, else a :class:`Rejection` whose
+        ``retry_after`` is exact for rate limits (time to next token)
+        and the configured slot hint for quota rejections.  Does *not*
+        bump counters — the server owns counter semantics so global and
+        per-tenant accounting stay in one place.
+        """
+        self.faults.reach("tenancy.admit")
+        ok, wait = state.bucket.try_take()
+        if not ok:
+            return Rejection("rate", wait)
+        quota = state.spec.max_inflight
+        if quota is not None and state.inflight >= quota:
+            return Rejection("quota", self.slot_retry_after)
+        return None
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        return {name: state.stats() for name, state in self._states.items()}
+
+
+# ----------------------------------------------------------------------
+# Configuration parsing (--tenants file / --tenant specs)
+# ----------------------------------------------------------------------
+
+_SPEC_FIELDS = {
+    "rate": float,
+    "burst": float,
+    "max_inflight": int,
+    "weight": int,
+    "max_workers": int,
+}
+
+
+def _spec_from_mapping(name: str, raw: Mapping) -> TenantSpec:
+    if not isinstance(raw, Mapping):
+        raise TenancyError(f"tenant {name!r}: config must be an object")
+    kwargs: Dict[str, object] = {}
+    for key, value in raw.items():
+        if key not in _SPEC_FIELDS:
+            raise TenancyError(
+                f"tenant {name!r}: unknown field {key!r} "
+                f"(allowed: {sorted(_SPEC_FIELDS)})"
+            )
+        if value is None:
+            continue
+        try:
+            kwargs[key] = _SPEC_FIELDS[key](value)
+        except (TypeError, ValueError):
+            raise TenancyError(
+                f"tenant {name!r}: field {key!r} must be a number"
+            )
+    return TenantSpec(name=name, **kwargs)
+
+
+def tenants_from_json(text: str) -> Dict[str, TenantSpec]:
+    """Parse the ``--tenants`` file format into specs.
+
+    Two accepted shapes::
+
+        {"default": {...}, "tenants": {"alice": {...}, "bob": {...}}}
+        {"alice": {...}, "bob": {...}}
+
+    The first names the default tenant's class explicitly; in the
+    second every top-level key is a tenant (an entry literally named
+    ``default`` configures the default class).  Fields per tenant:
+    ``rate`` (queries/s), ``burst``, ``max_inflight``, ``weight``,
+    ``max_workers`` — all optional.
+    """
+    try:
+        raw = json.loads(text)
+    except ValueError as exc:
+        raise TenancyError(f"tenants file is not valid JSON: {exc}")
+    if not isinstance(raw, Mapping):
+        raise TenancyError("tenants file must be a JSON object")
+    if "tenants" in raw:
+        entries = raw.get("tenants") or {}
+        if not isinstance(entries, Mapping):
+            raise TenancyError("'tenants' must be an object")
+        entries = dict(entries)
+        if "default" in raw and raw["default"] is not None:
+            entries[DEFAULT_TENANT] = raw["default"]
+    else:
+        entries = dict(raw)
+    specs = {
+        str(name): _spec_from_mapping(str(name), cfg)
+        for name, cfg in entries.items()
+    }
+    return specs
+
+
+def tenants_from_file(path: Union[str, Path]) -> Dict[str, TenantSpec]:
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise TenancyError(f"cannot read tenants file {path!r}: {exc}")
+    return tenants_from_json(text)
+
+
+def tenant_from_spec(spec: str) -> TenantSpec:
+    """Parse one inline ``--tenant`` flag: ``name:key=value,key=value``.
+
+    ``repro serve --tenant free:rate=2,weight=1 --tenant paid:weight=4``
+    """
+    name, _, rest = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise TenancyError(f"bad tenant spec {spec!r}: empty name")
+    raw: Dict[str, object] = {}
+    if rest.strip():
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise TenancyError(
+                    f"bad tenant spec {spec!r}: {item!r} is not key=value"
+                )
+            raw[key.strip()] = value.strip()
+    return _spec_from_mapping(name, raw)
+
+
+# ----------------------------------------------------------------------
+# Weighted fair slots (deficit round robin)
+# ----------------------------------------------------------------------
+
+
+class FairSlots:
+    """An asyncio gate handing ``capacity`` slots out fairly by tenant.
+
+    Replaces the server's ``asyncio.Semaphore``: acquisition order is
+    **weighted deficit round robin** across tenants instead of global
+    FIFO.  Each tenant owns one queue of waiters ordered by priority
+    rank (``high`` before ``normal`` before ``low``) then FIFO; when a
+    slot frees, the dispatcher rotates through tenants with waiters,
+    granting each ``weight`` serves per rotation — so a tenant with
+    weight 2 drains twice as fast as weight 1, and a tenant with a
+    thousand queued requests cannot starve one with a single request
+    (it waits at most one rotation).
+
+    Single-threaded: all methods run on the event loop.  Cancellation
+    safe: a waiter cancelled while queued is skipped at grant time; a
+    waiter granted and cancelled in the same tick releases its slot.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(1, capacity)
+        self._free = self.capacity
+        # tenant -> one deque per priority rank, each of (seq, future)
+        self._queues: Dict[str, List[Deque[Tuple[int, object]]]] = {}
+        self._weights: Dict[str, int] = {}
+        self._credits: Dict[str, float] = {}
+        self._rotation: Deque[str] = deque()
+        self._seq = 0
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def free(self) -> int:
+        return self._free
+
+    def pending(self, tenant: Optional[str] = None) -> int:
+        """Waiters queued (for one tenant, or overall)."""
+        if tenant is not None:
+            ranks = self._queues.get(tenant)
+            return sum(len(q) for q in ranks) if ranks else 0
+        return sum(
+            len(q) for ranks in self._queues.values() for q in ranks
+        )
+
+    # -- acquisition ---------------------------------------------------
+
+    async def acquire(
+        self, tenant: str, weight: int = 1, rank: int = 1
+    ) -> None:
+        """Claim one slot for ``tenant`` (rank = priority, 0 drains
+        first).  Waits in the tenant's DRR queue when none is free."""
+        import asyncio
+
+        self._weights[tenant] = max(1, weight)
+        if self._free > 0 and self.pending() == 0:
+            self._free -= 1
+            return
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[None]" = loop.create_future()
+        ranks = self._queues.get(tenant)
+        if ranks is None:
+            ranks = [deque(), deque(), deque()]
+            self._queues[tenant] = ranks
+        self._seq += 1
+        ranks[min(max(rank, 0), 2)].append((self._seq, future))
+        if tenant not in self._rotation:
+            self._rotation.append(tenant)
+        # A free slot with queued waiters (e.g. released while the loop
+        # was busy) dispatches now, possibly to this very future.
+        self._dispatch()
+        try:
+            await future
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled():
+                # Granted and cancelled in the same tick: the slot was
+                # already handed to us — give it back.
+                self.release()
+            else:
+                self._discard(tenant, future)
+            raise
+
+    def release(self) -> None:
+        """Return one slot and hand it to the next DRR waiter, if any."""
+        self._free += 1
+        self._dispatch()
+
+    # -- internals -----------------------------------------------------
+
+    def _discard(self, tenant: str, future: object) -> None:
+        ranks = self._queues.get(tenant)
+        if ranks is None:
+            return
+        for q in ranks:
+            try:
+                q.remove(next(item for item in q if item[1] is future))
+            except StopIteration:
+                continue
+            break
+        if not any(ranks):
+            self._forget(tenant)
+
+    def _forget(self, tenant: str) -> None:
+        self._queues.pop(tenant, None)
+        self._credits.pop(tenant, None)
+        try:
+            self._rotation.remove(tenant)
+        except ValueError:
+            pass
+
+    def _dispatch(self) -> None:
+        while self._free > 0:
+            future = self._pick()
+            if future is None:
+                return
+            if future.cancelled():
+                continue
+            self._free -= 1
+            future.set_result(None)
+
+    def _pick(self):
+        """Next waiter under deficit round robin, or ``None``.
+
+        Visiting a tenant with credit < 1 tops it up by its weight and
+        rotates on; a visit with credit >= 1 serves one waiter and pays
+        1.  Weights are >= 1, so one full rotation always produces a
+        servable tenant — the loop is bounded by 2 * len(rotation).
+        A tenant whose queue empties is dropped from the rotation and
+        its credit reset (standard DRR: credit never accumulates while
+        idle).
+        """
+        for _ in range(2 * len(self._rotation) + 1):
+            if not self._rotation:
+                return None
+            tenant = self._rotation[0]
+            ranks = self._queues.get(tenant)
+            if ranks is None or not any(ranks):
+                self._forget(tenant)
+                continue
+            credit = self._credits.get(tenant, 0.0)
+            if credit < 1.0:
+                self._credits[tenant] = credit + self._weights.get(tenant, 1)
+                self._rotation.rotate(-1)
+                continue
+            self._credits[tenant] = credit - 1.0
+            for q in ranks:
+                if q:
+                    _, future = q.popleft()
+                    break
+            if not any(ranks):
+                self._forget(tenant)
+            return future
+        return None

@@ -419,7 +419,10 @@ class TestClientRetryBackoff:
                 reply = client.query(query, "g")
                 assert reply.num_embeddings == 2
                 assert client.counters["retries"] == 2
-                assert sleeps == [0.05, 0.1]  # exact exponential schedule
+                # Capacity sheds carry the server's retry_after hint
+                # (0.05s default), which replaces the exponential
+                # schedule — both waits are the hint, not 0.05/0.1.
+                assert sleeps == [0.05, 0.05]
                 stats = client.stats()
                 assert stats["server"]["rejected"] == 2
                 assert stats["server"]["shed_normal"] == 2
@@ -493,15 +496,18 @@ class TestClientRetryBackoff:
 
     def test_deadline_blocks_retry_that_cannot_finish(self, tmp_path):
         plan = FaultPlan([FaultRule("server.admission", "overload", times=5)])
-        thread, query = serve_world(tmp_path, faults=plan)
+        thread, query = serve_world(
+            tmp_path, faults=plan, retry_after_hint=30.0
+        )
         sleeps = []
         retry = RetryPolicy(
-            attempts=5, base_delay=30.0, jitter=0.0, sleep=sleeps.append
+            attempts=5, base_delay=30.0, max_delay=60.0, jitter=0.0,
+            sleep=sleeps.append,
         )
         with thread:
             with ServiceClient(*thread.address, retry=retry) as client:
-                # The first backoff (30s) would overshoot the 1s budget:
-                # fail now rather than sleep past the deadline.
+                # The server's retry_after hint (30s) would overshoot
+                # the 1s budget: fail now, not sleep past the deadline.
                 with pytest.raises(ServiceOverloaded):
                     client.query(query, "g", deadline=1.0)
                 assert sleeps == []
