@@ -20,8 +20,15 @@ effect being measured.  ``check_perf.py --gate obs`` holds the
 overhead to ≤5% of p50 (computed fresh — latencies on a shared box
 are not stable enough to commit as an absolute baseline).
 
-The measured numbers are merged into ``BENCH_service.json`` under an
-additive ``obs`` key (the rest of the file is left untouched).
+A second paired comparison prices **EXPLAIN ANALYZE**: the same query
+run cache-bypassed plain vs with ``explain="analyze"`` (which runs the
+identical search plus stage-count collection, report assembly, and the
+``analyze.json`` sidecar write).  ``check_perf.py --gate obs`` holds
+analyze-mode to ≤15% of the plain cache-bypass p50.
+
+The measured numbers are merged into ``BENCH_service.json`` under
+additive ``obs`` and ``obs_analyze`` keys (the rest of the file is
+left untouched).
 
 Run: ``python benchmarks/bench_obs_overhead.py [--batches N]
 [--batch-size K] [--out PATH]``
@@ -129,24 +136,102 @@ def run_overhead(batches: int, batch_size: int) -> dict:
     }
 
 
+def run_analyze_overhead(batches: int, batch_size: int) -> dict:
+    """Paired plain vs ``explain="analyze"`` comparison (cache bypassed).
+
+    Both sides run the identical engine search (the differential tests
+    prove byte-identical results); analyze adds the stage-count
+    collection, report assembly, reply payload, and the sidecar write.
+    Returns the ``obs_analyze`` report dict.
+    """
+    data = load_dataset(DATASET, scale=SCALE, seed=SEED)
+    queries = list(
+        generate_query_set(data, QuerySetSpec(8, "sparse"), count=2,
+                           seed=SEED)
+    )
+    workload = [queries[i % len(queries)] for i in range(batch_size)]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+        GraphCatalog(tmp).add(DATASET, data)
+        thread = ServerThread(
+            GraphCatalog(tmp), max_inflight=2, obs=Observability()
+        )
+        latencies = {"plain": [], "analyze": []}
+        with thread:
+            with ServiceClient(*thread.address) as client:
+                for query in workload:  # engines resident before timing
+                    client.query(query, DATASET, limit=LIMIT, cache=False)
+                index = 0
+                for _ in range(batches):
+                    for query in workload:
+                        order = (
+                            ("plain", "analyze") if index % 2 == 0
+                            else ("analyze", "plain")
+                        )
+                        index += 1
+                        for name in order:
+                            explain = (
+                                "analyze" if name == "analyze" else None
+                            )
+                            started = time.perf_counter()
+                            reply = client.query(
+                                query, DATASET, limit=LIMIT, cache=False,
+                                explain=explain,
+                            )
+                            elapsed = time.perf_counter() - started
+                            assert reply.cache == "bypass", reply.cache
+                            if explain is not None:
+                                assert reply.explain is not None
+                            latencies[name].append(elapsed)
+
+    p50_plain = statistics.median(latencies["plain"])
+    p50_analyze = statistics.median(latencies["analyze"])
+    paired_diff = statistics.median(
+        a - p for a, p in zip(latencies["analyze"], latencies["plain"])
+    )
+    return {
+        "workload": {
+            "batches": batches,
+            "batch_size": batch_size,
+            "requests_per_side": batches * batch_size,
+            "limit": LIMIT,
+            "path": ("cache-bypassed engine runs, one server, plain vs "
+                     "explain=analyze (paired samples)"),
+        },
+        "p50_plain_ms": round(p50_plain * 1e3, 4),
+        "p50_analyze_ms": round(p50_analyze * 1e3, 4),
+        "paired_overhead_ms": round(paired_diff * 1e3, 4),
+        "overhead_ratio": round(1.0 + paired_diff / p50_plain, 4),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--batches", type=int, default=8,
                         help="interleaved batches per side")
     parser.add_argument("--batch-size", type=int, default=25,
                         help="requests per batch")
+    parser.add_argument("--analyze-batches", type=int, default=2,
+                        help="interleaved batches per side (analyze A/B)")
+    parser.add_argument("--analyze-batch-size", type=int, default=10,
+                        help="requests per batch (analyze A/B)")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     args = parser.parse_args(argv)
 
     report = run_overhead(args.batches, args.batch_size)
+    analyze = run_analyze_overhead(
+        args.analyze_batches, args.analyze_batch_size
+    )
 
     merged = {}
     if args.out.exists():
         merged = json.loads(args.out.read_text(encoding="utf-8"))
     merged["obs"] = report
+    merged["obs_analyze"] = analyze
     args.out.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
 
     overhead = (report["overhead_ratio"] - 1.0) * 100.0
+    analyze_overhead = (analyze["overhead_ratio"] - 1.0) * 100.0
     lines = [
         f"observability overhead ({DATASET} x{SCALE}, warm hits, "
         f"{report['workload']['requests_per_side']} requests/side):",
@@ -154,12 +239,20 @@ def main(argv=None) -> int:
         f"  p50 metrics off: {report['p50_off_ms']:7.3f} ms",
         f"  median paired overhead: {report['paired_overhead_ms']:+.4f} ms "
         f"= {overhead:+.2f}% of p50 (ratio {report['overhead_ratio']})",
+        f"explain-analyze overhead (cache bypassed, "
+        f"{analyze['workload']['requests_per_side']} requests/side):",
+        f"  p50 plain:   {analyze['p50_plain_ms']:7.3f} ms",
+        f"  p50 analyze: {analyze['p50_analyze_ms']:7.3f} ms",
+        f"  median paired overhead: "
+        f"{analyze['paired_overhead_ms']:+.4f} ms "
+        f"= {analyze_overhead:+.2f}% of p50 "
+        f"(ratio {analyze['overhead_ratio']})",
     ]
     text = "\n".join(lines)
     print(text)
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
     RESULTS.write_text(text + "\n", encoding="utf-8")
-    print(f"wrote obs key into {args.out} and {RESULTS}")
+    print(f"wrote obs + obs_analyze keys into {args.out} and {RESULTS}")
     return 0
 
 

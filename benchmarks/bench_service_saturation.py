@@ -90,6 +90,7 @@ def percentile(sorted_values, fraction: float) -> float:
 def drive_level(address, queries, clients: int, per_client: int):
     """``clients`` closed-loop threads, ``per_client`` requests each."""
     served_latencies = []
+    queue_waits = []
     shed = [0]
     lock = threading.Lock()
 
@@ -99,7 +100,9 @@ def drive_level(address, queries, clients: int, per_client: int):
                 query = queries[(offset + i) % len(queries)]
                 started = time.perf_counter()
                 try:
-                    client.query(query, DATASET, limit=LIMIT, cache=False)
+                    reply = client.query(
+                        query, DATASET, limit=LIMIT, cache=False
+                    )
                 except ServiceOverloaded:
                     with lock:
                         shed[0] += 1
@@ -107,6 +110,7 @@ def drive_level(address, queries, clients: int, per_client: int):
                 elapsed = time.perf_counter() - started
                 with lock:
                     served_latencies.append(elapsed)
+                    queue_waits.append(reply.queue_seconds)
 
     threads = [
         threading.Thread(target=worker, args=(i,)) for i in range(clients)
@@ -118,6 +122,7 @@ def drive_level(address, queries, clients: int, per_client: int):
 
     offered = clients * per_client
     latencies = sorted(served_latencies)
+    queued = sorted(queue_waits)
     return {
         "clients": clients,
         "offered": offered,
@@ -126,6 +131,11 @@ def drive_level(address, queries, clients: int, per_client: int):
         "shed_rate": round(shed[0] / offered, 4),
         "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
         "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        # Server-reported admission-queue wait of the served requests:
+        # separates "waiting for a matching slot" from "doing work" in
+        # the same rows the latency columns come from.
+        "queue_p50_ms": round(percentile(queued, 0.50) * 1e3, 3),
+        "queue_p99_ms": round(percentile(queued, 0.99) * 1e3, 3),
     }
 
 
@@ -136,7 +146,8 @@ def drive_mixed(address, queries, groups, per_client: int):
     :func:`drive_level`-shaped row per tenant.
     """
     rows = {
-        tenant: {"latencies": [], "shed": 0} for tenant in groups
+        tenant: {"latencies": [], "queue_waits": [], "shed": 0}
+        for tenant in groups
     }
     lock = threading.Lock()
 
@@ -146,7 +157,9 @@ def drive_mixed(address, queries, groups, per_client: int):
                 query = queries[(offset + i) % len(queries)]
                 started = time.perf_counter()
                 try:
-                    client.query(query, DATASET, limit=LIMIT, cache=False)
+                    reply = client.query(
+                        query, DATASET, limit=LIMIT, cache=False
+                    )
                 except ServiceOverloaded:
                     with lock:
                         rows[tenant]["shed"] += 1
@@ -154,6 +167,7 @@ def drive_mixed(address, queries, groups, per_client: int):
                 elapsed = time.perf_counter() - started
                 with lock:
                     rows[tenant]["latencies"].append(elapsed)
+                    rows[tenant]["queue_waits"].append(reply.queue_seconds)
 
     threads = [
         threading.Thread(target=worker, args=(tenant, i))
@@ -169,6 +183,7 @@ def drive_mixed(address, queries, groups, per_client: int):
     for tenant, clients in groups.items():
         offered = clients * per_client
         latencies = sorted(rows[tenant]["latencies"])
+        queued = sorted(rows[tenant]["queue_waits"])
         shed = rows[tenant]["shed"]
         out[tenant] = {
             "clients": clients,
@@ -178,6 +193,8 @@ def drive_mixed(address, queries, groups, per_client: int):
             "shed_rate": round(shed / offered, 4),
             "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
             "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+            "queue_p50_ms": round(percentile(queued, 0.50) * 1e3, 3),
+            "queue_p99_ms": round(percentile(queued, 0.99) * 1e3, 3),
         }
     return out
 
@@ -321,7 +338,9 @@ def main(argv=None) -> int:
     for level in report["levels"]:
         lines.append(
             f"  {level['clients']:3d} clients: p50 {level['p50_ms']:8.3f}ms "
-            f"p99 {level['p99_ms']:8.3f}ms  shed {level['shed']:4d}/"
+            f"p99 {level['p99_ms']:8.3f}ms  "
+            f"queue p50 {level['queue_p50_ms']:8.3f}ms "
+            f"p99 {level['queue_p99_ms']:8.3f}ms  shed {level['shed']:4d}/"
             f"{level['offered']:4d} ({level['shed_rate']:.1%})"
         )
     light = fairness["contended_light"]

@@ -11,17 +11,24 @@ path-backed structured request log, drives a query round-trip through
   counterparts (reconciliation-by-construction, spot-checked end to
   end);
 * the request log holds a ``query`` line whose trace id matches the
-  one the reply header carried.
+  one the reply header carried;
+* one ``explain="analyze"`` round-trip returns the attribution report,
+  and the Chrome trace exported from that request's span records is
+  well-formed: every span's parent exists, the single root is the
+  client attempt, and the procpool worker spans nest under the
+  ``engine.search`` phase span.
 
 Exits nonzero with a message on the first violated check.  The request
-log is written to ``service-smoke-requests.jsonl`` in the working
-directory so CI can upload it as an artifact when this script fails.
+log is written to ``service-smoke-requests.jsonl`` and the trace
+export to ``service-smoke-trace.json`` in the working directory so CI
+can upload them as artifacts when this script fails.
 
 Run: ``PYTHONPATH=src python scripts/service_smoke_scrape.py``
 """
 
 from __future__ import annotations
 
+import json
 import socket
 import sys
 import tempfile
@@ -33,11 +40,17 @@ if str(ROOT / "src") not in sys.path:
 
 from repro.graph.builder import graph_from_adjacency  # noqa: E402
 from repro.obs import Observability, StructuredLog, parse_exposition  # noqa: E402
+from repro.obs.spans import (  # noqa: E402
+    build_chrome_trace,
+    spans_for_trace,
+    validate_span_tree,
+)
 from repro.service.catalog import GraphCatalog  # noqa: E402
 from repro.service.client import ServiceClient  # noqa: E402
 from repro.service.server import ServerThread  # noqa: E402
 
 LOG_PATH = "service-smoke-requests.jsonl"
+TRACE_PATH = "service-smoke-trace.json"
 
 REQUIRED_FAMILIES = (
     "repro_server_queries_total",
@@ -95,18 +108,33 @@ def main() -> int:
     )
     query = graph_from_adjacency(["A", "B"], [(0, 1)])
     Path(LOG_PATH).unlink(missing_ok=True)
+    Path(TRACE_PATH).unlink(missing_ok=True)
     obs = Observability(log=StructuredLog(path=LOG_PATH))
 
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
         GraphCatalog(tmp).add("g", data)
         with ServerThread(GraphCatalog(tmp), obs=obs) as thread:
             host, port = thread.address
-            with ServiceClient(host, port) as client:
+            # The client shares the server's path-backed log so its
+            # client.attempt span lands in the same file the server's
+            # phase spans do — the export below must see one tree.
+            with ServiceClient(host, port, log=obs.log) as client:
                 reply = client.query(query, "g")
                 if reply.num_embeddings != 2:
                     fail(f"expected 2 embeddings, got {reply.num_embeddings}")
                 if not reply.trace:
                     fail("reply header carried no trace id")
+                analyzed = client.query(
+                    query, "g", workers=2, cache=False, explain="analyze"
+                )
+                if analyzed.num_embeddings != 2:
+                    fail(
+                        "analyze changed the result: "
+                        f"{analyzed.num_embeddings} embeddings"
+                    )
+                if not analyzed.explain or \
+                        analyzed.explain.get("mode") != "analyze":
+                    fail(f"no analyze report in reply: {analyzed.explain!r}")
                 stats = client.stats()
                 op_text = client.metrics()
             http_text = http_get(host, port, "/metrics")
@@ -145,10 +173,44 @@ def main() -> int:
             f"{reply.trace}"
         )
 
+    spans = spans_for_trace(records, analyzed.trace)
+    problems = validate_span_tree(spans)
+    if problems:
+        fail(f"span tree for trace {analyzed.trace}: {problems}")
+    by_id = {r["span"]: r for r in spans}
+    roots = [r for r in spans if r.get("parent") is None]
+    if roots[0].get("name") != "client.attempt":
+        fail(f"trace root is {roots[0].get('name')}, not client.attempt")
+    search = [r for r in spans if r.get("name") == "engine.search"]
+    if len(search) != 1:
+        fail(f"expected one engine.search span, got {len(search)}")
+    workers = [r for r in spans if r.get("name") == "worker.task"]
+    if not workers:
+        fail("no worker.task spans despite workers=2")
+    for record in workers:
+        if record.get("parent") != search[0]["span"]:
+            fail(
+                f"worker span {record['span']} parents under "
+                f"{by_id.get(record.get('parent'), {}).get('name')}, "
+                "not engine.search"
+            )
+
+    export = build_chrome_trace(spans)
+    Path(TRACE_PATH).write_text(
+        json.dumps(export, indent=2) + "\n", encoding="utf-8"
+    )
+    parsed = json.loads(Path(TRACE_PATH).read_text(encoding="utf-8"))
+    if len(parsed.get("traceEvents", [])) != len(spans):
+        fail(
+            f"{TRACE_PATH} holds {len(parsed.get('traceEvents', []))} "
+            f"events for {len(spans)} spans"
+        )
+
     print(
         f"ok: {len(REQUIRED_FAMILIES)} families on both surfaces, "
         f"{len(RECONCILED)} counters reconciled, trace {reply.trace} "
-        f"in {LOG_PATH}"
+        f"in {LOG_PATH}, {len(spans)} spans ({len(workers)} worker tasks) "
+        f"exported to {TRACE_PATH}"
     )
     return 0
 

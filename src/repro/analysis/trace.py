@@ -12,6 +12,13 @@ Event stream grammar (DFS order)::
     on_return(depth, v, found, mask)       recursion finished
     on_embedding(embedding)                full embedding emitted (at leaves)
     on_backjump(depth, mask)               remaining siblings skipped
+
+Not to be confused with the *service* tracing in :mod:`repro.obs`:
+obs trace ids (``new_trace_id``) and spans (:mod:`repro.obs.spans`)
+follow one request across client, server, and procpool workers and
+carry only names and timings.  This module records the Algorithm-2
+search event stream *inside* one engine run — per-recursion detail,
+no timestamps, no cross-process identity.
 """
 
 from __future__ import annotations
@@ -55,7 +62,11 @@ class SearchObserver:
 
 
 class TraceRecorder(SearchObserver):
-    """Observer that stores every event (for tests and visualization)."""
+    """Observer that stores every event (for tests and visualization).
+
+    Records the in-engine search event stream; unrelated to the obs
+    layer's trace ids/spans, which identify *requests*, not recursions.
+    """
 
     def __init__(self) -> None:
         self.events: List[SearchEvent] = []

@@ -17,6 +17,7 @@ Commands
 ``metrics``    print a running server's Prometheus exposition
 ``reload``     zero-downtime catalog reload on a running server
 ``drain``      gracefully drain and stop a running server
+``trace``      export one trace's spans as Chrome trace-event JSON
 
 Examples
 --------
@@ -36,6 +37,8 @@ Examples
     python -m repro metrics 127.0.0.1 7464
     python -m repro reload 127.0.0.1 7464
     python -m repro drain 127.0.0.1 7464 --timeout 10
+    python -m repro query q0.graph yeast --explain analyze
+    python -m repro trace <trace-id> --log requests.jsonl --out trace.json
 """
 
 from __future__ import annotations
@@ -246,6 +249,23 @@ def _add_query_parser(subparsers) -> None:
     p.add_argument("--profile", action="store_true",
                    help="bypass the cache and attach a search-level "
                         "profiler summary to each reply")
+    p.add_argument("--explain", default=None, choices=("plan", "analyze"),
+                   help="attach an EXPLAIN report: 'plan' reports the "
+                        "matching order/filters without searching, "
+                        "'analyze' runs the real search and attributes "
+                        "the work (cache bypassed)")
+
+
+def _add_trace_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "trace",
+        help="export one trace's spans as Chrome trace-event JSON",
+    )
+    p.add_argument("trace", help="trace id (from a query reply or log line)")
+    p.add_argument("--log", required=True,
+                   help="structured request log (JSON lines) to read")
+    p.add_argument("--out", default="trace.json",
+                   help="output path for the Chrome trace-event JSON")
 
 
 def _add_stats_parser(subparsers) -> None:
@@ -328,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_parser(subparsers)
     _add_reload_parser(subparsers)
     _add_drain_parser(subparsers)
+    _add_trace_parser(subparsers)
     subparsers.add_parser("methods", help="list registered matchers")
     return parser
 
@@ -703,13 +724,17 @@ def _cmd_query(args) -> int:
                     priority=args.priority,
                     deadline=args.deadline,
                     profile=args.profile,
+                    explain=args.explain,
                 )
                 total += reply.num_embeddings
                 print(f"{path}: {reply.num_embeddings} embeddings, "
                       f"{reply.status}, cache {reply.cache}, "
+                      f"trace {reply.trace}, "
                       f"{reply.elapsed:.4f}s "
                       f"(queue {reply.queue_seconds:.4f}s, "
                       f"exec {reply.server_seconds:.4f}s)")
+                if reply.explain:
+                    _print_explain(reply.explain)
                 if reply.profile:
                     prof = reply.profile
                     print(f"  profile: {prof.get('descends', 0)} descends, "
@@ -731,6 +756,88 @@ def _cmd_query(args) -> int:
         return 1
     print(f"total embeddings: {total}")
     return 0
+
+
+def _print_explain(report: dict) -> None:
+    """Compact human rendering of an EXPLAIN/ANALYZE report."""
+    backend = report.get("backend") or {}
+    print(f"  explain ({report.get('mode')}): "
+          f"ordering {report.get('ordering')}, "
+          f"filter {report.get('filter')}, backends "
+          f"{backend.get('candidate')}/{backend.get('build')}"
+          f"/{backend.get('mask')}")
+    print(f"    order: {report.get('order')}")
+    for stage in report.get("stages") or []:
+        print(f"    stage {stage.get('stage')}: "
+              f"{stage.get('total')} candidates "
+              f"{stage.get('candidates_per_vertex')}")
+    reservations = report.get("reservations") or {}
+    print(f"    reservations: {reservations.get('guards', 0)} guards, "
+          f"{reservations.get('reserved_vertices', 0)} reserved vertices")
+    qcache = report.get("qcache") or {}
+    print(f"    qcache: {qcache.get('decision')}"
+          + (f" ({qcache.get('reason')})" if qcache.get("reason") else ""))
+    if report.get("mode") == "analyze":
+        search = report.get("search") or {}
+        print(f"    search: {search.get('recursions', 0)} recursions, "
+              f"{search.get('conflicts', 0)} conflicts, "
+              f"{search.get('pruned_by_guards', 0)} guard-pruned, "
+              f"{search.get('nogood_hits', 0)} nogood hits")
+        for task in report.get("tasks") or []:
+            print(f"    worker task {task.get('index')} "
+                  f"(root v{task.get('vertex')}): "
+                  f"{task.get('embeddings_found')} embeddings, "
+                  f"{task.get('recursions')} recursions, "
+                  f"{task.get('elapsed_seconds'):.4f}s")
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs.spans import (
+        build_chrome_trace,
+        spans_for_trace,
+        validate_span_tree,
+    )
+
+    records = []
+    try:
+        with open(args.log, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail line of a live log
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    spans = spans_for_trace(records, args.trace)
+    if not spans:
+        print(f"error: no spans for trace {args.trace!r} in {args.log}",
+              file=sys.stderr)
+        return 1
+    problems = validate_span_tree(spans)
+    export = build_chrome_trace(spans)
+    try:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(export, handle, indent=2)
+            handle.write("\n")
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{len(spans)} span(s) for trace {args.trace} -> {args.out}")
+    for record in spans:
+        print(f"  {record.get('name')} span={record.get('span')} "
+              f"parent={record.get('parent')} "
+              f"dur={record.get('dur', 0.0):.6f}s pid={record.get('pid')}")
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def _cmd_update(args) -> int:
@@ -903,6 +1010,7 @@ COMMANDS = {
     "metrics": _cmd_metrics,
     "reload": _cmd_reload,
     "drain": _cmd_drain,
+    "trace": _cmd_trace,
     "methods": _cmd_methods,
 }
 

@@ -28,6 +28,7 @@ from repro.filtering.mask_kernels import get_kernels
 from repro.graph.graph import Graph
 from repro.matching.limits import SearchLimits
 from repro.matching.result import MatchResult, TerminationStatus
+from repro.obs.spans import span
 
 
 class GuPEngine:
@@ -86,12 +87,17 @@ class GuPEngine:
         return self._artifacts
 
     def build(
-        self, query: Graph, seed_masks: Optional[List[int]] = None
+        self,
+        query: Graph,
+        seed_masks: Optional[List[int]] = None,
+        stage_log=None,
     ) -> GuardedCandidateSpace:
         """Run GCS construction + reservation generation for ``query``.
 
         ``seed_masks`` optionally replaces the LDF+NLF seeding with
-        caller-restricted candidate masks (see :func:`build_gcs`)."""
+        caller-restricted candidate masks (see :func:`build_gcs`);
+        ``stage_log`` optionally collects per-filter-stage candidate
+        counts for EXPLAIN (read-only, identical GCS)."""
         return build_gcs(
             query,
             self.data,
@@ -99,6 +105,7 @@ class GuPEngine:
             artifacts=self.artifacts,
             invariants=self.invariants,
             seed_masks=seed_masks,
+            stage_log=stage_log,
         )
 
     def apply_delta(self, delta):
@@ -132,6 +139,7 @@ class GuPEngine:
         gcs: Optional[GuardedCandidateSpace] = None,
         workers: int = 1,
         observer: Optional[object] = None,
+        task_collector: Optional[list] = None,
     ) -> MatchResult:
         """Enumerate embeddings of ``query`` in the data graph.
 
@@ -159,11 +167,22 @@ class GuPEngine:
         search is unchanged).  Observers live in this process, so an
         observed match runs sequentially even when ``workers > 1`` —
         results are identical either way, only the wall clock differs.
+
+        ``task_collector`` (a list) receives one summary dict per
+        executed root-partition task when the search dispatches to the
+        procpool — EXPLAIN ANALYZE's per-worker wall-clock attribution.
+        Pure observation: results are identical with or without it.
+
+        When a structured log is bound to the calling thread
+        (:func:`repro.obs.log.current_log`), the build and search
+        phases each emit a timed span (:mod:`repro.obs.spans`); with no
+        log bound the spans cost two clock reads and emit nothing.
         """
         limits = limits or SearchLimits()
         started = time.perf_counter()
         if gcs is None:
-            gcs = self.build(query)
+            with span("engine.build"):
+                gcs = self.build(query)
         preprocessing = time.perf_counter() - started
 
         sym_classes = None
@@ -182,23 +201,27 @@ class GuPEngine:
                 )
 
         search_started = time.perf_counter()
-        if workers > 1 and observer is None and query.num_vertices > 0:
-            from repro.core.procpool import run_partitioned
+        with span("engine.search", workers=workers):
+            if workers > 1 and observer is None and query.num_vertices > 0:
+                from repro.core.procpool import run_partitioned
 
-            raw, status, stats = run_partitioned(
-                gcs, self.config, limits, workers, symmetry_prev
-            )
-        else:
-            if self.config.candidate_backend == "list":
-                from repro.core.backtrack_ref import ListGuPSearch as search_cls
+                raw, status, stats = run_partitioned(
+                    gcs, self.config, limits, workers, symmetry_prev,
+                    task_collector=task_collector,
+                )
             else:
-                search_cls = GuPSearch
-            search = search_cls(
-                gcs, config=self.config, limits=limits,
-                symmetry_prev=symmetry_prev, observer=observer,
-            )
-            raw, status = search.run()
-            stats = search.stats
+                if self.config.candidate_backend == "list":
+                    from repro.core.backtrack_ref import (
+                        ListGuPSearch as search_cls,
+                    )
+                else:
+                    search_cls = GuPSearch
+                search = search_cls(
+                    gcs, config=self.config, limits=limits,
+                    symmetry_prev=symmetry_prev, observer=observer,
+                )
+                raw, status = search.run()
+                stats = search.stats
         elapsed = time.perf_counter() - search_started
 
         if sym_classes:
@@ -234,6 +257,52 @@ class GuPEngine:
             preprocessing_seconds=preprocessing,
             method="GuP",
         )
+
+    def explain(
+        self,
+        query: Graph,
+        mode: str = "plan",
+        limits: Optional[SearchLimits] = None,
+        workers: int = 1,
+    ):
+        """EXPLAIN (``mode="plan"``) / ANALYZE (``mode="analyze"``) a query.
+
+        Returns ``(report, result)``.  *Plan* performs the real GCS
+        build — matching order, filter stages, reservation generation —
+        and reports what the search *would* do without running it
+        (``result`` is ``None``).  *Analyze* then runs the ordinary
+        :meth:`match` on that very GCS and attributes the work exactly:
+        per-stage candidate counts, the guard-level pruning counters,
+        and (for ``workers > 1``) per-root-partition task wall-clock.
+
+        The differential rule is absolute: the returned ``result`` is
+        byte-identical (embeddings, :class:`SearchStats`, status) to an
+        unexplained ``match`` of the same query — every collector along
+        the way is read-only (``tests/test_explain_differential.py``).
+        """
+        if mode not in ("plan", "analyze"):
+            raise ValueError(
+                f"unknown explain mode {mode!r}; expected 'plan' or 'analyze'"
+            )
+        from repro.obs.explain import (
+            FilterStageLog,
+            analyze_report,
+            plan_report,
+        )
+
+        stage_log = FilterStageLog()
+        with span("engine.build", explain=mode):
+            gcs = self.build(query, stage_log=stage_log)
+        report = plan_report(gcs, self.config, stage_log)
+        if mode == "plan":
+            return report, None
+        tasks: list = []
+        result = self.match(
+            query, limits=limits, gcs=gcs, workers=workers,
+            task_collector=tasks,
+        )
+        analyze_report(report, result, tasks, workers=workers)
+        return report, result
 
     def match_many(
         self,

@@ -234,6 +234,7 @@ def build_gcs(
     artifacts: Optional["DataArtifacts"] = None,
     invariants: Optional[BuildInvariantCache] = None,
     seed_masks: Optional[Sequence[int]] = None,
+    stage_log=None,
 ) -> GuardedCandidateSpace:
     """Steps (1) and (2) of GuP (§3.1): GCS construction.
 
@@ -264,6 +265,10 @@ def build_gcs(
     is sound and complete for the restricted enumeration problem, so the
     search finds exactly the embeddings mapping ``u`` into the
     restriction.
+
+    ``stage_log`` (a :class:`repro.obs.explain.FilterStageLog`) records
+    per-stage candidate counts for EXPLAIN — a read-only observer, so a
+    logged build returns the identical GCS.
     """
     config = config or GuPConfig()
     started = time.perf_counter()
@@ -320,6 +325,7 @@ def build_gcs(
             base_masks=reordered_masks,
             dag=dag,
             kernels=kernels,
+            stage_log=stage_log,
         )
     else:
         reordered_base = [list(initial[old]) for old in order]
@@ -331,6 +337,13 @@ def build_gcs(
             reordered, data, method=config.filter_method,
             base=reordered_base, dag=dag,
         )
+        if stage_log is not None:
+            # The set pipeline is opaque to per-round hooks; record the
+            # seed and the filtered fixpoint (the stages that exist).
+            stage_log.record("seed", [len(c) for c in reordered_base])
+            stage_log.record(
+                "filtered", [len(c) for c in cs.candidates]
+            )
 
     if config.use_reservation:
         reservations = generate_reservation_guards(

@@ -42,6 +42,7 @@ only a (small) query graph.  ``GuPEngine.match_many`` wraps this.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -63,6 +64,7 @@ from repro.obs.log import (
     set_trace_context,
 )
 from repro.obs.metrics import CounterGroup
+from repro.obs.spans import current_span, set_base_span, span
 from repro.utils.timer import Deadline
 
 
@@ -98,6 +100,8 @@ class RootTaskResult:
     ran with ``collect=False``)."""
     status: TerminationStatus
     stats: SearchStats = field(default_factory=SearchStats)
+    elapsed_seconds: float = 0.0
+    """Wall-clock of this task's search (EXPLAIN ANALYZE attribution)."""
 
 
 def root_partition(gcs: GuardedCandidateSpace) -> List[RootTask]:
@@ -142,8 +146,10 @@ def run_root_task(
         nogoods=make_nogood_store(config.nogood_representation),
         symmetry_prev=symmetry_prev,
     )
+    started = time.perf_counter()
     raw, status = search.run(root_mask=task.mask)
-    return RootTaskResult(task.index, raw, status, search.stats)
+    elapsed = time.perf_counter() - started
+    return RootTaskResult(task.index, raw, status, search.stats, elapsed)
 
 
 def merge_root_results(
@@ -272,13 +278,16 @@ def _procpool_init(
     global _WORKER_CTX
     if obs_ctx is not None:
         # The request's (trace id, path-backed structured log, context
-        # fields) triple, shipped once per worker alongside the GCS:
-        # every task this worker runs logs under the trace — and the
-        # tenant — of the request that spawned the pool, so client
-        # attempt -> server handling -> worker execution share one id
-        # across the process boundary.
-        trace, log, fields = obs_ctx
+        # fields, parent span id) tuple, shipped once per worker
+        # alongside the GCS: every task this worker runs logs under the
+        # trace — and the tenant — of the request that spawned the
+        # pool, so client attempt -> server handling -> worker
+        # execution share one id across the process boundary; the
+        # parent span seeds this worker's span stack so task spans nest
+        # under the dispatching search span.
+        trace, log, fields, parent_span = obs_ctx
         set_trace_context(trace, log, fields)
+        set_base_span(parent_span)
     if cancel_event is not None:
         # Copy the base fields generically so future SearchLimits fields
         # can never be silently dropped inside pool workers.
@@ -305,7 +314,8 @@ def _procpool_task(index: int) -> RootTaskResult:
         # real BrokenProcessPool that run_partitioned must survive.
         faults.reach(f"procpool.task.{index}")
     task = RootTask(index, gcs.cs.candidates[0][index])
-    return run_root_task(gcs, task, config, limits, symmetry_prev)
+    with span("worker.task", index=index, vertex=task.vertex):
+        return run_root_task(gcs, task, config, limits, symmetry_prev)
 
 
 def run_partitioned(
@@ -315,6 +325,7 @@ def run_partitioned(
     workers: int,
     symmetry_prev: Optional[Sequence[int]] = None,
     faults=None,
+    task_collector: Optional[List[dict]] = None,
 ) -> Tuple[List[Tuple[int, ...]], TerminationStatus, SearchStats]:
     """Root-partitioned search over a process pool.
 
@@ -337,17 +348,25 @@ def run_partitioned(
     ``faults`` is an optional :class:`repro.service.faults.FaultPlan`
     shipped to the first pool's workers (hook ``procpool.task.<i>``);
     the respawned pool runs fault-free, modeling a transient crash.
+
+    ``task_collector`` (a list) receives one summary dict per executed
+    root task, in root order — the per-partition wall-clock attribution
+    EXPLAIN ANALYZE reports.  Observation only; results are unchanged.
     """
     # Observability context of the calling thread: the trace id always
     # travels; the structured log only when path-backed (an in-memory
-    # log cannot report back across the process boundary).
+    # log cannot report back across the process boundary).  The current
+    # span (the engine's search span) rides along as the parent for the
+    # workers' task spans.
     trace = current_trace()
     log = current_log()
     fields = current_fields()
+    parent_span = current_span()
     obs_ctx = None
     if trace is not None or log is not None or fields:
         obs_ctx = (
-            trace, log if log is not None and log.path else None, fields
+            trace, log if log is not None and log.path else None, fields,
+            parent_span,
         )
 
     tasks = root_partition(gcs)
@@ -372,6 +391,20 @@ def run_partitioned(
             stop is not None and found >= stop
         ) or result.status is TerminationStatus.TIMEOUT
 
+    def collect_tasks(results: Sequence[RootTaskResult]) -> None:
+        if task_collector is None:
+            return
+        roots = gcs.cs.candidates[0]
+        for result in sorted(results, key=lambda r: r.index):
+            task_collector.append({
+                "index": result.index,
+                "vertex": roots[result.index],
+                "elapsed_seconds": round(result.elapsed_seconds, 6),
+                "embeddings_found": result.stats.embeddings_found,
+                "recursions": result.stats.recursions,
+                "status": result.status.value,
+            })
+
     if workers <= 1 or len(tasks) == 1:
         results: List[RootTaskResult] = []
         found = 0
@@ -381,6 +414,7 @@ def run_partitioned(
             found += result.stats.embeddings_found
             if merge_would_break(found, result):
                 break
+        collect_tasks(results)
         return merge_root_results(results, gcs, limits)
 
     completed: Dict[int, RootTaskResult] = {}
@@ -462,6 +496,7 @@ def run_partitioned(
         POOL_COUNTERS.inc("tasks_rerun", rerun)
         if log is not None:
             log.emit("procpool.respawn", trace=trace, tasks_rerun=rerun)
+    collect_tasks(list(completed.values()))
     return merge_root_results(list(completed.values()), gcs, limits)
 
 

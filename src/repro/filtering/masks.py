@@ -83,6 +83,7 @@ def dag_graph_dp_masks(
     max_rounds: int = 3,
     dag: Optional[QueryDag] = None,
     ops=None,
+    stage_log=None,
 ) -> List[int]:
     """Mask twin of :func:`repro.filtering.dagdp.dag_graph_dp`.
 
@@ -96,6 +97,11 @@ def dag_graph_dp_masks(
     :mod:`repro.filtering.mask_kernels`); the sweep schedule itself is
     single-copy and backend-independent, which is what makes the two
     mask backends structurally — not just observably — identical.
+
+    ``stage_log`` (a :class:`repro.obs.explain.FilterStageLog`) records
+    the surviving-candidate popcounts after each executed round plus
+    the swept DAG — reads only, so a logged run is identical to a plain
+    one.
     """
     n = query.num_vertices
     if n == 0:
@@ -105,6 +111,8 @@ def dag_graph_dp_masks(
     masks = list(base_masks)
     if dag is None:
         dag = build_query_dag(query, [m.bit_count() for m in masks])
+    if stage_log is not None:
+        stage_log.set_dag(dag)
     parents, children = dag.parents, dag.children
     bottom_up = dag.reverse_topological()
     top_down = dag.topological
@@ -131,9 +139,11 @@ def dag_graph_dp_masks(
                     dirty_down[c] = True
         return changed
 
-    for _ in range(max_rounds):
+    for round_no in range(max_rounds):
         removed_up = sweep(bottom_up, children, dirty_up)
         removed_down = sweep(top_down, parents, dirty_down)
+        if stage_log is not None:
+            stage_log.record_masks(f"dagdp.round{round_no + 1}", masks)
         if not removed_up and not removed_down:
             break
     return masks
@@ -236,6 +246,7 @@ def build_candidate_space_masks(
     base_masks: Optional[Sequence[int]] = None,
     dag: Optional[QueryDag] = None,
     kernels=None,
+    stage_log=None,
 ) -> CandidateSpace:
     """Mask twin of :func:`repro.filtering.candidate_space.build_candidate_space`.
 
@@ -256,6 +267,8 @@ def build_candidate_space_masks(
         base_masks = artifacts.nlf_candidate_masks(query, kernels=kernels)
     adjacency = artifacts.adjacency_bitmaps
     ops = artifacts.adjacency_ops(kernels)
+    if stage_log is not None:
+        stage_log.record_masks("seed", base_masks)
     if method == "ldf":
         masks = artifacts.ldf_candidate_masks(query, kernels=kernels)
     elif method == "nlf":
@@ -263,14 +276,21 @@ def build_candidate_space_masks(
     elif method == "nlf2":
         masks = nlf2_candidate_masks(query, artifacts, base_masks)
     elif method == "dagdp":
-        masks = dag_graph_dp_masks(query, adjacency, base_masks, dag=dag, ops=ops)
+        masks = dag_graph_dp_masks(
+            query, adjacency, base_masks, dag=dag, ops=ops,
+            stage_log=stage_log,
+        )
     elif method == "gql":
         masks = gql_candidate_masks(query, artifacts, base_masks)
     else:
         from repro.filtering.candidate_space import FILTERS
 
         raise ValueError(f"unknown filter {method!r}; expected one of {FILTERS}")
+    if stage_log is not None and method != "dagdp":
+        stage_log.record_masks(method, masks)
     masks = consistency_prune_masks(query, adjacency, masks, ops=ops)
+    if stage_log is not None:
+        stage_log.record_masks("consistency", masks)
     return CandidateSpace(
         query,
         data,

@@ -13,6 +13,13 @@ Three pieces, designed to be cheap enough to stay on by default
 * :mod:`repro.obs.profile` — a sampling
   :class:`~repro.analysis.trace.SearchObserver` for ``profile=true``
   queries.
+* :mod:`repro.obs.spans` — hierarchical timed spans on top of the
+  structured log, reconstructable into one causal tree per trace id and
+  exportable as Chrome trace-event JSON (``repro trace``).
+* :mod:`repro.obs.explain` — EXPLAIN/ANALYZE report builders: matching
+  order + scores + guard inventory (plan) and exact per-stage /
+  per-guard / per-worker work attribution (analyze), persisted as a
+  versioned ``analyze.json`` catalog sidecar.
 
 :class:`Observability` bundles a registry + log + enabled flag; the
 server owns one and threads it everywhere.
@@ -22,6 +29,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.explain import (
+    ANALYZE_SIDECAR_VERSION,
+    FilterStageLog,
+)
 from repro.obs.log import (
     StructuredLog,
     current_fields,
@@ -38,21 +49,43 @@ from repro.obs.metrics import (
     parse_exposition,
 )
 from repro.obs.profile import SamplingProfiler
+from repro.obs.spans import (
+    build_chrome_trace,
+    current_span,
+    emit_span,
+    new_span_id,
+    set_base_span,
+    span,
+    span_scope,
+    spans_for_trace,
+    validate_span_tree,
+)
 
 __all__ = [
+    "ANALYZE_SIDECAR_VERSION",
     "CounterGroup",
     "DEFAULT_BUCKETS",
+    "FilterStageLog",
     "MetricsRegistry",
     "Observability",
     "SamplingProfiler",
     "StructuredLog",
+    "build_chrome_trace",
     "current_fields",
     "current_log",
+    "current_span",
     "current_trace",
+    "emit_span",
+    "new_span_id",
     "new_trace_id",
     "parse_exposition",
+    "set_base_span",
     "set_trace_context",
+    "span",
+    "span_scope",
+    "spans_for_trace",
     "trace_context",
+    "validate_span_tree",
 ]
 
 

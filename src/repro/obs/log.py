@@ -19,6 +19,13 @@ Trace context is thread-local: the server wraps the execution of a
 request in :func:`trace_context` and everything below it — engine,
 procpool dispatch, fault hooks — reads :func:`current_trace` /
 :func:`current_log` without signature churn.
+
+Terminology: these trace ids (and the timed spans of
+:mod:`repro.obs.spans` that ride on them) describe the *serving stack*
+around a request.  They are unrelated to
+:class:`repro.analysis.trace.TraceRecorder`, which records the
+Algorithm-2 search event stream (descend / conflict / embedding) of
+one in-process matching run.
 """
 
 from __future__ import annotations
@@ -92,6 +99,51 @@ class StructuredLog:
                 self._stream.write(line)
                 self._stream.flush()
             return record
+
+    def emit_many(
+        self, event: str, batch: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Emit several records of one event kind in a single pass.
+
+        The per-record bookkeeping ``emit`` pays — wall-clock stamp,
+        pid, thread-context lookups, the sink lock — is paid once for
+        the whole batch.  This sits on the query hot path: the server
+        closes three phase spans per served request, and emitting them
+        one by one shows up in the ≤5% observability overhead budget.
+        """
+        ts = round(time.time(), 6)
+        pid = os.getpid()
+        ctx_trace = current_trace()
+        ctx_fields = current_fields()
+        out: List[Dict[str, Any]] = []
+        for fields in batch:
+            record: Dict[str, Any] = {"ts": ts, "event": event}
+            trace = fields.pop("trace", None) or ctx_trace
+            if trace:
+                record["trace"] = trace
+            record["pid"] = pid
+            record.update(fields)
+            if ctx_fields:
+                for key, value in ctx_fields.items():
+                    record.setdefault(key, value)
+            out.append(record)
+        if self.path is None and self._stream is None:
+            with self._lock:
+                self.records.extend(out)
+            return out
+        lines = "".join(
+            json.dumps(r, sort_keys=True, default=str) + "\n" for r in out
+        )
+        with self._lock:
+            if self.path is not None:
+                if self._file is None:
+                    self._file = open(self.path, "a", encoding="utf-8")
+                self._file.write(lines)
+                self._file.flush()
+            elif self._stream is not None:
+                self._stream.write(lines)
+                self._stream.flush()
+            return out
 
     def close(self) -> None:
         with self._lock:

@@ -1,0 +1,270 @@
+"""Hierarchical timed spans over the structured log (causal tracing).
+
+PR 8's trace ids answer *which* log lines belong to one request; spans
+answer *where the time went inside it*.  A span is (id, parent id,
+name, monotonic start, duration, attrs), carried on a thread-local
+stack next to :mod:`repro.obs.log`'s trace context and emitted as one
+ordinary structured-log line (``event="span"``) when the span closes —
+so spans ride the existing transport for free: the same ``O_APPEND``
+JSON-lines file, the same pickle-once procpool initializer, the same
+trace stamping.  When no log is bound to the thread a span costs two
+``time.monotonic()`` calls and nothing else.
+
+Timestamps are ``time.monotonic()``: on Linux that is CLOCK_MONOTONIC,
+which is system-wide, so spans emitted by the server process and by
+procpool worker *processes* share one clock and nest correctly in the
+exported timeline.  Cross-process parenting works like trace ids do:
+:func:`repro.core.procpool.run_partitioned` captures
+:func:`current_span` (the engine's search span) into the worker
+initializer context and each worker seeds its stack with
+:func:`set_base_span`, so per-root-partition task spans are children
+of the search phase span that dispatched them.
+
+Reconstruction: :func:`spans_for_trace` collects one trace's span
+records from a log, :func:`build_chrome_trace` converts them to the
+Chrome trace-event JSON that ``chrome://tracing`` and Perfetto open
+directly, and :func:`validate_span_tree` checks the causal tree (every
+parent resolves, one root per trace) — the CI smoke runs all three
+against a live served query.
+
+Not to be confused with :class:`repro.analysis.trace.TraceRecorder`,
+which records the *Algorithm-2 search event stream* (descend / conflict
+/ embedding) of one in-process run; obs trace ids and spans describe
+the serving stack around the search, not the search tree itself.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.log import StructuredLog, current_log
+
+_local = threading.local()
+
+SPAN_EVENT = "span"
+"""The structured-log event name every closed span is emitted under."""
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span id (unique within a trace)."""
+    return os.urandom(4).hex()
+
+
+def _stack() -> List[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_span() -> Optional[str]:
+    """The innermost open span id on this thread (None outside spans)."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+def set_base_span(span_id: Optional[str]) -> None:
+    """Seed this thread's span stack with an externally-created parent.
+
+    Worker-lifetime analogue of :func:`repro.obs.log.set_trace_context`:
+    the procpool initializer calls it once per worker process so every
+    task span the worker opens parents to the dispatching search span.
+    """
+    _local.stack = [span_id] if span_id else []
+
+
+class span_scope:
+    """Install ``parent`` as the span stack for a ``with`` block.
+
+    Executor threads are reused across requests, so a request handler
+    must not leave its span stack behind; this saves and restores the
+    whole stack (unlike :func:`set_base_span`, which is deliberately
+    sticky for worker processes).
+    """
+
+    __slots__ = ("parent", "_prev")
+
+    def __init__(self, parent: Optional[str]) -> None:
+        self.parent = parent
+        self._prev: Optional[List[str]] = None
+
+    def __enter__(self) -> "span_scope":
+        self._prev = getattr(_local, "stack", None)
+        _local.stack = [self.parent] if self.parent else []
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _local.stack = self._prev
+
+
+class span:
+    """Context manager timing one named phase as a child of the current span.
+
+    The id/parent are resolved at ``__enter__``; one ``event="span"``
+    log line is emitted at ``__exit__`` iff a structured log is bound
+    to the thread (:func:`repro.obs.log.current_log`), stamped with the
+    bound trace id like every other line.  Attrs must be JSON-friendly.
+    """
+
+    __slots__ = ("name", "attrs", "id", "parent", "t0")
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.id: Optional[str] = None
+        self.parent: Optional[str] = None
+        self.t0 = 0.0
+
+    def __enter__(self) -> "span":
+        stack = _stack()
+        self.parent = stack[-1] if stack else None
+        self.id = new_span_id()
+        stack.append(self.id)
+        self.t0 = time.monotonic()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        dur = time.monotonic() - self.t0
+        stack = getattr(_local, "stack", None)
+        if stack and stack[-1] == self.id:
+            stack.pop()
+        log = current_log()
+        if log is not None:
+            emit_span(
+                log, self.name, self.id, self.parent, self.t0, dur,
+                **self.attrs,
+            )
+
+
+def emit_span(
+    log: StructuredLog,
+    name: str,
+    span_id: str,
+    parent: Optional[str],
+    t0: float,
+    dur: float,
+    trace: Optional[str] = None,
+    **attrs: Any,
+) -> None:
+    """Low-level span emission for phases timed without a live ``span``.
+
+    The server measures queue wait inside the admission path and only
+    later (on the request's executor thread) knows the request span —
+    this writes the same record shape a closing :class:`span` would.
+    """
+    record = {
+        "name": name,
+        "span": span_id,
+        "parent": parent,
+        "t0": round(t0, 6),
+        "dur": round(dur, 6),
+    }
+    record.update(attrs)
+    if trace is not None:
+        record["trace"] = trace
+    log.emit(SPAN_EVENT, **record)
+
+
+def emit_spans(
+    log: StructuredLog,
+    spans: Sequence[Dict[str, Any]],
+    trace: Optional[str] = None,
+) -> None:
+    """Batch form of :func:`emit_span` — one log pass for all records.
+
+    ``spans`` holds ready-made record dicts (``name``/``span``/
+    ``parent``/``t0``/``dur`` plus attrs); the shared ``trace`` is
+    stamped onto each.  The server closes its per-request phase spans
+    through this so the hot path pays the log bookkeeping once.
+    """
+    if trace is not None:
+        for record in spans:
+            record.setdefault("trace", trace)
+    log.emit_many(SPAN_EVENT, list(spans))
+
+
+# ----------------------------------------------------------------------
+# Reconstruction: log records -> causal tree -> Chrome trace JSON
+# ----------------------------------------------------------------------
+
+
+def spans_for_trace(
+    records: Sequence[Dict[str, Any]], trace: str
+) -> List[Dict[str, Any]]:
+    """The ``event="span"`` records of one trace, sorted by start time."""
+    spans = [
+        r for r in records
+        if r.get("event") == SPAN_EVENT and r.get("trace") == trace
+    ]
+    spans.sort(key=lambda r: (r.get("t0", 0.0), r.get("span", "")))
+    return spans
+
+
+def build_chrome_trace(spans: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Spans -> Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
+
+    Each span becomes one complete ("X") event; ``ts``/``dur`` are the
+    shared monotonic clock in microseconds, ``pid``/``tid`` come from
+    the emitting process so worker rows separate visually, and the span
+    / parent ids ride in ``args`` for programmatic consumers.
+    """
+    events = []
+    for record in spans:
+        events.append({
+            "name": record.get("name", "?"),
+            "ph": "X",
+            "ts": round(record.get("t0", 0.0) * 1e6, 1),
+            "dur": round(record.get("dur", 0.0) * 1e6, 1),
+            "pid": record.get("pid", 0),
+            "tid": record.get("pid", 0),
+            "cat": "repro",
+            "args": {
+                key: value
+                for key, value in record.items()
+                if key not in ("event", "name", "t0", "dur", "ts")
+            },
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_span_tree(spans: Sequence[Dict[str, Any]]) -> List[str]:
+    """Structural checks on one trace's spans; returns problem strings.
+
+    Valid means: at least one span, unique span ids, every non-null
+    parent resolves to another span in the set, and exactly one root —
+    client attempt through procpool worker tasks form a single causal
+    tree under the trace id.
+    """
+    problems: List[str] = []
+    if not spans:
+        return ["no spans"]
+    ids = [r.get("span") for r in spans]
+    if None in ids or "" in ids:
+        problems.append("span record without a span id")
+    if len(set(ids)) != len(ids):
+        problems.append("duplicate span ids")
+    known = set(ids)
+    roots = []
+    for record in spans:
+        parent = record.get("parent")
+        if parent is None:
+            roots.append(record)
+        elif parent not in known:
+            problems.append(
+                f"span {record.get('span')} ({record.get('name')}) has "
+                f"unresolved parent {parent}"
+            )
+    if len(roots) != 1:
+        names = [r.get("name") for r in roots]
+        problems.append(f"expected exactly one root span, got {names}")
+    return problems
+
+
+def children_of(
+    spans: Sequence[Dict[str, Any]], span_id: Optional[str]
+) -> List[Dict[str, Any]]:
+    """Direct children of ``span_id`` (tests and validators)."""
+    return [r for r in spans if r.get("parent") == span_id]

@@ -67,6 +67,10 @@ from repro.filtering.artifacts import (
 )
 from repro.graph.graph import Graph
 from repro.graph.io import graph_checksum, load_graph, loads_graph, saves_graph
+from repro.obs.explain import (
+    ANALYZE_SIDECAR_MAX_RECORDS,
+    ANALYZE_SIDECAR_VERSION,
+)
 from repro.obs.metrics import CounterGroup
 from repro.service.faults import NO_FAULTS, FaultPlan
 
@@ -76,6 +80,7 @@ GRAPH_FILE = "graph.graph"
 ARTIFACTS_FILE = "artifacts.bin"
 META_FILE = "meta.json"
 JOURNAL_FILE = "journal.json"
+ANALYZE_FILE = "analyze.json"
 TMP_SUFFIX = ".tmp"
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
@@ -694,6 +699,79 @@ class GraphCatalog:
         except (OSError, ValueError):
             return False
         return isinstance(journal, dict) and journal.get("op") == "remove"
+
+    # -- analyze sidecar (EXPLAIN ANALYZE feature corpus) --------------
+
+    def store_analysis(
+        self, name: str, record: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Append one EXPLAIN ANALYZE record to the entry's sidecar."""
+        return self.store_analyses(name, [record])
+
+    def store_analyses(
+        self, name: str, new_records: List[Dict[str, object]]
+    ) -> Dict[str, object]:
+        """Append EXPLAIN ANALYZE records in one sidecar rewrite.
+
+        The rewrite is O(full sidecar), so the server's background
+        writer batches a burst of analyzed queries into a single call
+        per entry rather than paying one rewrite per query.
+
+        ``analyze.json`` is *derived observational data* and deliberately
+        lives outside the journaled three-file transaction — losing it
+        in a crash loses telemetry, not truth.  The write is atomic
+        (tmp + rename) so readers never observe a torn file, but skips
+        the fsyncs the graph artifacts pay: this runs on the serving
+        hot path for every analyzed query, and an fsync costs more than
+        the analyze itself — a power cut may lose the newest records,
+        never corrupt the file.  Keeps the newest
+        :data:`~repro.obs.explain.ANALYZE_SIDECAR_MAX_RECORDS` records,
+        oldest dropped first.  Returns the sidecar as written.
+        """
+        directory = self._entry_dir(name)
+        with self._lock:
+            if not (directory / META_FILE).exists():
+                raise CatalogError(f"unknown catalog entry {name!r}")
+            sidecar = self._read_analysis(directory)
+            records = sidecar["records"]
+            records.extend(new_records)
+            del records[:-ANALYZE_SIDECAR_MAX_RECORDS]
+            blob = (json.dumps(sidecar, sort_keys=True) + "\n").encode(
+                "utf-8"
+            )
+            tmp = directory / (ANALYZE_FILE + TMP_SUFFIX)
+            tmp.write_bytes(blob)
+            os.replace(tmp, directory / ANALYZE_FILE)
+            return sidecar
+
+    def load_analysis(self, name: str) -> Dict[str, object]:
+        """The entry's ``analyze.json`` sidecar.
+
+        Missing, unreadable, or wrong-schema-version sidecars all yield
+        a fresh empty shell — the sidecar is best-effort by design and
+        a version bump invalidates old records wholesale.
+        """
+        directory = self._entry_dir(name)
+        with self._lock:
+            if not (directory / META_FILE).exists():
+                raise CatalogError(f"unknown catalog entry {name!r}")
+            return self._read_analysis(directory)
+
+    @staticmethod
+    def _read_analysis(directory: Path) -> Dict[str, object]:
+        try:
+            sidecar = json.loads(
+                (directory / ANALYZE_FILE).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            sidecar = None
+        if (
+            not isinstance(sidecar, dict)
+            or sidecar.get("version") != ANALYZE_SIDECAR_VERSION
+            or not isinstance(sidecar.get("records"), list)
+        ):
+            return {"version": ANALYZE_SIDECAR_VERSION, "records": []}
+        return sidecar
 
     # -- internals -----------------------------------------------------
 

@@ -36,7 +36,8 @@ from typing import Callable, Dict, List, Optional, Tuple, TypeVar, Union
 
 from repro.graph.graph import Graph
 from repro.graph.io import saves_graph
-from repro.obs.log import StructuredLog, new_trace_id
+from repro.obs.log import StructuredLog, new_trace_id, trace_context
+from repro.obs.spans import span
 from repro.service.server import DEFAULT_PORT
 
 T = TypeVar("T")
@@ -131,7 +132,8 @@ class QueryReply:
     ``server_seconds`` (total server-side handling); ``trace`` is the
     request's trace id — the one its structured log lines share across
     client, server, and pool workers; ``profile`` is the sampling-
-    profiler summary when the query ran with ``profile=``.
+    profiler summary when the query ran with ``profile=``; ``explain``
+    is the EXPLAIN/ANALYZE report when the query ran with ``explain=``.
     """
 
     num_embeddings: int
@@ -144,6 +146,7 @@ class QueryReply:
     server_seconds: float = 0.0
     trace: Optional[str] = None
     profile: Optional[Dict] = None
+    explain: Optional[Dict] = None
 
 
 @dataclass
@@ -469,6 +472,7 @@ class ServiceClient:
         priority: Optional[str] = None,
         deadline: Optional[float] = None,
         profile: Union[bool, int] = False,
+        explain: Optional[str] = None,
     ) -> QueryReply:
         """Match ``graph`` (a :class:`Graph` or ``.graph`` text) against
         the catalog entry ``data``; collects the streamed chunks.
@@ -480,11 +484,17 @@ class ServiceClient:
         ``time_limit`` (tightened against an explicit ``time_limit``),
         and no retry starts once the budget is spent.  ``profile``
         (``True`` or a sampling stride) attaches the server's search
-        profiler summary to the reply.
+        profiler summary to the reply.  ``explain`` (``"plan"`` or
+        ``"analyze"``) attaches the server's EXPLAIN/ANALYZE report —
+        ``"plan"`` replies with zero embeddings (the plan only),
+        ``"analyze"`` runs the real search cache-bypassed.
 
         One trace id is generated per *call* and sent with every
         attempt, so a retried query's client attempts, server handling,
-        and pool worker executions all log under the same id.
+        and pool worker executions all log under the same id.  Each
+        attempt additionally opens a ``client.attempt`` span and sends
+        its id, which the server's request span adopts as parent — the
+        exported span tree covers the full round trip.
         """
         text = saves_graph(graph) if isinstance(graph, Graph) else str(graph)
         trace = new_trace_id()
@@ -495,6 +505,8 @@ class ServiceClient:
             payload["tenant"] = self.tenant
         if profile:
             payload["profile"] = profile
+        if explain is not None:
+            payload["explain"] = explain
         if limit is not None:
             payload["limit"] = limit
         if recursion_limit is not None:
@@ -530,16 +542,27 @@ class ServiceClient:
                 )
             if budget is not None:
                 payload["time_limit"] = budget
-            header = self.request(payload)
-            embeddings: List[Tuple[int, ...]] = []
-            for _ in range(int(header.get("chunks", 0))):
-                message = self._recv()
-                if "chunk" not in message:
-                    raise ServiceError("missing chunk in streamed response")
-                embeddings.extend(tuple(e) for e in message["chunk"])
-            trailer = self._recv()
-            if not trailer.get("end"):
-                raise ServiceError("missing end-of-stream marker")
+            # The attempt span brackets send → last streamed chunk; its
+            # id travels in the payload so the server parents under it —
+            # but only when this client has a log to emit the span to:
+            # advertising a parent that is never written would leave the
+            # server-side tree rootless with an unresolved parent.
+            with trace_context(trace, self.log), \
+                    span("client.attempt", attempt=attempts[0]) as att:
+                if self.log is not None:
+                    payload["span"] = att.id
+                header = self.request(payload)
+                embeddings: List[Tuple[int, ...]] = []
+                for _ in range(int(header.get("chunks", 0))):
+                    message = self._recv()
+                    if "chunk" not in message:
+                        raise ServiceError(
+                            "missing chunk in streamed response"
+                        )
+                    embeddings.extend(tuple(e) for e in message["chunk"])
+                trailer = self._recv()
+                if not trailer.get("end"):
+                    raise ServiceError("missing end-of-stream marker")
             return QueryReply(
                 num_embeddings=int(header["num_embeddings"]),
                 status=str(header["status"]),
@@ -551,6 +574,7 @@ class ServiceClient:
                 server_seconds=float(header.get("server_seconds", 0.0)),
                 trace=header.get("trace", trace),
                 profile=header.get("profile"),
+                explain=header.get("explain"),
             )
 
         return self._with_retry(attempt, deadline_at=deadline_at)

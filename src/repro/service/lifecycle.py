@@ -53,6 +53,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.matching.limits import SearchLimits
 from repro.matching.result import TerminationStatus
+from repro.obs import new_trace_id
 from repro.service.catalog import CatalogError
 from repro.service.faults import InjectedCrash
 
@@ -131,6 +132,10 @@ class LifecycleManager:
         if self.state == STOPPED:
             raise RuntimeError("server is stopped")
         assert server._update_lock is not None, "start() first"
+        # One trace id per reload: the reload event and every replayed
+        # subscription delta carry it, so an operator can attribute a
+        # surprise diff to the reload that caused it.
+        trace = new_trace_id()
         loop = asyncio.get_running_loop()
         async with server._update_lock:
             prev = self.state
@@ -158,7 +163,9 @@ class LifecycleManager:
                         with server._counters_lock:
                             server._caches.pop(name, None)
                             server._cache_epochs.pop(name, None)
-                replayed = await self._replay_subscriptions(report)
+                replayed = await self._replay_subscriptions(
+                    report, trace=trace
+                )
                 await self._afault("lifecycle.reload.replay")
             finally:
                 if self.state == RELOADING:
@@ -167,7 +174,11 @@ class LifecycleManager:
             await self._afault("lifecycle.reload.commit")
         server.obs.emit(
             "reload",
+            trace=trace,
             entries={name: info["action"] for name, info in report.items()},
+            epochs={
+                name: info.get("epoch") for name, info in report.items()
+            },
             replayed=replayed,
         )
         logger.info(
@@ -178,7 +189,7 @@ class LifecycleManager:
         return report, replayed
 
     async def _replay_subscriptions(
-        self, report: Dict[str, Dict[str, object]]
+        self, report: Dict[str, Dict[str, object]], trace=None
     ) -> int:
         """Re-attach standing subscriptions across the epoch boundary.
 
@@ -273,6 +284,7 @@ class LifecycleManager:
                         "subscription": sub.id,
                         "data": name,
                         "epoch": epoch,
+                        "trace": trace,
                         "added": [list(e) for e in added],
                         "removed": [list(e) for e in removed],
                         "reload": True,

@@ -306,6 +306,61 @@ class QueryCache:
             self.counters["hits"] += 1
             return served, form
 
+    def peek(self, query: Graph, limits: SearchLimits) -> Dict[str, object]:
+        """EXPLAIN's view of the serve decision — observe, never serve.
+
+        Mirrors :meth:`_serve`'s decision logic without materializing
+        embeddings, bumping any counter, or touching LRU order, so an
+        EXPLAIN (plan) request reports exactly what a real request would
+        get from the cache while leaving the cache byte-identical.
+        """
+        form = canonical_form(query, self.leaf_budget)
+        with self._lock:
+            entry = self._entries.get(form.key)
+            report: Dict[str, object] = {"exact_key": form.exact}
+            if entry is None:
+                report.update(decision="miss", reason="absent")
+                return report
+            report.update(
+                entry_complete=entry.complete,
+                cached_embeddings=entry.total,
+            )
+            cap = limits.max_embeddings
+            stop = None if cap is None else max(cap, 1)
+            if limits.collect and not entry.has_embeddings:
+                report.update(decision="miss", reason="count_only_entry")
+            elif entry.complete:
+                if stop is not None and entry.total >= stop:
+                    if self.cap_serving:
+                        report.update(
+                            decision="hit", served="truncated",
+                            num_embeddings=stop,
+                        )
+                    else:
+                        report.update(
+                            decision="miss", reason="cap_serving_disabled"
+                        )
+                else:
+                    report.update(
+                        decision="hit", served="complete",
+                        num_embeddings=entry.total,
+                    )
+            elif stop is None:
+                report.update(
+                    decision="miss", reason="truncated_entry_uncapped_request"
+                )
+            elif not self.cap_serving:
+                report.update(decision="miss", reason="cap_serving_disabled")
+            elif stop > max(entry.cap or 0, 1):
+                report.update(
+                    decision="miss", reason="cached_truncation_too_short"
+                )
+            else:
+                report.update(
+                    decision="hit", served="truncated", num_embeddings=stop
+                )
+            return report
+
     def store(
         self,
         form: CanonicalForm,

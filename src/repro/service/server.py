@@ -116,6 +116,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import queue
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -128,9 +129,11 @@ from repro.filtering.artifacts import DataArtifacts
 from repro.graph.graph import Graph
 from repro.graph.io import loads_graph
 from repro.matching.limits import SearchLimits
-from repro.matching.result import MatchResult, TerminationStatus
+from repro.matching.result import MatchResult, SearchStats, TerminationStatus
 from repro.obs import Observability, SamplingProfiler, new_trace_id, trace_context
+from repro.obs.explain import sidecar_record
 from repro.obs.metrics import CounterGroup
+from repro.obs.spans import emit_spans, new_span_id, span_scope
 from repro.service.catalog import CatalogError, GraphCatalog
 from repro.service.faults import NO_FAULTS, FaultPlan, InjectedCrash
 from repro.service.lifecycle import (
@@ -285,6 +288,14 @@ class MatchingServer:
         self._subs: Dict[str, Dict[int, _Subscription]] = {}
         self._next_sub_id = 1
         self._update_lock: Optional[asyncio.Lock] = None
+        # EXPLAIN ANALYZE sidecar persistence happens off the request
+        # path: rewriting a full 64-record analyze.json costs multiples
+        # of the analyze itself, so query threads enqueue the distilled
+        # record here and a lazily-started daemon writes it out;
+        # aclose() drains the queue so a stopped server has flushed
+        # every record.
+        self._analysis_queue: "queue.Queue" = queue.Queue()
+        self._analysis_thread: Optional[threading.Thread] = None
 
     # -- observability (DESIGN.md §12) ---------------------------------
 
@@ -476,7 +487,67 @@ class MatchingServer:
         if self._aux_executor is not None:
             self._aux_executor.shutdown(wait=False, cancel_futures=True)
             self._aux_executor = None
+        if self._analysis_thread is not None:
+            # FIFO queue: the sentinel lands behind every pending
+            # record, so joining here means the sidecar holds every
+            # analyze the server acknowledged.
+            self._analysis_queue.put(None)
+            self._analysis_thread.join(timeout=10.0)
+            self._analysis_thread = None
         self.lifecycle.state = STOPPED
+
+    def _enqueue_analysis(self, name: str, record: Dict) -> None:
+        """Queue one analyze record for the background sidecar writer."""
+        with self._counters_lock:
+            if self._analysis_thread is None:
+                self._analysis_thread = threading.Thread(
+                    target=self._analysis_writer,
+                    name="analysis-writer",
+                    daemon=True,
+                )
+                self._analysis_thread.start()
+        self._analysis_queue.put((name, record))
+
+    def _analysis_writer(self) -> None:
+        while True:
+            item = self._analysis_queue.get()
+            if item is None:
+                return
+            batch = [item]
+            stop = False
+            # Debounce: the sidecar rewrite is O(full file), so a burst
+            # of analyzed queries coalesces into one rewrite per entry
+            # — per-record writes would let the writer's GIL time tax
+            # the very queries whose work it records.
+            deadline = time.monotonic() + 0.05
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._analysis_queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    stop = True
+                    break
+                batch.append(nxt)
+            by_name: Dict[str, List[Dict]] = {}
+            for name, record in batch:
+                by_name.setdefault(name, []).append(record)
+            for name, records in by_name.items():
+                try:
+                    self.catalog.store_analyses(name, records)
+                except (CatalogError, OSError) as exc:
+                    # Derived telemetry: a lost write is reported on
+                    # the obs stream, never surfaced to (or failing)
+                    # the queries that produced it — long answered.
+                    self.obs.emit(
+                        "analysis_sidecar_error", data=name,
+                        error=str(exc),
+                    )
+            if stop:
+                return
 
     # -- connection handling -------------------------------------------
 
@@ -754,6 +825,12 @@ class MatchingServer:
                 writer, {"ok": False, "error": "update needs 'name' and 'delta'"}
             )
             return
+        # Same trace discipline as queries: honor the client's id, else
+        # generate one — the update event and every subscriber delta it
+        # fans out to carry it, so a diff can be traced to its cause.
+        trace = request.get("trace")
+        if not isinstance(trace, str) or not (1 <= len(trace) <= 64):
+            trace = new_trace_id()
         loop = asyncio.get_running_loop()
         assert self._update_lock is not None
 
@@ -785,11 +862,13 @@ class MatchingServer:
             if cache is not None:
                 kept, evicted = cache.invalidate_labels(summary.touched_labels)
 
-            notified = await self._notify_subscribers(name, info, summary)
+            notified = await self._notify_subscribers(
+                name, info, summary, trace=trace
+            )
 
         self._bump("updates")
         self.obs.emit(
-            "update", data=name, epoch=info.get("epoch"),
+            "update", trace=trace, data=name, epoch=info.get("epoch"),
             qcache_kept=kept, qcache_evicted=evicted,
             subscribers_notified=notified,
         )
@@ -802,11 +881,12 @@ class MatchingServer:
                 "qcache_kept": kept,
                 "qcache_evicted": evicted,
                 "subscribers_notified": notified,
+                "trace": trace,
             },
         )
 
     async def _notify_subscribers(
-        self, name: str, info: Dict, summary
+        self, name: str, info: Dict, summary, trace: Optional[str] = None
     ) -> int:
         """Push the exact embedding diff to every subscriber of ``name``."""
         with self._counters_lock:
@@ -853,6 +933,7 @@ class MatchingServer:
                     "subscription": sub.id,
                     "data": name,
                     "epoch": info.get("epoch"),
+                    "trace": trace,
                     "added": [list(e) for e in diff.added],
                     "removed": [list(e) for e in diff.removed],
                 },
@@ -874,6 +955,9 @@ class MatchingServer:
                 {"ok": False, "error": "subscribe needs 'data' and 'graph'"},
             )
             return
+        trace = request.get("trace")
+        if not isinstance(trace, str) or not (1 <= len(trace) <= 64):
+            trace = new_trace_id()
         try:
             query = loads_graph(text)
         except ValueError as exc:
@@ -949,6 +1033,11 @@ class MatchingServer:
             except CatalogError:
                 epoch = None
             sub.epoch = epoch
+            self.obs.emit(
+                "subscribe", trace=trace, data=name, subscription=sub_id,
+                epoch=epoch, num_embeddings=len(matches),
+                tenant=tstate.spec.name,
+            )
             embeddings = sorted(matches)
             chunk_count = (
                 len(embeddings) + self.chunk_size - 1
@@ -961,6 +1050,7 @@ class MatchingServer:
                     "num_embeddings": len(embeddings),
                     "epoch": epoch,
                     "chunks": chunk_count,
+                    "trace": trace,
                 },
             )
             for i in range(chunk_count):
@@ -1084,6 +1174,13 @@ class MatchingServer:
         trace = request.get("trace")
         if not isinstance(trace, str) or not (1 <= len(trace) <= 64):
             trace = new_trace_id()
+        # Causal spans: the client's attempt span (if sent) parents our
+        # request span, so one exported tree covers the whole round trip.
+        client_span = request.get("span")
+        if not isinstance(client_span, str) or not (1 <= len(client_span) <= 64):
+            client_span = None
+        request_span = new_span_id()
+        request_t0 = time.monotonic()
         priority = request.get("priority", "normal")
         if priority not in PRIORITIES:
             self._bump("errors")
@@ -1196,15 +1293,19 @@ class MatchingServer:
             if tstate.spec.max_workers is not None:
                 # Per-tenant procpool clamp: one tenant cannot
                 # monopolize worker processes either.
-                qname, query, limits, workers, use_cache, stride = parsed
+                (
+                    qname, query, limits, workers, use_cache, stride, explain
+                ) = parsed
                 parsed = (
                     qname, query, limits,
                     min(workers, tstate.spec.max_workers),
-                    use_cache, stride,
+                    use_cache, stride, explain,
                 )
             name = parsed[0]
+            explain_mode = parsed[6]
             loop = asyncio.get_running_loop()
             started = time.perf_counter()
+            queue_t0 = time.monotonic()
             assert self._slots is not None
             try:
                 # Hold a matching slot only for the CPU work; streaming
@@ -1218,7 +1319,8 @@ class MatchingServer:
                 try:
                     queue_seconds = time.perf_counter() - started
                     result, cache_state, prov = await loop.run_in_executor(
-                        self._executor, self._execute, *parsed, trace, tenant
+                        self._executor, self._execute, *parsed, trace, tenant,
+                        request_span,
                     )
                 finally:
                     self._slots.release()
@@ -1248,10 +1350,11 @@ class MatchingServer:
                 return
             server_seconds = time.perf_counter() - started
             stream_started = time.perf_counter()
+            stream_t0 = time.monotonic()
             await self._stream_result(
                 writer, result, cache_state, server_seconds, chunk_size,
                 queue_seconds=queue_seconds, trace=trace,
-                profile=prov.get("profile"),
+                profile=prov.get("profile"), explain=prov.get("explain"),
             )
             stream_seconds = time.perf_counter() - stream_started
             if self.obs.enabled:
@@ -1283,7 +1386,25 @@ class MatchingServer:
                     search_seconds=round(result.elapsed_seconds, 6),
                     stream_seconds=round(stream_seconds, 6),
                     server_seconds=round(server_seconds, 6),
+                    **({"explain": explain_mode} if explain_mode else {}),
                 )
+                # Server-side phase spans: queue and stream around the
+                # engine spans _execute emitted under request_span, the
+                # request span itself parented by the client's attempt.
+                # One batched log pass — three emits would triple the
+                # per-record bookkeeping on the hot path.
+                emit_spans(self.obs.log, (
+                    {"name": "server.queue", "span": new_span_id(),
+                     "parent": request_span, "t0": round(queue_t0, 6),
+                     "dur": round(queue_seconds, 6)},
+                    {"name": "server.stream", "span": new_span_id(),
+                     "parent": request_span, "t0": round(stream_t0, 6),
+                     "dur": round(stream_seconds, 6)},
+                    {"name": "server.request", "span": request_span,
+                     "parent": client_span, "t0": round(request_t0, 6),
+                     "dur": round(time.monotonic() - request_t0, 6),
+                     "tenant": tenant, "data": name},
+                ), trace=trace)
             self._bump("served")
             tstate.counters.inc("served")
         finally:
@@ -1331,7 +1452,16 @@ class MatchingServer:
             stride = profile
         else:
             raise ValueError("'profile' must be a boolean or a stride >= 1")
-        return (name, query, limits, workers, use_cache, stride), chunk_size
+        # explain: null (off), "plan" (report without searching), or
+        # "analyze" (run the real search, attribute the work exactly).
+        explain = request.get("explain")
+        if explain is not None and explain not in ("plan", "analyze"):
+            raise ValueError("'explain' must be null, 'plan', or 'analyze'")
+        if explain is not None and stride > 0:
+            raise ValueError("'explain' cannot be combined with 'profile'")
+        return (
+            name, query, limits, workers, use_cache, stride, explain
+        ), chunk_size
 
     def _cache_for(self, name: str) -> QueryCache:
         with self._counters_lock:
@@ -1359,28 +1489,40 @@ class MatchingServer:
         workers: int,
         use_cache: bool,
         profile_stride: int,
+        explain: Optional[str] = None,
         trace: Optional[str] = None,
         tenant: Optional[str] = None,
+        parent_span: Optional[str] = None,
     ) -> Tuple[MatchResult, str, Dict]:
         """Blocking query execution (runs on the executor threads).
 
         Returns ``(result, cache_state, provenance)`` where provenance
         carries the request-log detail: cache hit/truncated-hit, engine
-        source (resident/load/rebuild) + epoch, effective workers, and
-        the profiler summary when ``profile_stride > 0``.  The trace id
+        source (resident/load/rebuild) + epoch, effective workers, the
+        profiler summary when ``profile_stride > 0``, and the
+        EXPLAIN/ANALYZE report when ``explain`` is set.  The trace id
         and structured log are bound thread-locally for the duration,
         so the procpool (and its fault hooks) log under this request's
-        trace across the process boundary.
+        trace across the process boundary; ``parent_span`` (the request
+        span) parents the engine's build/search spans the same way.
         """
         prov: Dict[str, object] = {}
         log = self.obs.log if self.obs.enabled else None
         fields = {"tenant": tenant} if tenant is not None else None
-        with trace_context(trace, log, fields):
+        with trace_context(trace, log, fields), span_scope(parent_span):
             cache = self._cache_for(name)
             form = None
             if profile_stride > 0:
                 # A cache hit has no search to observe; profiled runs
                 # always execute the engine.
+                use_cache = False
+            if explain == "plan":
+                return self._explain_plan(name, query, limits, use_cache, prov)
+            if explain == "analyze":
+                # ANALYZE attributes real engine work; a cache hit has
+                # none, so the cache is bypassed (never polluted: the
+                # analyzed result is not stored either, keeping the
+                # cache byte-identical to a no-analyze run).
                 use_cache = False
             if use_cache:
                 cached, form = cache.lookup(query, limits)
@@ -1397,6 +1539,20 @@ class MatchingServer:
             engine, source, epoch = self.catalog.engine_ex(name)
             prov["engine_source"] = source
             prov["epoch"] = epoch
+            if explain == "analyze":
+                if workers > 1:
+                    self._bump("procpool_dispatches")
+                prov["workers"] = workers
+                report, result = engine.explain(
+                    query, mode="analyze", limits=limits, workers=workers
+                )
+                report["qcache"] = {"decision": "bypass", "reason": "analyze"}
+                prov["explain"] = report
+                self._enqueue_analysis(
+                    name, sidecar_record(report, trace=trace)
+                )
+                self._bump("cache_bypass")
+                return result, "bypass", prov
             observer = None
             if profile_stride > 0:
                 observer = SamplingProfiler(stride=profile_stride)
@@ -1416,6 +1572,46 @@ class MatchingServer:
             self._bump("cache_bypass")
             return result, "bypass", prov
 
+    def _explain_plan(
+        self,
+        name: str,
+        query: Graph,
+        limits: SearchLimits,
+        use_cache: bool,
+        prov: Dict,
+    ) -> Tuple[MatchResult, str, Dict]:
+        """EXPLAIN (plan): build + report, never search.
+
+        The qcache slot in the report comes from the cache's
+        non-mutating :meth:`~repro.service.qcache.QueryCache.peek` — the
+        decision a real request would get, with the cache left
+        untouched.  The reply carries a zero-embedding COMPLETE result
+        (EXPLAIN returns no rows).
+        """
+        cache = self._cache_for(name)
+        engine, source, epoch = self.catalog.engine_ex(name)
+        prov["engine_source"] = source
+        prov["epoch"] = epoch
+        prov["workers"] = 0
+        report, _ = engine.explain(query, mode="plan")
+        report["qcache"] = (
+            cache.peek(query, limits)
+            if use_cache
+            else {"decision": "bypass", "reason": "cache_disabled"}
+        )
+        prov["explain"] = report
+        result = MatchResult(
+            embeddings=[],
+            num_embeddings=0,
+            status=TerminationStatus.COMPLETE,
+            elapsed_seconds=0.0,
+            stats=SearchStats(),
+            preprocessing_seconds=report["build_seconds"],
+            method="GuP",
+        )
+        self._bump("cache_bypass")
+        return result, "bypass", prov
+
     def _bump(self, key: str) -> None:
         self.counters.inc(key)
 
@@ -1429,6 +1625,7 @@ class MatchingServer:
         queue_seconds: float = 0.0,
         trace: Optional[str] = None,
         profile: Optional[Dict] = None,
+        explain: Optional[Dict] = None,
     ) -> None:
         embeddings = result.embeddings
         chunk_count = (len(embeddings) + chunk_size - 1) // chunk_size
@@ -1447,6 +1644,8 @@ class MatchingServer:
             header["trace"] = trace
         if profile is not None:
             header["profile"] = profile
+        if explain is not None:
+            header["explain"] = explain
         await self._send(
             writer,
             header,

@@ -1,0 +1,266 @@
+"""EXPLAIN/ANALYZE differential proofs and span-tree integration.
+
+The load-bearing invariant of `repro.obs.explain`: introspection may
+add time, never change results.  The grid below proves an analyzed run
+byte-identical (embeddings, SearchStats, status) to a plain match
+across both candidate backends, both mask backends, and the procpool —
+the combinations whose code paths actually differ.  Alongside: plan
+reports without running search, qcache ``peek`` never perturbing the
+cache, the versioned ``analyze.json`` sidecar's bounds, and a served
+query's causal span tree reconstructed from the request log.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import GuPConfig
+from repro.core.engine import GuPEngine
+from repro.graph.builder import graph_from_adjacency
+from repro.matching.limits import SearchLimits
+from repro.obs import Observability, StructuredLog
+from repro.obs.explain import (
+    ANALYZE_SIDECAR_MAX_RECORDS,
+    ANALYZE_SIDECAR_VERSION,
+    sidecar_record,
+)
+from repro.obs.spans import (
+    build_chrome_trace,
+    children_of,
+    spans_for_trace,
+    validate_span_tree,
+)
+from repro.service.catalog import CatalogError, GraphCatalog
+from repro.service.client import ServiceClient
+from repro.service.qcache import QueryCache
+from repro.service.server import ServerThread
+from repro.workload.datasets import load_dataset
+from repro.workload.querygen import generate_query
+
+
+@pytest.fixture(scope="module")
+def world():
+    data = load_dataset("wordnet", scale=0.1, seed=11)
+    query = generate_query(data, 6, "sparse", seed=11)
+    return data, query
+
+
+def tiny_world():
+    data = graph_from_adjacency(
+        ["A", "B", "A", "C", "D", "C"],
+        [(0, 1), (1, 2), (3, 4), (4, 5)],
+    )
+    query = graph_from_adjacency(["A", "B"], [(0, 1)])
+    return data, query
+
+
+class TestAnalyzeDifferential:
+    """analyze == plain match, across every backend combination."""
+
+    @pytest.mark.parametrize("candidate_backend", ["bitmap", "list"])
+    @pytest.mark.parametrize("mask_backend", ["int", "words"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_grid(self, world, candidate_backend, mask_backend, workers):
+        data, query = world
+        config = GuPConfig(
+            candidate_backend=candidate_backend, mask_backend=mask_backend
+        )
+        limits = SearchLimits(max_embeddings=50)
+        plain = GuPEngine(data, config=config).match(
+            query, limits=limits, workers=workers
+        )
+        report, analyzed = GuPEngine(data, config=config).explain(
+            query, mode="analyze", limits=limits, workers=workers
+        )
+        assert analyzed.embeddings == plain.embeddings
+        assert analyzed.num_embeddings == plain.num_embeddings
+        assert analyzed.stats == plain.stats
+        assert analyzed.status == plain.status
+        # The report attributes that very run, not a parallel one.
+        assert report["mode"] == "analyze"
+        assert report["result"]["num_embeddings"] == plain.num_embeddings
+        assert report["search"]["recursions"] == plain.stats.recursions
+        assert report["backend"] == {
+            "candidate": candidate_backend,
+            "build": config.build_backend,
+            "mask": mask_backend,
+        }
+        if workers > 1:
+            assert len(report["tasks"]) >= 1
+            # Each root partition searches up to the cap before the
+            # deterministic merge truncates, so the per-task total
+            # bounds the merged count from above.
+            assert (
+                sum(t["embeddings_found"] for t in report["tasks"])
+                >= plain.num_embeddings
+            )
+        else:
+            assert report["tasks"] == []
+
+    def test_plan_runs_no_search(self, world):
+        data, query = world
+        report, result = GuPEngine(data).explain(query, mode="plan")
+        assert result is None
+        assert report["mode"] == "plan"
+        assert "search" not in report and "result" not in report
+        assert report["order"] and len(report["order"]) == query.num_vertices
+        assert len(report["vertex_scores"]) == query.num_vertices
+        assert {s["stage"] for s in report["stages"]} >= {"seed"}
+        assert report["dag"] is not None
+        assert report["reservations"]["guards"] >= 0
+        assert report["qcache"] is None
+
+    def test_unknown_mode_rejected(self, world):
+        data, query = world
+        with pytest.raises(ValueError, match="unknown explain mode"):
+            GuPEngine(data).explain(query, mode="verbose")
+
+
+class TestQueryCachePeek:
+    """peek reports the serve decision without perturbing the cache."""
+
+    def test_peek_never_mutates(self):
+        data, query = tiny_world()
+        cache = QueryCache()
+        limits = SearchLimits()
+        assert cache.peek(query, limits)["decision"] == "miss"
+        result = GuPEngine(data).match(query, limits=limits)
+        _, form = cache.lookup(query, limits)
+        cache.store(form, limits, result)
+        before = dict(cache.counters.snapshot())
+        report = cache.peek(query, limits)
+        assert report["decision"] == "hit"
+        assert report["served"] == "complete"
+        assert report["num_embeddings"] == result.num_embeddings
+        # No counter moved, no LRU touch, and the real lookup still hits.
+        assert dict(cache.counters.snapshot()) == before
+        served, _ = cache.lookup(query, limits)
+        assert served is not None
+        assert served.num_embeddings == result.num_embeddings
+
+    def test_peek_matches_serve_on_caps(self):
+        data, query = tiny_world()
+        cache = QueryCache()
+        full = SearchLimits()
+        result = GuPEngine(data).match(query, limits=full)
+        _, form = cache.lookup(query, full)
+        cache.store(form, full, result)
+        capped = SearchLimits(max_embeddings=1)
+        report = cache.peek(query, capped)
+        served, _ = cache.lookup(query, capped)
+        assert (report["decision"] == "hit") == (served is not None)
+        assert report["num_embeddings"] == served.num_embeddings
+
+
+class TestAnalyzeSidecar:
+    def test_store_load_roundtrip(self, tmp_path, world):
+        data, query = world
+        catalog = GraphCatalog(tmp_path)
+        catalog.add("g", data)
+        report, _ = GuPEngine(data).explain(
+            query, mode="analyze", limits=SearchLimits(max_embeddings=5)
+        )
+        record = sidecar_record(report, trace="t1")
+        sidecar = catalog.store_analysis("g", record)
+        assert sidecar["version"] == ANALYZE_SIDECAR_VERSION
+        loaded = catalog.load_analysis("g")
+        assert loaded["version"] == ANALYZE_SIDECAR_VERSION
+        assert len(loaded["records"]) == 1
+        assert loaded["records"][0]["trace"] == "t1"
+        assert loaded["records"][0]["search"]["recursions"] > 0
+        # Durable on disk as plain JSON, no tmp left behind.
+        path = tmp_path / "g" / "analyze.json"
+        assert json.loads(path.read_text(encoding="utf-8")) == loaded
+        assert not list((tmp_path / "g").glob("*.tmp"))
+
+    def test_record_bound_drops_oldest(self, tmp_path):
+        data, _ = tiny_world()
+        catalog = GraphCatalog(tmp_path)
+        catalog.add("g", data)
+        for i in range(ANALYZE_SIDECAR_MAX_RECORDS + 5):
+            catalog.store_analysis("g", {"trace": f"t{i}"})
+        loaded = catalog.load_analysis("g")
+        assert len(loaded["records"]) == ANALYZE_SIDECAR_MAX_RECORDS
+        assert loaded["records"][0]["trace"] == "t5"
+        assert loaded["records"][-1]["trace"] == (
+            f"t{ANALYZE_SIDECAR_MAX_RECORDS + 4}"
+        )
+
+    def test_unknown_entry_rejected(self, tmp_path):
+        catalog = GraphCatalog(tmp_path)
+        with pytest.raises(CatalogError):
+            catalog.store_analysis("ghost", {"trace": "t"})
+        with pytest.raises(CatalogError):
+            catalog.load_analysis("ghost")
+
+    def test_version_mismatch_resets(self, tmp_path):
+        data, _ = tiny_world()
+        catalog = GraphCatalog(tmp_path)
+        catalog.add("g", data)
+        path = tmp_path / "g" / "analyze.json"
+        path.write_text(
+            json.dumps({"version": 999, "records": [{"trace": "old"}]}),
+            encoding="utf-8",
+        )
+        assert catalog.load_analysis("g")["records"] == []
+        catalog.store_analysis("g", {"trace": "new"})
+        records = catalog.load_analysis("g")["records"]
+        assert [r["trace"] for r in records] == ["new"]
+
+
+class TestServedSpanTree:
+    """One served analyze query leaves an exact causal span tree."""
+
+    def test_round_trip_tree(self, tmp_path):
+        data, query = tiny_world()
+        log_path = tmp_path / "requests.jsonl"
+        obs = Observability(log=StructuredLog(path=str(log_path)))
+        catalog_root = tmp_path / "catalog"
+        GraphCatalog(catalog_root).add("g", data)
+        with ServerThread(GraphCatalog(catalog_root), obs=obs) as thread:
+            host, port = thread.address
+            with ServiceClient(host, port, log=obs.log) as client:
+                plain = client.query(query, "g", workers=2, cache=False)
+                reply = client.query(
+                    query, "g", workers=2, cache=False, explain="analyze"
+                )
+        assert reply.embeddings == plain.embeddings
+        assert reply.explain["mode"] == "analyze"
+        assert reply.cache == "bypass"
+        # The background sidecar writer drains on server close: the
+        # analyzed query's record must be on disk by now.
+        loaded = GraphCatalog(catalog_root).load_analysis("g")
+        assert [r["trace"] for r in loaded["records"]] == [reply.trace]
+
+        records = StructuredLog(path=str(log_path)).read_records()
+        spans = spans_for_trace(records, reply.trace)
+        assert validate_span_tree(spans) == []
+        by_name = {}
+        for record in spans:
+            by_name.setdefault(record["name"], []).append(record)
+        roots = children_of(spans, None)
+        assert [r["name"] for r in roots] == ["client.attempt"]
+        request = by_name["server.request"][0]
+        assert request["parent"] == roots[0]["span"]
+        phases = {r["name"] for r in children_of(spans, request["span"])}
+        assert {"server.queue", "engine.search", "server.stream"} <= phases
+        search = by_name["engine.search"][0]
+        workers = by_name["worker.task"]
+        assert len(workers) >= 1
+        assert all(w["parent"] == search["span"] for w in workers)
+        # Worker intervals nest numerically inside the search phase —
+        # monotonic() is one clock across server and worker processes.
+        for worker in workers:
+            assert worker["t0"] >= search["t0"] - 1e-6
+            assert (
+                worker["t0"] + worker["dur"]
+                <= search["t0"] + search["dur"] + 1e-6
+            )
+
+        export = build_chrome_trace(spans)
+        assert len(export["traceEvents"]) == len(spans)
+        ids = {e["args"]["span"] for e in export["traceEvents"]}
+        for event in export["traceEvents"]:
+            parent = event["args"].get("parent")
+            assert parent is None or parent in ids
+        json.dumps(export)  # must be serializable as-is

@@ -272,6 +272,81 @@ class TestSamplingProfiler:
         assert observed.embeddings == plain.embeddings
         assert observed.num_embeddings == plain.num_embeddings
 
+    def test_stride_rare_events_stay_exact(self):
+        # Driven directly through the observer hooks so the arithmetic
+        # is deterministic: rare events (returns, embeddings, backjumps)
+        # are never subsampled, whatever the stride.
+        profiler = SamplingProfiler(stride=5)
+        for _ in range(12):
+            profiler.on_descend(3, 0, 0)
+        for _ in range(7):
+            profiler.on_conflict(3, 0, "empty", 0)
+        for _ in range(4):
+            profiler.on_return(3, 0, False, 0)
+        for _ in range(3):
+            profiler.on_backjump(2, 0)
+        profiler.on_embedding((0, 1))
+        profiler.on_embedding((2, 3))
+        summary = profiler.summary()
+        assert summary["descends"] == 12
+        assert summary["conflicts"] == 7
+        assert summary["returns"] == 4
+        assert summary["backjumps"] == 3
+        assert summary["embeddings"] == 2
+        assert summary["max_depth"] == 3
+
+    def test_stride_histograms_scale_back_exactly(self):
+        # 12 descends at stride 5 sample the 5th and 10th events: two
+        # histogram increments, reported as 2 * 5 = 10; 7 conflicts
+        # sample once, reported as 5.  The scaled estimates are exact
+        # multiples of the stride with string keys.
+        profiler = SamplingProfiler(stride=5)
+        for _ in range(12):
+            profiler.on_descend(3, 0, 0)
+        for _ in range(7):
+            profiler.on_conflict(1, 0, "empty", 0)
+        summary = profiler.summary()
+        assert summary["depth_hist"] == {"3": 10}
+        assert summary["conflicts_by_kind"] == {"empty": 5}
+        # Below the stride nothing has been sampled yet: empty, not 0s.
+        sparse = SamplingProfiler(stride=64)
+        for _ in range(63):
+            sparse.on_descend(1, 0, 0)
+        assert sparse.summary()["depth_hist"] == {}
+        assert sparse.summary()["descends"] == 63
+
+    def test_zero_recursion_search_yields_empty_summary(self):
+        # A query whose label exists nowhere in the data dies in the
+        # filter: the search never descends and the profiler (stride>1)
+        # must report exact zeros, not stale or scaled garbage.
+        data, _ = bipartite_world()
+        query = graph_from_adjacency(["Z"], [])
+        engine = GuPEngine(data)
+        profiler = SamplingProfiler(stride=4)
+        result = engine.match(query, observer=profiler)
+        assert result.num_embeddings == 0
+        summary = profiler.summary()
+        assert summary["descends"] == 0
+        assert summary["conflicts"] == 0
+        assert summary["embeddings"] == 0
+        assert summary["max_depth"] == 0
+        assert summary["depth_hist"] == {}
+        assert summary["conflicts_by_kind"] == {}
+
+    def test_embedding_cap_zero_counts_the_first_embedding(self):
+        # The engine checks the cap after recording, so cap=0 still
+        # yields the first embedding; the profiler's exact embedding
+        # count must agree with the result at any stride.
+        data, query = bipartite_world()
+        engine = GuPEngine(data)
+        limits = SearchLimits(max_embeddings=0)
+        plain = engine.match(query, limits=limits)
+        profiler = SamplingProfiler(stride=3)
+        observed = engine.match(query, limits=limits, observer=profiler)
+        assert observed.embeddings == plain.embeddings
+        assert observed.num_embeddings == plain.num_embeddings
+        assert profiler.summary()["embeddings"] == observed.num_embeddings
+
 
 def http_get(host, port, path):
     with socket.create_connection((host, port), timeout=10) as sock:
